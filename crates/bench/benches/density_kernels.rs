@@ -1,0 +1,87 @@
+//! Criterion benches for the density-matrix (open-system) simulator:
+//! gate application, Kraus channels, and the full noisy-QAOA energy
+//! evaluation, against the pure-state path as the reference cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use graphs::generators;
+use qaoa::noisy::NoisyQaoa;
+use qaoa::{MaxCutProblem, QaoaAnsatz};
+use qsim::{gates, DensityMatrix, KrausChannel, NoiseModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dm_single_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_single_gate");
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let rx = gates::rx(0.7);
+            b.iter_batched(
+                || DensityMatrix::plus_state(n).expect("small register"),
+                |mut rho| {
+                    rho.apply_single(n / 2, &rx).expect("valid qubit");
+                    black_box(rho)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_dm_kraus_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dm_depolarizing_channel");
+    let channel = KrausChannel::depolarizing(0.01).expect("valid rate");
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || DensityMatrix::plus_state(n).expect("small register"),
+                |mut rho| {
+                    rho.apply_channel(n / 2, &channel).expect("valid qubit");
+                    black_box(rho)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_vs_clean_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qaoa_energy_p2");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = generators::erdos_renyi_nonempty(6, 0.5, &mut rng);
+    let params = [0.8, 0.5, 0.4, 0.2];
+
+    let problem = MaxCutProblem::new(&graph).expect("non-empty");
+    let ansatz = QaoaAnsatz::new(problem.clone(), 2).expect("valid depth");
+    group.bench_function("statevector_fast", |b| {
+        b.iter(|| black_box(ansatz.expectation(black_box(&params)).expect("valid params")));
+    });
+
+    let clean = NoisyQaoa::new(problem.clone(), 2, NoiseModel::noiseless()).expect("small");
+    group.bench_function("density_noiseless", |b| {
+        b.iter(|| black_box(clean.expectation(black_box(&params)).expect("valid params")));
+    });
+
+    let noisy = NoisyQaoa::new(
+        problem,
+        2,
+        NoiseModel::uniform_depolarizing(0.001, 0.01).expect("valid rates"),
+    )
+    .expect("small");
+    group.bench_function("density_depolarizing", |b| {
+        b.iter(|| black_box(noisy.expectation(black_box(&params)).expect("valid params")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dm_single_gate,
+    bench_dm_kraus_channel,
+    bench_noisy_vs_clean_energy
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches: fit and predict costs of the four regression
+//! families on a QAOA-parameter-shaped dataset (3 features, 66 training
+//! rows — the paper's training-set size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use linalg::Matrix;
+use ml::ModelKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn paper_shaped_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    // Features mimic (γ₁(1), β₁(1), p); target mimics a stage parameter with
+    // the paper's correlation structure: γᵢ falls with p, tracks γ₁.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let g1: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let b1: f64 = 0.4 * g1 + rng.gen_range(-0.2..0.2);
+        let p: f64 = rng.gen_range(1..=6) as f64;
+        rows.push(vec![g1, b1, p]);
+        y.push((0.8 * g1 - 0.15 * p + rng.gen_range(-0.1..0.1)).max(0.0));
+    }
+    (Matrix::from_rows(&rows).expect("non-empty rows"), y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (x, y) = paper_shaped_data(66, 7);
+    let mut group = c.benchmark_group("model_fit_66x3");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut model = kind.build();
+                model.fit(black_box(&x), black_box(&y)).expect("fit succeeds");
+                black_box(model.predict(&[1.0, 0.5, 3.0]).expect("predict succeeds"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = paper_shaped_data(66, 7);
+    let mut group = c.benchmark_group("model_predict");
+    for kind in ModelKind::ALL {
+        let mut model = kind.build();
+        model.fit(&x, &y).expect("fit succeeds");
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(model.predict(black_box(&[2.0, 0.9, 4.0])).expect("predict succeeds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

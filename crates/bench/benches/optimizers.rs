@@ -1,0 +1,67 @@
+//! Criterion benches: each of the four paper optimizers solving a fixed
+//! depth-2 QAOA landscape from a fixed starting point. Criterion reports
+//! wall time; the printed `n_calls` in the harness output is the paper's
+//! cost metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use graphs::generators;
+use optimize::{all_optimizers, Options};
+use qaoa::{MaxCutProblem, QaoaInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_optimizers_on_qaoa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(14);
+    let graph = generators::erdos_renyi_nonempty(6, 0.5, &mut rng);
+    let problem = MaxCutProblem::new(&graph).expect("non-empty graph");
+    let instance = QaoaInstance::new(problem, 2).expect("valid depth");
+    let start = [1.0_f64, 2.0, 0.5, 1.0];
+    let options = Options::default();
+
+    let mut group = c.benchmark_group("optimizer_qaoa_p2");
+    group.sample_size(20);
+    for optimizer in all_optimizers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(optimizer.name()),
+            &optimizer,
+            |b, opt| {
+                b.iter(|| {
+                    let out = instance
+                        .optimize(opt.as_ref(), black_box(&start), &options)
+                        .expect("optimization runs");
+                    black_box(out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rosenbrock(c: &mut Criterion) {
+    // A classical baseline away from quantum code, for optimizer overheads.
+    let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+    let bounds = optimize::Bounds::uniform(2, -5.0, 5.0).expect("valid bounds");
+    let options = Options::default().with_max_iters(500);
+    let mut group = c.benchmark_group("optimizer_rosenbrock");
+    group.sample_size(20);
+    for optimizer in all_optimizers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(optimizer.name()),
+            &optimizer,
+            |b, opt| {
+                b.iter(|| {
+                    black_box(
+                        opt.minimize(&f, black_box(&[-1.2, 1.0]), &bounds, &options)
+                            .expect("optimization runs"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers_on_qaoa, bench_rosenbrock);
+criterion_main!(benches);

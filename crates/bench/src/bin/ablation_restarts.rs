@@ -1,0 +1,54 @@
+//! Ablation: multistart count in data generation. The paper uses 20 random
+//! initializations per instance when building its corpus; this sweep shows
+//! how the best-found expectation and the total generation cost scale with
+//! the restart budget.
+//!
+//! Run: `cargo run --release -p bench --bin ablation_restarts [-- --quick]`
+
+use bench::RunConfig;
+use graphs::generators;
+use ml::metrics::{mean, std_dev};
+use optimize::{Lbfgsb, Options};
+use qaoa::{MaxCutProblem, QaoaInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = RunConfig::from_env();
+    let n_graphs = if config.quick { 6 } else { 24 };
+    let depth = config.max_depth.min(3);
+    let budgets = [1usize, 2, 5, 10, 20];
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let graphs: Vec<_> = (0..n_graphs)
+        .map(|_| generators::erdos_renyi_nonempty(config.nodes, 0.5, &mut rng))
+        .collect();
+    let optimizer = Lbfgsb::default();
+    let options = Options::default();
+
+    println!("# Restart ablation: best AR found vs restart budget, depth {depth}, {n_graphs} ER graphs");
+    println!("{:>9} {:>10} {:>10} {:>12}", "restarts", "meanAR", "sdAR", "meanFC");
+    for &k in &budgets {
+        let mut ars = Vec::new();
+        let mut fcs = Vec::new();
+        for graph in &graphs {
+            let problem = MaxCutProblem::new(graph).expect("non-empty graph");
+            let instance = QaoaInstance::new(problem, depth).expect("valid depth");
+            let mut run_rng = StdRng::seed_from_u64(config.seed ^ (k as u64) << 8);
+            let out = instance
+                .optimize_multistart(&optimizer, k, &mut run_rng, &options)
+                .expect("optimization runs");
+            ars.push(out.approximation_ratio);
+            fcs.push(out.function_calls as f64);
+        }
+        println!(
+            "{:>9} {:>10.4} {:>10.4} {:>12.1}",
+            k,
+            mean(&ars),
+            std_dev(&ars),
+            mean(&fcs)
+        );
+    }
+    println!("\n# Expected shape: AR gains saturate after a handful of restarts while cost");
+    println!("# grows linearly — context for the paper's choice of 20.");
+}

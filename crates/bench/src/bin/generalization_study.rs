@@ -1,0 +1,138 @@
+//! Extension study: does the ER-trained predictor transfer to other graph
+//! families?
+//!
+//! The paper trains and tests on the same Erdős–Rényi ensemble (edge
+//! probability 0.5). Its thesis — parameter patterns transfer between
+//! *similar* instances — invites the harder question: how far does "similar"
+//! stretch? This study trains GPR on the usual ER corpus and evaluates the
+//! two-level flow on held-out ER graphs plus four out-of-ensemble families
+//! (3-regular, Barabási–Albert, Watts–Strogatz, dense ER), reporting the
+//! function-call reduction and AR delta per family.
+//!
+//! Run: `cargo run --release -p bench --bin generalization_study [-- --quick]`
+
+use bench::RunConfig;
+use graphs::{generators, Graph};
+use ml::metrics::mean;
+use ml::ModelKind;
+use optimize::{Lbfgsb, Options};
+use qaoa::graph_aware::GraphAwarePredictor;
+use qaoa::{evaluation, MaxCutProblem, ParameterPredictor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family_graphs(
+    name: &str,
+    count: usize,
+    nodes: usize,
+    rng: &mut StdRng,
+) -> Vec<Graph> {
+    (0..count)
+        .map(|_| loop {
+            let g = match name {
+                "ER(0.5)" => generators::erdos_renyi_nonempty(nodes, 0.5, rng),
+                "ER(0.8)" => generators::erdos_renyi_nonempty(nodes, 0.8, rng),
+                "3-regular" => generators::random_regular(nodes, 3, rng)
+                    .expect("even n·d for these sizes"),
+                "BA(m=2)" => generators::barabasi_albert(nodes, 2, rng)
+                    .expect("valid BA parameters"),
+                "WS(k=4)" => generators::watts_strogatz(nodes, 4, 0.3, rng)
+                    .expect("valid WS parameters"),
+                other => unreachable!("unknown family {other}"),
+            };
+            if !g.is_empty() {
+                break g;
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let config = RunConfig::from_env();
+    let dataset = config.corpus();
+    let (train, test) = dataset.split_by_graph(0.2);
+    let predictor = ParameterPredictor::train(ModelKind::Gpr, &train).expect("GPR training");
+    let aware = GraphAwarePredictor::train(ModelKind::Gpr, &train).expect("graph-aware training");
+    let optimizer = Lbfgsb::default();
+    let options = Options::default();
+    let depth = config.max_depth.min(4);
+    let per_family = if config.quick { 8 } else { 32 };
+    let naive_starts = config.naive_starts.unwrap_or(config.restarts);
+    // 3-regular needs even n·d.
+    let nodes = if config.nodes.is_multiple_of(2) {
+        config.nodes
+    } else {
+        config.nodes + 1
+    };
+
+    println!(
+        "# Generalization study: GPR trained on ER({:.1}) n={}, evaluated at p={depth}, \
+         {per_family} graphs/family, L-BFGS-B",
+        0.5, config.nodes
+    );
+    println!(
+        "{:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "family", "naiveAR", "mlAR", "gaAR", "naiveFC", "mlFC", "gaFC", "red%", "gared%"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6E6E);
+    let mut families: Vec<(&str, Vec<Graph>)> = vec![(
+        "ER-heldout",
+        test.graphs().iter().take(per_family).cloned().collect(),
+    )];
+    for name in ["ER(0.8)", "3-regular", "BA(m=2)", "WS(k=4)"] {
+        families.push((name, family_graphs(name, per_family, nodes, &mut rng)));
+    }
+
+    for (name, graphs) in &families {
+        let naive = evaluation::naive_protocol(
+            graphs,
+            depth,
+            &optimizer,
+            naive_starts,
+            &options,
+            config.seed,
+        )
+        .expect("naive protocol");
+        let ml = evaluation::two_level_protocol(
+            graphs,
+            depth,
+            &optimizer,
+            &predictor,
+            1,
+            &options,
+            config.seed ^ 0xA11,
+        )
+        .expect("two-level protocol");
+
+        // Graph-aware two-level runs.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB22);
+        let mut ga_ar = Vec::new();
+        let mut ga_fc = Vec::new();
+        for graph in graphs.iter() {
+            let problem = MaxCutProblem::new(graph).expect("non-empty graph");
+            let out = aware
+                .run_two_level(&problem, depth, &optimizer, &options, &mut rng)
+                .expect("graph-aware flow");
+            ga_ar.push(out.approximation_ratio);
+            ga_fc.push(out.total_calls() as f64);
+        }
+
+        let naive_ar = mean(&naive.iter().map(|s| s.0).collect::<Vec<_>>());
+        let naive_fc = mean(&naive.iter().map(|s| s.1 as f64).collect::<Vec<_>>());
+        let ml_ar = mean(&ml.iter().map(|s| s.0).collect::<Vec<_>>());
+        let ml_fc = mean(&ml.iter().map(|s| s.1 as f64).collect::<Vec<_>>());
+        println!(
+            "{:>12} {:>9.4} {:>9.4} {:>9.4} {:>9.1} {:>9.1} {:>9.1} {:>7.1} {:>7.1}",
+            name,
+            naive_ar,
+            ml_ar,
+            mean(&ga_ar),
+            naive_fc,
+            ml_fc,
+            mean(&ga_fc),
+            100.0 * (1.0 - ml_fc / naive_fc),
+            100.0 * (1.0 - mean(&ga_fc) / naive_fc)
+        );
+    }
+}

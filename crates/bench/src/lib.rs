@@ -1,0 +1,263 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md's experiment index) and accepts the same flags:
+//!
+//! ```text
+//! --quick            CI-scale preset (small ensemble, shallow depths)
+//! --nodes N          nodes per graph            (paper: 8)
+//! --graphs N         ensemble size              (paper: 330)
+//! --restarts N       random inits per instance  (paper: 20)
+//! --max-depth N      corpus depth               (paper: 6)
+//! --seed N           RNG seed                   (default: 2020)
+//! ```
+//!
+//! Parsing is deliberately dependency-free.
+
+use qaoa::datagen::DataGenConfig;
+
+/// Scale parameters shared by all experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Nodes per problem graph.
+    pub nodes: usize,
+    /// Number of graphs in the ensemble.
+    pub graphs: usize,
+    /// Random initializations per instance.
+    pub restarts: usize,
+    /// Maximum corpus depth.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether `--quick` was requested.
+    pub quick: bool,
+    /// Override for the naive protocol's random starts in evaluation
+    /// binaries (`None` = same as `restarts`). Lets a cached corpus (keyed
+    /// on `restarts`) be reused while scaling evaluation cost separately.
+    pub naive_starts: Option<usize>,
+}
+
+impl RunConfig {
+    /// The paper's full scale.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            nodes: 8,
+            graphs: 330,
+            restarts: 20,
+            max_depth: 6,
+            seed: 2020,
+            quick: false,
+            naive_starts: None,
+        }
+    }
+
+    /// CI scale: finishes in seconds.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            nodes: 6,
+            graphs: 24,
+            restarts: 3,
+            max_depth: 4,
+            seed: 2020,
+            quick: true,
+            naive_starts: None,
+        }
+    }
+
+    /// Parses `args` (without the program name) on top of the paper preset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or bad values.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut config = if args.iter().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::paper()
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            match flag {
+                "--quick" => {
+                    i += 1;
+                }
+                "--nodes" | "--graphs" | "--restarts" | "--max-depth" | "--seed"
+                | "--naive-starts" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{flag} needs a value"))?;
+                    let parsed: u64 = value
+                        .parse()
+                        .map_err(|e| format!("{flag} {value}: {e}"))?;
+                    match flag {
+                        "--nodes" => config.nodes = parsed as usize,
+                        "--graphs" => config.graphs = parsed as usize,
+                        "--restarts" => config.restarts = parsed as usize,
+                        "--max-depth" => config.max_depth = parsed as usize,
+                        "--naive-starts" => config.naive_starts = Some(parsed as usize),
+                        _ => config.seed = parsed,
+                    }
+                    i += 2;
+                }
+                "--help" | "-h" => return Err("help requested".into()),
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if config.nodes < 2 || config.graphs == 0 || config.restarts == 0 || config.max_depth == 0 {
+            return Err("nodes >= 2, graphs/restarts/max-depth >= 1 required".into());
+        }
+        Ok(config)
+    }
+
+    /// Parses the real process arguments, exiting with a usage message on
+    /// error.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N] [--seed N] [--naive-starts N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The corresponding data-generation configuration.
+    #[must_use]
+    pub fn datagen(&self) -> DataGenConfig {
+        DataGenConfig {
+            n_graphs: self.graphs,
+            n_nodes: self.nodes,
+            edge_probability: 0.5,
+            max_depth: self.max_depth,
+            restarts: self.restarts,
+            seed: self.seed,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        }
+    }
+
+    /// Random starts for the naive evaluation protocol.
+    #[must_use]
+    pub fn naive_starts(&self) -> usize {
+        self.naive_starts.unwrap_or(self.restarts)
+    }
+
+    /// Generates the corpus for this configuration, caching it as TSV under
+    /// `target/` so repeated figure binaries share the (one-time, §III-A)
+    /// generation cost. Delete the cache file to force regeneration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails (binaries have no recovery path).
+    #[must_use]
+    pub fn corpus(&self) -> qaoa::datagen::ParameterDataset {
+        let cache = std::path::PathBuf::from(format!(
+            "target/qaoa_corpus_n{}_g{}_d{}_r{}_s{}.tsv",
+            self.nodes, self.graphs, self.max_depth, self.restarts, self.seed
+        ));
+        if cache.exists() {
+            match qaoa::datagen::ParameterDataset::load(&cache) {
+                Ok(ds) => {
+                    eprintln!("# corpus loaded from {}", cache.display());
+                    return ds;
+                }
+                Err(e) => eprintln!("# corpus cache unreadable ({e}); regenerating"),
+            }
+        }
+        eprintln!(
+            "# generating corpus ({} graphs x depths 1..={}, {} restarts)...",
+            self.graphs, self.max_depth, self.restarts
+        );
+        let ds = qaoa::datagen::ParameterDataset::generate(&self.datagen())
+            .expect("corpus generation");
+        if let Err(e) = ds.save(&cache) {
+            eprintln!("# warning: could not cache corpus: {e}");
+        } else {
+            eprintln!("# corpus cached at {}", cache.display());
+        }
+        ds
+    }
+}
+
+/// Renders a crude text histogram (used by the distribution figures).
+#[must_use]
+pub fn text_histogram(values: &[f64], bins: usize, width: usize) -> String {
+    if values.is_empty() || bins == 0 {
+        return String::from("(no data)\n");
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - lo) / span) * bins as f64) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = *counts.iter().max().unwrap_or(&1);
+    let mut out = String::new();
+    for (b, &c) in counts.iter().enumerate() {
+        let from = lo + span * b as f64 / bins as f64;
+        let to = lo + span * (b + 1) as f64 / bins as f64;
+        let bar = "#".repeat((c * width).div_ceil(peak.max(1)).min(width));
+        out.push_str(&format!("[{from:8.3}, {to:8.3}) {c:5} {bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_is_paper_scale() {
+        let c = RunConfig::parse(sv(&[])).unwrap();
+        assert_eq!(c, RunConfig::paper());
+        assert_eq!(c.graphs, 330);
+        assert_eq!(c.restarts, 20);
+    }
+
+    #[test]
+    fn quick_preset_and_overrides() {
+        let c = RunConfig::parse(sv(&["--quick", "--graphs", "5", "--seed", "9"])).unwrap();
+        assert!(c.quick);
+        assert_eq!(c.graphs, 5);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.nodes, RunConfig::quick().nodes);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(RunConfig::parse(sv(&["--bogus"])).is_err());
+        assert!(RunConfig::parse(sv(&["--nodes"])).is_err());
+        assert!(RunConfig::parse(sv(&["--nodes", "zero"])).is_err());
+        assert!(RunConfig::parse(sv(&["--graphs", "0"])).is_err());
+    }
+
+    #[test]
+    fn datagen_mapping() {
+        let c = RunConfig::parse(sv(&["--quick"])).unwrap();
+        let d = c.datagen();
+        assert_eq!(d.n_graphs, c.graphs);
+        assert_eq!(d.n_nodes, c.nodes);
+        assert_eq!(d.max_depth, c.max_depth);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let h = text_histogram(&[0.0, 0.1, 0.9, 1.0], 2, 10);
+        assert_eq!(h.lines().count(), 2);
+        assert!(text_histogram(&[], 3, 10).contains("no data"));
+    }
+}

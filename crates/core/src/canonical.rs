@@ -1,0 +1,329 @@
+//! Canonicalization of QAOA parameters under the exact landscape symmetries.
+//!
+//! For MaxCut cost functions (which satisfy `C(z) = C(z̄)`), the QAOA
+//! expectation is invariant under
+//!
+//! 1. `βᵢ → βᵢ + π/2` independently per layer (the shift introduces an
+//!    `X^⊗n` that commutes through the symmetric cost layers),
+//! 2. `γᵢ → γᵢ + 2π` for integer-valued (unweighted) costs,
+//! 3. the global conjugation `γᵢ → −γᵢ, βᵢ → −βᵢ` (complex conjugation of
+//!    the circuit).
+//!
+//! Best-of-N multistart therefore returns an *arbitrary symmetric image* of
+//! the optimum, different per graph — which destroys the cross-instance
+//! regularities (§II-B/C) the predictor must learn. The paper's clean
+//! parameter trends implicitly rely on consistent representatives; this
+//! module makes that explicit: [`canonicalize`] folds every parameter
+//! vector into the fundamental domain `γᵢ ∈ [0, 2π), βᵢ ∈ [0, π/2)` with
+//! `γ₁ ≤ π` (conjugation fold), and the data-generation pipeline and
+//! two-level flow apply it before any learning or prediction.
+//!
+//! All three symmetries are verified numerically in this module's tests and
+//! in the property suite.
+
+use std::f64::consts::{FRAC_PI_2, PI};
+
+const TWO_PI: f64 = 2.0 * PI;
+
+/// Folds `(γs, βs)` into the canonical fundamental domain in place.
+///
+/// Assumes an unweighted (integer-cost) MaxCut instance; for weighted graphs
+/// only the β folding and conjugation remain exact, which is still a valid
+/// (weaker) canonicalization.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn canonicalize(gammas: &mut [f64], betas: &mut [f64]) {
+    assert_eq!(gammas.len(), betas.len(), "layer count mismatch");
+    for g in gammas.iter_mut() {
+        *g = g.rem_euclid(TWO_PI);
+    }
+    for b in betas.iter_mut() {
+        *b = b.rem_euclid(FRAC_PI_2);
+    }
+    // Conjugation fold: pick the representative with γ₁ ∈ [0, π].
+    if let Some(&g1) = gammas.first() {
+        if g1 > PI {
+            for g in gammas.iter_mut() {
+                *g = (TWO_PI - *g).rem_euclid(TWO_PI);
+            }
+            for b in betas.iter_mut() {
+                *b = (FRAC_PI_2 - *b).rem_euclid(FRAC_PI_2);
+            }
+        }
+    }
+}
+
+/// Returns the canonical image of a packed parameter vector
+/// `[γ₁…γ_p, β₁…β_p]`.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+///
+/// ```
+/// use std::f64::consts::PI;
+/// // A symmetric image of (π/2, π/8) folds back onto it.
+/// let packed = [2.0 * PI - PI / 2.0, PI / 2.0 - PI / 8.0];
+/// let canon = qaoa::canonical::canonicalize_packed(&packed);
+/// assert!((canon[0] - PI / 2.0).abs() < 1e-12);
+/// assert!((canon[1] - PI / 8.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn canonicalize_packed(params: &[f64]) -> Vec<f64> {
+    assert!(params.len().is_multiple_of(2), "packed parameters must have even length");
+    let p = params.len() / 2;
+    let mut gammas = params[..p].to_vec();
+    let mut betas = params[p..].to_vec();
+    canonicalize(&mut gammas, &mut betas);
+    gammas.extend(betas);
+    gammas
+}
+
+/// Applies only the global conjugation fold to a packed vector in the
+/// paper's display domain `γ ∈ [0, 2π], β ∈ [0, π]`: when `γ₁ > π`, maps
+/// `γᵢ → 2π − γᵢ, βᵢ → π − βᵢ` (an exact landscape symmetry).
+///
+/// Unlike [`canonicalize_packed`], this preserves smooth per-stage schedules
+/// (no per-layer β folding), so it is the right transform for *displaying*
+/// cross-graph parameter trends (Figs. 2–3) in one consistent image family.
+///
+/// # Panics
+///
+/// Panics if the length is odd.
+///
+/// ```
+/// use std::f64::consts::PI;
+/// let folded = qaoa::canonical::display_fold(&[2.0 * PI - 0.5, PI - 0.3]);
+/// assert!((folded[0] - 0.5).abs() < 1e-12);
+/// assert!((folded[1] - 0.3).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn display_fold(params: &[f64]) -> Vec<f64> {
+    assert!(params.len().is_multiple_of(2), "packed parameters must have even length");
+    let p = params.len() / 2;
+    let mut gammas: Vec<f64> = params[..p].iter().map(|g| g.rem_euclid(TWO_PI)).collect();
+    let mut betas: Vec<f64> = params[p..].to_vec();
+    if gammas.first().is_some_and(|&g1| g1 > PI) {
+        for g in &mut gammas {
+            *g = (TWO_PI - *g).rem_euclid(TWO_PI);
+        }
+        for b in &mut betas {
+            *b = PI - *b;
+        }
+    }
+    // Uniform β shift by a multiple of π/2 (the same k for every layer is a
+    // composition of exact per-layer symmetries and keeps the schedule's
+    // shape) to bring the mean mixing angle into [0, π/2).
+    if !betas.is_empty() {
+        let mean: f64 = betas.iter().sum::<f64>() / betas.len() as f64;
+        let k = (mean / FRAC_PI_2).floor();
+        for b in &mut betas {
+            *b -= k * FRAC_PI_2;
+        }
+    }
+    gammas.extend(betas);
+    gammas
+}
+
+/// Folds a *chain* of packed vectors (one per depth, as produced by an
+/// INTERP schedule) for display, keeping the image choice continuous across
+/// depths: the conjugation decision and the uniform β shift of each row are
+/// anchored to the previous row's folded mean, so trends read coherently
+/// down the table.
+///
+/// ```
+/// use std::f64::consts::PI;
+/// let chain = vec![vec![0.5, 0.3], vec![0.45, 0.55, 0.35, 0.25]];
+/// let folded = qaoa::canonical::display_fold_chain(&chain);
+/// assert_eq!(folded.len(), 2);
+/// assert_eq!(folded[0].len(), 2);
+/// ```
+#[must_use]
+pub fn display_fold_chain(chain: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(chain.len());
+    let mut prev_mean: Option<f64> = None;
+    for packed in chain {
+        let p = packed.len() / 2;
+        let mut gammas: Vec<f64> = packed[..p].iter().map(|g| g.rem_euclid(TWO_PI)).collect();
+        let mut betas: Vec<f64> = packed[p..].to_vec();
+        if gammas.first().is_some_and(|&g1| g1 > PI) {
+            for g in &mut gammas {
+                *g = (TWO_PI - *g).rem_euclid(TWO_PI);
+            }
+            for b in &mut betas {
+                *b = PI - *b;
+            }
+        }
+        if !betas.is_empty() {
+            let mean: f64 = betas.iter().sum::<f64>() / betas.len() as f64;
+            // Anchor: first row lands in [0, π/2); later rows pick the shift
+            // whose folded mean is closest to the previous row's.
+            let k = match prev_mean {
+                None => (mean / FRAC_PI_2).floor(),
+                Some(anchor) => ((mean - anchor) / FRAC_PI_2).round(),
+            };
+            for b in &mut betas {
+                *b -= k * FRAC_PI_2;
+            }
+            prev_mean = Some(betas.iter().sum::<f64>() / betas.len() as f64);
+        }
+        gammas.extend(betas);
+        out.push(gammas);
+    }
+    out
+}
+
+/// `true` if the packed vector already lies in the canonical domain.
+#[must_use]
+pub fn is_canonical(params: &[f64]) -> bool {
+    let p = params.len() / 2;
+    let gammas_ok = params[..p]
+        .iter()
+        .all(|g| (0.0..TWO_PI).contains(g));
+    let betas_ok = params[p..].iter().all(|b| (0.0..FRAC_PI_2).contains(b));
+    let conj_ok = params.first().is_none_or(|&g1| g1 <= PI);
+    gammas_ok && betas_ok && conj_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaxCutProblem, QaoaAnsatz};
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn folding_lands_in_domain() {
+        let mut g = vec![7.0, -1.0, 100.0];
+        let mut b = vec![3.0, -0.2, 9.9];
+        canonicalize(&mut g, &mut b);
+        assert!(is_canonical(
+            &g.iter().chain(&b).copied().collect::<Vec<_>>()
+        ));
+    }
+
+    #[test]
+    fn canonical_image_preserves_expectation() {
+        // The whole point: folding must not change ⟨C⟩ on unweighted graphs.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..6 {
+            let graph = generators::erdos_renyi_nonempty(6, 0.5, &mut rng);
+            let problem = MaxCutProblem::new(&graph).unwrap();
+            for p in 1..=3 {
+                let ansatz = QaoaAnsatz::new(problem.clone(), p).unwrap();
+                let params: Vec<f64> = (0..2 * p)
+                    .map(|i| {
+                        if i < p {
+                            rng.gen_range(0.0..crate::GAMMA_MAX)
+                        } else {
+                            rng.gen_range(0.0..crate::BETA_MAX)
+                        }
+                    })
+                    .collect();
+                let folded = canonicalize_packed(&params);
+                let e0 = ansatz.expectation(&params).unwrap();
+                let e1 = ansatz.expectation(&folded).unwrap();
+                assert!(
+                    (e0 - e1).abs() < 1e-9,
+                    "p={p}: {e0} vs {e1} for {params:?} -> {folded:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_layer_beta_shift_is_a_symmetry() {
+        // β₂ → β₂ + π/2 alone (middle layer) leaves ⟨C⟩ unchanged.
+        let mut rng = StdRng::seed_from_u64(4);
+        let graph = generators::erdos_renyi_nonempty(5, 0.6, &mut rng);
+        let ansatz = QaoaAnsatz::new(MaxCutProblem::new(&graph).unwrap(), 3).unwrap();
+        let params = [0.7, 1.2, 2.0, 0.3, 0.9, 0.2];
+        let mut shifted = params;
+        shifted[4] += FRAC_PI_2;
+        let e0 = ansatz.expectation(&params).unwrap();
+        let e1 = ansatz.expectation(&shifted).unwrap();
+        assert!((e0 - e1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idempotent() {
+        let params = [5.0, 1.0, 2.8, 0.1];
+        let once = canonicalize_packed(&params);
+        let twice = canonicalize_packed(&once);
+        for (a, b) in once.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(is_canonical(&once));
+    }
+
+    #[test]
+    fn symmetric_pairs_fold_to_same_point() {
+        let params = [1.0, 2.5, 0.3, 0.4];
+        // Image under conjugation + assorted β shifts.
+        let image = [
+            TWO_PI - 1.0,
+            TWO_PI - 2.5,
+            (FRAC_PI_2 - 0.3) + FRAC_PI_2,
+            (FRAC_PI_2 - 0.4) + 3.0 * FRAC_PI_2,
+        ];
+        let a = canonicalize_packed(&params);
+        let b = canonicalize_packed(&image);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let out = canonicalize_packed(&[]);
+        assert!(out.is_empty());
+        assert!(is_canonical(&[]));
+    }
+}
+
+#[cfg(test)]
+mod display_fold_tests {
+    use super::*;
+    use crate::{MaxCutProblem, QaoaAnsatz};
+    use graphs::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn display_fold_preserves_expectation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::erdos_renyi_nonempty(5, 0.5, &mut rng);
+        let ansatz = QaoaAnsatz::new(MaxCutProblem::new(&g).unwrap(), 2).unwrap();
+        for _ in 0..10 {
+            let params = [
+                rng.gen_range(0.0..crate::GAMMA_MAX),
+                rng.gen_range(0.0..crate::GAMMA_MAX),
+                rng.gen_range(0.0..crate::BETA_MAX),
+                rng.gen_range(0.0..crate::BETA_MAX),
+            ];
+            let folded = display_fold(&params);
+            let e0 = ansatz.expectation(&params).unwrap();
+            let e1 = ansatz.expectation(&folded).unwrap();
+            assert!((e0 - e1).abs() < 1e-9, "{params:?} -> {folded:?}");
+        }
+    }
+
+    #[test]
+    fn display_fold_identity_when_gamma1_small() {
+        let params = [1.0, 2.0, 0.5, 0.6];
+        assert_eq!(display_fold(&params), params.to_vec());
+    }
+
+    #[test]
+    fn display_fold_lands_in_first_image() {
+        let params = [5.0, 6.0, 2.5, 3.0];
+        let folded = display_fold(&params);
+        assert!(folded[0] <= PI);
+        // Exact mirror of every coordinate.
+        assert!((folded[0] - (TWO_PI - 5.0)).abs() < 1e-12);
+        assert!((folded[2] - (PI - 2.5)).abs() < 1e-12);
+    }
+}

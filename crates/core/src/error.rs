@@ -1,0 +1,149 @@
+use std::error::Error;
+use std::fmt;
+
+use graphs::GraphError;
+use ml::MlError;
+use optimize::OptimizeError;
+use qsim::QsimError;
+
+/// Error type for the QAOA pipeline, unifying the substrate errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum QaoaError {
+    /// A depth of zero (or otherwise unusable) was requested.
+    InvalidDepth {
+        /// The offending depth.
+        depth: usize,
+    },
+    /// The problem graph has no edges, so the QAOA objective is identically
+    /// zero and the approximation ratio is undefined.
+    EmptyGraph,
+    /// The graph is too large for dense state-vector simulation.
+    TooLarge {
+        /// Number of nodes requested.
+        n_nodes: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A parameter vector had the wrong length for the instance depth.
+    ParameterCount {
+        /// Expected length (`2·p`).
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// Error from the quantum simulator substrate.
+    Simulator(QsimError),
+    /// Error from the classical optimizer substrate.
+    Optimizer(OptimizeError),
+    /// Error from the ML substrate.
+    Ml(MlError),
+    /// Error from the graph substrate.
+    Graph(GraphError),
+    /// Dataset I/O failure (datagen persistence).
+    Io(std::io::Error),
+    /// A dataset file was malformed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for QaoaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaoaError::InvalidDepth { depth } => write!(f, "invalid QAOA depth {depth}"),
+            QaoaError::EmptyGraph => write!(f, "graph has no edges; MaxCut QAOA is undefined"),
+            QaoaError::TooLarge { n_nodes, max } => {
+                write!(f, "{n_nodes}-node graph exceeds the {max}-node simulator limit")
+            }
+            QaoaError::ParameterCount { expected, actual } => {
+                write!(f, "expected {expected} parameters, got {actual}")
+            }
+            QaoaError::Simulator(e) => write!(f, "simulator error: {e}"),
+            QaoaError::Optimizer(e) => write!(f, "optimizer error: {e}"),
+            QaoaError::Ml(e) => write!(f, "ml error: {e}"),
+            QaoaError::Graph(e) => write!(f, "graph error: {e}"),
+            QaoaError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            QaoaError::Parse { line, message } => {
+                write!(f, "dataset parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for QaoaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QaoaError::Simulator(e) => Some(e),
+            QaoaError::Optimizer(e) => Some(e),
+            QaoaError::Ml(e) => Some(e),
+            QaoaError::Graph(e) => Some(e),
+            QaoaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QsimError> for QaoaError {
+    fn from(e: QsimError) -> Self {
+        QaoaError::Simulator(e)
+    }
+}
+
+impl From<OptimizeError> for QaoaError {
+    fn from(e: OptimizeError) -> Self {
+        QaoaError::Optimizer(e)
+    }
+}
+
+impl From<MlError> for QaoaError {
+    fn from(e: MlError) -> Self {
+        QaoaError::Ml(e)
+    }
+}
+
+impl From<GraphError> for QaoaError {
+    fn from(e: GraphError) -> Self {
+        QaoaError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for QaoaError {
+    fn from(e: std::io::Error) -> Self {
+        QaoaError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QaoaError::InvalidDepth { depth: 0 };
+        assert!(e.to_string().contains("depth 0"));
+        assert!(e.source().is_none());
+
+        let e: QaoaError = QsimError::TooManyQubits { n_qubits: 99 }.into();
+        assert!(e.to_string().contains("simulator"));
+        assert!(e.source().is_some());
+
+        let e: QaoaError = OptimizeError::EmptyProblem.into();
+        assert!(e.to_string().contains("optimizer"));
+
+        let e: QaoaError = MlError::NotFitted.into();
+        assert!(e.to_string().contains("ml"));
+
+        let e: QaoaError = GraphError::SelfLoop { node: 1 }.into();
+        assert!(e.to_string().contains("graph"));
+
+        let e = QaoaError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

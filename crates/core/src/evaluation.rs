@@ -1,0 +1,346 @@
+//! The naive-vs-ML comparison harness behind Table I.
+//!
+//! For every (optimizer, target depth) cell the paper reports the mean and
+//! standard deviation of the approximation ratio and of the function-call
+//! count over the 264 test graphs, under two protocols:
+//!
+//! * **naive** — each graph solved from random initializations; AR and FC
+//!   are averaged over the `n_starts` independent runs (Table I's FC values
+//!   like `0.2172` are thousands of calls per run),
+//! * **two-level** — the proposed flow: FC = level-1 calls + ML-initialized
+//!   target-depth calls.
+
+use graphs::Graph;
+use ml::metrics::{mean, std_dev};
+use optimize::{Optimizer, Options};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance, TwoLevelConfig, TwoLevelFlow,
+};
+
+/// Configuration of a Table-I style comparison sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationConfig {
+    /// Target depths to evaluate (paper: 2..=5).
+    pub depths: Vec<usize>,
+    /// Random initializations per graph for the naive protocol (paper: 20).
+    pub naive_starts: usize,
+    /// Level-1 starts for the two-level protocol.
+    pub level1_starts: usize,
+    /// Optimizer options for every run.
+    pub options: Options,
+    /// Seed for all random initializations.
+    pub seed: u64,
+}
+
+impl EvaluationConfig {
+    /// The paper's Table-I configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            depths: vec![2, 3, 4, 5],
+            naive_starts: 20,
+            level1_starts: 1,
+            options: Options::default(),
+            seed: 77,
+        }
+    }
+
+    /// A CI-scale configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            depths: vec![2, 3],
+            naive_starts: 3,
+            level1_starts: 1,
+            options: Options::default(),
+            seed: 77,
+        }
+    }
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One Table-I row: a (optimizer, depth) cell with both protocols' stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Optimizer name (`"L-BFGS-B"`, …).
+    pub optimizer: String,
+    /// Target depth `pt`.
+    pub depth: usize,
+    /// Naive protocol: mean AR over graphs × starts.
+    pub naive_ar_mean: f64,
+    /// Naive protocol: SD of AR.
+    pub naive_ar_sd: f64,
+    /// Naive protocol: mean function calls per run.
+    pub naive_fc_mean: f64,
+    /// Naive protocol: SD of function calls.
+    pub naive_fc_sd: f64,
+    /// Two-level protocol: mean AR over graphs.
+    pub ml_ar_mean: f64,
+    /// Two-level protocol: SD of AR.
+    pub ml_ar_sd: f64,
+    /// Two-level protocol: mean total function calls.
+    pub ml_fc_mean: f64,
+    /// Two-level protocol: SD of total function calls.
+    pub ml_fc_sd: f64,
+}
+
+impl ComparisonRow {
+    /// Percentage reduction in mean function calls (the paper's headline
+    /// number; 44.9% on average across its sweep).
+    #[must_use]
+    pub fn fc_reduction_percent(&self) -> f64 {
+        if self.naive_fc_mean <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.naive_fc_mean - self.ml_fc_mean) / self.naive_fc_mean
+        }
+    }
+
+    /// Formats the row in Table I's layout (FC in thousands, like the
+    /// paper's `0.2172`-style entries).
+    #[must_use]
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "{:<12} {:>2}  {:>7.4} {:>7.4} {:>8.4} {:>8.4}  {:>7.4} {:>7.4} {:>8.4} {:>8.4}  {:>6.1}",
+            self.optimizer,
+            self.depth,
+            self.naive_ar_mean,
+            self.naive_ar_sd,
+            self.naive_fc_mean / 1e3,
+            self.naive_fc_sd / 1e3,
+            self.ml_ar_mean,
+            self.ml_ar_sd,
+            self.ml_fc_mean / 1e3,
+            self.ml_fc_sd / 1e3,
+            self.fc_reduction_percent()
+        )
+    }
+}
+
+/// The header matching [`ComparisonRow::to_table_line`].
+#[must_use]
+pub fn table_header() -> String {
+    format!(
+        "{:<12} {:>2}  {:>7} {:>7} {:>8} {:>8}  {:>7} {:>7} {:>8} {:>8}  {:>6}",
+        "Optimizer", "p", "nAR", "sdAR", "nFC(k)", "sdFC(k)", "mAR", "sdAR", "mFC(k)", "sdFC(k)", "red%"
+    )
+}
+
+/// Runs the naive protocol for one optimizer/depth over a set of graphs.
+///
+/// Returns per-run `(approximation_ratio, function_calls)` samples — one
+/// per (graph, start) pair.
+///
+/// # Errors
+///
+/// Propagates problem-construction and optimizer errors.
+pub fn naive_protocol(
+    graphs: &[Graph],
+    depth: usize,
+    optimizer: &dyn Optimizer,
+    n_starts: usize,
+    options: &Options,
+    seed: u64,
+) -> Result<Vec<(f64, usize)>, QaoaError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = crate::parameter_bounds(depth)?;
+    let mut samples = Vec::with_capacity(graphs.len() * n_starts);
+    for graph in graphs {
+        let problem = MaxCutProblem::new(graph)?;
+        let instance = QaoaInstance::new(problem, depth)?;
+        for _ in 0..n_starts {
+            let start = bounds.sample(&mut rng);
+            let out = instance.optimize(optimizer, &start, options)?;
+            samples.push((out.approximation_ratio, out.function_calls));
+        }
+    }
+    Ok(samples)
+}
+
+/// Runs the two-level protocol for one optimizer/depth over a set of graphs.
+///
+/// Returns per-graph `(approximation_ratio, total_function_calls)` samples.
+///
+/// # Errors
+///
+/// Propagates flow errors.
+pub fn two_level_protocol(
+    graphs: &[Graph],
+    depth: usize,
+    optimizer: &dyn Optimizer,
+    predictor: &ParameterPredictor,
+    level1_starts: usize,
+    options: &Options,
+    seed: u64,
+) -> Result<Vec<(f64, usize)>, QaoaError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flow = TwoLevelFlow::new(predictor);
+    let config = TwoLevelConfig {
+        level1_starts,
+        options: *options,
+    };
+    let mut samples = Vec::with_capacity(graphs.len());
+    for graph in graphs {
+        let problem = MaxCutProblem::new(graph)?;
+        let out = flow.run(&problem, depth, optimizer, &config, &mut rng)?;
+        samples.push((out.approximation_ratio, out.total_calls()));
+    }
+    Ok(samples)
+}
+
+/// Produces the full Table-I comparison for the given optimizers and test
+/// graphs.
+///
+/// # Errors
+///
+/// Propagates any per-cell error.
+pub fn compare(
+    graphs: &[Graph],
+    optimizers: &[Box<dyn Optimizer>],
+    predictor: &ParameterPredictor,
+    config: &EvaluationConfig,
+) -> Result<Vec<ComparisonRow>, QaoaError> {
+    let mut rows = Vec::new();
+    for (oi, optimizer) in optimizers.iter().enumerate() {
+        for (di, &depth) in config.depths.iter().enumerate() {
+            let cell_seed = config
+                .seed
+                .wrapping_add((oi * 1000 + di) as u64);
+            let naive = naive_protocol(
+                graphs,
+                depth,
+                optimizer.as_ref(),
+                config.naive_starts,
+                &config.options,
+                cell_seed,
+            )?;
+            let ml = two_level_protocol(
+                graphs,
+                depth,
+                optimizer.as_ref(),
+                predictor,
+                config.level1_starts,
+                &config.options,
+                cell_seed.wrapping_add(500),
+            )?;
+            let naive_ar: Vec<f64> = naive.iter().map(|s| s.0).collect();
+            let naive_fc: Vec<f64> = naive.iter().map(|s| s.1 as f64).collect();
+            let ml_ar: Vec<f64> = ml.iter().map(|s| s.0).collect();
+            let ml_fc: Vec<f64> = ml.iter().map(|s| s.1 as f64).collect();
+            rows.push(ComparisonRow {
+                optimizer: optimizer.name().to_string(),
+                depth,
+                naive_ar_mean: mean(&naive_ar),
+                naive_ar_sd: std_dev(&naive_ar),
+                naive_fc_mean: mean(&naive_fc),
+                naive_fc_sd: std_dev(&naive_fc),
+                ml_ar_mean: mean(&ml_ar),
+                ml_ar_sd: std_dev(&ml_ar),
+                ml_fc_mean: mean(&ml_fc),
+                ml_fc_sd: std_dev(&ml_fc),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{DataGenConfig, ParameterDataset};
+    use ml::ModelKind;
+    use optimize::Lbfgsb;
+
+    fn corpus() -> ParameterDataset {
+        ParameterDataset::generate(&DataGenConfig {
+            n_graphs: 6,
+            n_nodes: 5,
+            edge_probability: 0.6,
+            max_depth: 2,
+            restarts: 2,
+            seed: 91,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn reduction_percent_math() {
+        let row = ComparisonRow {
+            optimizer: "X".into(),
+            depth: 2,
+            naive_ar_mean: 0.9,
+            naive_ar_sd: 0.0,
+            naive_fc_mean: 200.0,
+            naive_fc_sd: 0.0,
+            ml_ar_mean: 0.9,
+            ml_ar_sd: 0.0,
+            ml_fc_mean: 100.0,
+            ml_fc_sd: 0.0,
+        };
+        assert_eq!(row.fc_reduction_percent(), 50.0);
+        assert!(row.to_table_line().contains("50.0"));
+        assert!(table_header().contains("red%"));
+        let degenerate = ComparisonRow {
+            naive_fc_mean: 0.0,
+            ..row
+        };
+        assert_eq!(degenerate.fc_reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn protocols_produce_expected_sample_counts() {
+        let ds = corpus();
+        let (train, test) = ds.split_by_graph(0.5);
+        let predictor = ParameterPredictor::train(ModelKind::Linear, &train).unwrap();
+        let opt = Lbfgsb::default();
+        let naive = naive_protocol(test.graphs(), 2, &opt, 2, &Options::default(), 3).unwrap();
+        assert_eq!(naive.len(), test.graphs().len() * 2);
+        let ml = two_level_protocol(
+            test.graphs(),
+            2,
+            &opt,
+            &predictor,
+            1,
+            &Options::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(ml.len(), test.graphs().len());
+        for (ar, fc) in naive.iter().chain(&ml) {
+            assert!((0.0..=1.0 + 1e-9).contains(ar));
+            assert!(*fc > 0);
+        }
+    }
+
+    #[test]
+    fn compare_emits_one_row_per_cell() {
+        let ds = corpus();
+        let (train, test) = ds.split_by_graph(0.5);
+        let predictor = ParameterPredictor::train(ModelKind::Linear, &train).unwrap();
+        let optimizers: Vec<Box<dyn Optimizer>> = vec![Box::new(Lbfgsb::default())];
+        let config = EvaluationConfig {
+            depths: vec![2],
+            naive_starts: 2,
+            level1_starts: 1,
+            options: Options::default(),
+            seed: 7,
+        };
+        let rows = compare(test.graphs(), &optimizers, &predictor, &config).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.optimizer, "L-BFGS-B");
+        assert_eq!(row.depth, 2);
+        assert!(row.naive_fc_mean > 0.0);
+        assert!(row.ml_fc_mean > 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Feature extraction for the parameter predictor (§II-D).
+//!
+//! The two-level approach uses three features — `γ₁OPT(p=1)`, `β₁OPT(p=1)`
+//! and the target depth `pt` — and predicts the `2·pt` responses
+//! `γ₁…γ_pt, β₁…β_pt`. Because the response dimension varies with `pt`,
+//! training is organized **per stage**: one regression per response variable
+//! `γᵢ` (respectively `βᵢ`), trained on every record whose depth is ≥ i,
+//! with the record's depth as the third feature. This reproduces the
+//! correlation structure the paper analyzes in Fig. 5 (each `γᵢOPT`/`βᵢOPT`
+//! against `γ₁OPT(p=1)`, `β₁OPT(p=1)` and `p`).
+//!
+//! The hierarchical variant (§I(d)) augments the features with the optimal
+//! parameters of an intermediate-depth instance.
+
+use linalg::Matrix;
+
+use crate::datagen::ParameterDataset;
+use crate::QaoaError;
+
+/// Which parameter family a table/model targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// Phase-separation parameters γ.
+    Gamma,
+    /// Mixing parameters β.
+    Beta,
+}
+
+impl ParamKind {
+    /// Both kinds, γ first (matching the parameter layout).
+    pub const BOTH: [ParamKind; 2] = [ParamKind::Gamma, ParamKind::Beta];
+}
+
+/// A per-stage training table: features `X` and the single response column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTable {
+    /// Which family the response belongs to.
+    pub kind: ParamKind,
+    /// Stage index `i` (1-based).
+    pub stage: usize,
+    /// Feature rows.
+    pub x: Matrix,
+    /// Response values (`γᵢ` or `βᵢ` at the row's depth).
+    pub y: Vec<f64>,
+}
+
+/// Builds the two-level feature vector `[γ₁(1), β₁(1), pt]`.
+#[must_use]
+pub fn two_level_features(gamma1_p1: f64, beta1_p1: f64, target_depth: usize) -> Vec<f64> {
+    vec![gamma1_p1, beta1_p1, target_depth as f64]
+}
+
+/// Builds the hierarchical feature vector
+/// `[γ₁(1), β₁(1), γ₁(pm), β₁(pm), pm, pt]`, where `pm` is the intermediate
+/// depth whose optimum has been computed.
+#[must_use]
+pub fn hierarchical_features(
+    gamma1_p1: f64,
+    beta1_p1: f64,
+    gamma1_pm: f64,
+    beta1_pm: f64,
+    intermediate_depth: usize,
+    target_depth: usize,
+) -> Vec<f64> {
+    vec![
+        gamma1_p1,
+        beta1_p1,
+        gamma1_pm,
+        beta1_pm,
+        intermediate_depth as f64,
+        target_depth as f64,
+    ]
+}
+
+/// Extracts every per-stage training table from a corpus using the
+/// two-level features.
+///
+/// For stage `i` and kind `k`, rows are all `(graph, depth p ≥ i)` records;
+/// features come from the graph's depth-1 record.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::Parse`] if some graph lacks a depth-1 record (a
+/// corpus invariant violation).
+pub fn two_level_tables(dataset: &ParameterDataset) -> Result<Vec<StageTable>, QaoaError> {
+    let base = depth1_features(dataset)?;
+    let mut tables = Vec::new();
+    for kind in ParamKind::BOTH {
+        for stage in 1..=dataset.max_depth() {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut y = Vec::new();
+            for r in dataset.records() {
+                if r.depth < stage {
+                    continue;
+                }
+                let (g1, b1) = base[r.graph_id];
+                rows.push(two_level_features(g1, b1, r.depth));
+                y.push(match kind {
+                    ParamKind::Gamma => r.gammas[stage - 1],
+                    ParamKind::Beta => r.betas[stage - 1],
+                });
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            let x = Matrix::from_rows(&rows).map_err(|e| QaoaError::Parse {
+                line: 0,
+                message: format!("feature table: {e}"),
+            })?;
+            tables.push(StageTable { kind, stage, x, y });
+        }
+    }
+    Ok(tables)
+}
+
+/// Extracts hierarchical per-stage tables with intermediate depth `pm`.
+///
+/// Rows are restricted to records with `depth > pm` (the regime where the
+/// hierarchical flow is used).
+///
+/// # Errors
+///
+/// Same conditions as [`two_level_tables`]; additionally requires each graph
+/// to carry a depth-`pm` record.
+pub fn hierarchical_tables(
+    dataset: &ParameterDataset,
+    intermediate_depth: usize,
+) -> Result<Vec<StageTable>, QaoaError> {
+    let base = depth1_features(dataset)?;
+    let mid: Vec<(f64, f64)> = (0..dataset.graphs().len())
+        .map(|g| {
+            dataset
+                .record(g, intermediate_depth)
+                .map(|r| (r.gammas[0], r.betas[0]))
+                .ok_or_else(|| QaoaError::Parse {
+                    line: 0,
+                    message: format!("graph {g} lacks a depth-{intermediate_depth} record"),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut tables = Vec::new();
+    for kind in ParamKind::BOTH {
+        for stage in 1..=dataset.max_depth() {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut y = Vec::new();
+            for r in dataset.records() {
+                if r.depth < stage || r.depth <= intermediate_depth {
+                    continue;
+                }
+                let (g1, b1) = base[r.graph_id];
+                let (gm, bm) = mid[r.graph_id];
+                rows.push(hierarchical_features(g1, b1, gm, bm, intermediate_depth, r.depth));
+                y.push(match kind {
+                    ParamKind::Gamma => r.gammas[stage - 1],
+                    ParamKind::Beta => r.betas[stage - 1],
+                });
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            let x = Matrix::from_rows(&rows).map_err(|e| QaoaError::Parse {
+                line: 0,
+                message: format!("feature table: {e}"),
+            })?;
+            tables.push(StageTable { kind, stage, x, y });
+        }
+    }
+    Ok(tables)
+}
+
+fn depth1_features(dataset: &ParameterDataset) -> Result<Vec<(f64, f64)>, QaoaError> {
+    (0..dataset.graphs().len())
+        .map(|g| {
+            dataset
+                .record(g, 1)
+                .map(|r| (r.gammas[0], r.betas[0]))
+                .ok_or_else(|| QaoaError::Parse {
+                    line: 0,
+                    message: format!("graph {g} lacks a depth-1 record"),
+                })
+        })
+        .collect()
+}
+
+/// One Fig. 5 correlation row: `(kind, stage, r_gamma1, r_beta1, r_depth)`.
+pub type CorrelationRow = (ParamKind, usize, f64, f64, f64);
+
+/// The Fig. 5 correlation analysis: Pearson correlation between each
+/// predictor (`γ₁(1)`, `β₁(1)`, `p`) and each response (`γᵢ`, `βᵢ`).
+///
+/// Returns rows `(kind, stage, r_gamma1, r_beta1, r_depth)`.
+///
+/// # Errors
+///
+/// Propagates table-extraction errors; correlation over fewer than two rows
+/// yields zeros rather than an error.
+pub fn predictor_response_correlations(
+    dataset: &ParameterDataset,
+) -> Result<Vec<CorrelationRow>, QaoaError> {
+    let tables = two_level_tables(dataset)?;
+    let mut out = Vec::with_capacity(tables.len());
+    for t in tables {
+        let col = |j: usize| -> Vec<f64> { (0..t.x.rows()).map(|i| t.x.get(i, j)).collect() };
+        let r = |a: &[f64]| ml::metrics::pearson(a, &t.y).unwrap_or(0.0);
+        out.push((t.kind, t.stage, r(&col(0)), r(&col(1)), r(&col(2))));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{DataGenConfig, ParameterDataset};
+
+    fn tiny_dataset() -> ParameterDataset {
+        ParameterDataset::generate(&DataGenConfig {
+            n_graphs: 4,
+            n_nodes: 5,
+            edge_probability: 0.6,
+            max_depth: 3,
+            restarts: 2,
+            seed: 21,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn feature_vectors() {
+        assert_eq!(two_level_features(1.0, 2.0, 4), vec![1.0, 2.0, 4.0]);
+        assert_eq!(
+            hierarchical_features(1.0, 2.0, 3.0, 4.0, 2, 5),
+            vec![1.0, 2.0, 3.0, 4.0, 2.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn table_shapes() {
+        let ds = tiny_dataset();
+        let tables = two_level_tables(&ds).unwrap();
+        // 2 kinds × 3 stages.
+        assert_eq!(tables.len(), 6);
+        for t in &tables {
+            assert_eq!(t.x.cols(), 3);
+            assert_eq!(t.x.rows(), t.y.len());
+            // Stage i uses records of depth >= i: 4 graphs × (3 − i + 1).
+            assert_eq!(t.x.rows(), 4 * (3 - t.stage + 1));
+            // Depth feature within range.
+            for i in 0..t.x.rows() {
+                let d = t.x.get(i, 2);
+                assert!((t.stage as f64..=3.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_depth1_rows_are_identity() {
+        // For stage 1, depth-1 rows have response == first feature (γ case).
+        let ds = tiny_dataset();
+        let tables = two_level_tables(&ds).unwrap();
+        let t = tables
+            .iter()
+            .find(|t| t.kind == ParamKind::Gamma && t.stage == 1)
+            .unwrap();
+        for i in 0..t.x.rows() {
+            if t.x.get(i, 2) == 1.0 {
+                assert!((t.x.get(i, 0) - t.y[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_tables_exclude_shallow_records() {
+        let ds = tiny_dataset();
+        let tables = hierarchical_tables(&ds, 2).unwrap();
+        for t in &tables {
+            assert_eq!(t.x.cols(), 6);
+            for i in 0..t.x.rows() {
+                assert!(t.x.get(i, 5) > 2.0); // target depth > pm
+            }
+        }
+        // Stage tables only exist where depth > pm ≥ stage rows remain.
+        assert!(tables.iter().all(|t| !t.y.is_empty()));
+    }
+
+    #[test]
+    fn correlations_are_bounded() {
+        let ds = tiny_dataset();
+        let rows = predictor_response_correlations(&ds).unwrap();
+        assert_eq!(rows.len(), 6);
+        for (_, _, r1, r2, r3) in rows {
+            for r in [r1, r2, r3] {
+                assert!((-1.0..=1.0).contains(&r), "correlation {r} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Grid scans of the `p = 1` QAOA energy landscape.
+//!
+//! Used by the figure binaries (parameter-trend plots) and by tests that
+//! need the true `p = 1` optimum independently of any local optimizer.
+
+use linalg::Matrix;
+
+use crate::{MaxCutProblem, QaoaAnsatz, QaoaError, BETA_MAX, GAMMA_MAX};
+
+/// A sampled `p = 1` landscape: `values[(i, j)] = ⟨C⟩(γᵢ, βⱼ)`.
+#[derive(Debug, Clone)]
+pub struct P1Landscape {
+    /// Sampled γ values (rows of `values`).
+    pub gammas: Vec<f64>,
+    /// Sampled β values (columns of `values`).
+    pub betas: Vec<f64>,
+    /// Expectation at each grid point.
+    pub values: Matrix,
+}
+
+impl P1Landscape {
+    /// The grid point with the highest expectation, as `(γ, β, ⟨C⟩)`.
+    #[must_use]
+    pub fn argmax(&self) -> (f64, f64, f64) {
+        let mut best = (0usize, 0usize, f64::NEG_INFINITY);
+        for i in 0..self.gammas.len() {
+            for j in 0..self.betas.len() {
+                let v = self.values.get(i, j);
+                if v > best.2 {
+                    best = (i, j, v);
+                }
+            }
+        }
+        (self.gammas[best.0], self.betas[best.1], best.2)
+    }
+}
+
+/// Evaluates `⟨C⟩(γ, β)` on an `n_gamma × n_beta` grid over the paper's
+/// domain `γ ∈ [0, 2π], β ∈ [0, π]`.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::InvalidDepth`] never in practice (depth is fixed at
+/// 1) but propagates ansatz construction errors for API uniformity.
+///
+/// # Example
+///
+/// ```
+/// use graphs::Graph;
+/// use qaoa::{landscape, MaxCutProblem};
+/// # fn main() -> Result<(), qaoa::QaoaError> {
+/// let g = Graph::from_edges(2, &[(0, 1)])?;
+/// let scan = landscape::p1_grid(&MaxCutProblem::new(&g)?, 41, 41)?;
+/// let (gamma, beta, value) = scan.argmax();
+/// // Single edge: optimum ⟨C⟩ = 1 at (π/2, π/8) (and symmetric partners).
+/// assert!(value > 0.99);
+/// assert!(gamma > 0.0 && beta > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn p1_grid(
+    problem: &MaxCutProblem,
+    n_gamma: usize,
+    n_beta: usize,
+) -> Result<P1Landscape, QaoaError> {
+    let ansatz = QaoaAnsatz::new(problem.clone(), 1)?;
+    let gammas: Vec<f64> = (0..n_gamma)
+        .map(|i| GAMMA_MAX * i as f64 / (n_gamma.max(2) - 1) as f64)
+        .collect();
+    let betas: Vec<f64> = (0..n_beta)
+        .map(|j| BETA_MAX * j as f64 / (n_beta.max(2) - 1) as f64)
+        .collect();
+    let mut values = Matrix::zeros(n_gamma, n_beta);
+    for (i, &g) in gammas.iter().enumerate() {
+        for (j, &b) in betas.iter().enumerate() {
+            values.set(i, j, ansatz.expectation(&[g, b])?);
+        }
+    }
+    Ok(P1Landscape {
+        gammas,
+        betas,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{generators, Graph};
+
+    #[test]
+    fn single_edge_landscape_matches_closed_form() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let scan = p1_grid(&MaxCutProblem::new(&g).unwrap(), 21, 21).unwrap();
+        for (i, &gamma) in scan.gammas.iter().enumerate() {
+            for (j, &beta) in scan.betas.iter().enumerate() {
+                let expect = 0.5 * (1.0 + (4.0 * beta).sin() * gamma.sin());
+                assert!((scan.values.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_is_a_grid_maximum() {
+        let scan = p1_grid(&MaxCutProblem::new(&generators::cycle(4)).unwrap(), 25, 25).unwrap();
+        let (_, _, best) = scan.argmax();
+        for i in 0..25 {
+            for j in 0..25 {
+                assert!(scan.values.get(i, j) <= best + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn landscape_is_periodic_in_gamma_for_unweighted_graphs() {
+        // Integer-valued cost: ⟨C⟩(γ=0) = ⟨C⟩(γ=2π).
+        let scan = p1_grid(&MaxCutProblem::new(&generators::cycle(3)).unwrap(), 9, 5).unwrap();
+        for j in 0..5 {
+            assert!((scan.values.get(0, j) - scan.values.get(8, j)).abs() < 1e-10);
+        }
+    }
+}

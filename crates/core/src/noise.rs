@@ -1,0 +1,212 @@
+//! Shot-noise simulation: finite-sample estimation of the QAOA objective.
+//!
+//! The paper evaluates `⟨C⟩` exactly (state-vector simulation). On real
+//! NISQ hardware every "QC call" estimates the expectation from a finite
+//! number of measurement shots, which turns the objective into a noisy
+//! function and stresses the classical optimizer — the regime the paper's
+//! ML initialization is ultimately aimed at (fewer calls of an *expensive,
+//! noisy* resource). This module provides that estimator so the two-level
+//! flow can be studied under realistic sampling noise.
+//!
+//! # Example
+//!
+//! ```
+//! use graphs::generators;
+//! use qaoa::{noise::ShotEstimator, MaxCutProblem, QaoaAnsatz};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), qaoa::QaoaError> {
+//! let problem = MaxCutProblem::new(&generators::cycle(4))?;
+//! let ansatz = QaoaAnsatz::new(problem, 1)?;
+//! let rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let estimator = ShotEstimator::new(ansatz, 1024, rng);
+//! let exact = estimator.ansatz().expectation(&[0.7, 0.4])?;
+//! let noisy = estimator.estimate(&[0.7, 0.4])?;
+//! assert!((noisy - exact).abs() < 0.5); // within sampling error
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+
+use crate::{QaoaAnsatz, QaoaError};
+
+/// Estimates `⟨C⟩` from projective measurements instead of the exact state.
+///
+/// Each [`ShotEstimator::estimate`] call prepares `|ψ(γ, β)⟩`, draws
+/// `shots` computational-basis samples from the Born distribution and
+/// averages the cut values — exactly what one optimization-loop iteration
+/// costs on hardware. The estimator is deterministic for a given RNG seed.
+///
+/// Interior mutability keeps the estimator usable through the
+/// `&dyn Fn(&[f64]) -> f64` objective interface of the optimizers.
+#[derive(Debug)]
+pub struct ShotEstimator {
+    ansatz: QaoaAnsatz,
+    shots: usize,
+    rng: RefCell<StdRng>,
+}
+
+impl ShotEstimator {
+    /// Wraps an ansatz with a per-call shot budget and RNG.
+    #[must_use]
+    pub fn new(ansatz: QaoaAnsatz, shots: usize, rng: StdRng) -> Self {
+        Self {
+            ansatz,
+            shots,
+            rng: RefCell::new(rng),
+        }
+    }
+
+    /// The wrapped ansatz.
+    #[must_use]
+    pub fn ansatz(&self) -> &QaoaAnsatz {
+        &self.ansatz
+    }
+
+    /// Shots per estimate.
+    #[must_use]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// One noisy objective evaluation (one simulated QC call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::ParameterCount`] on a parameter-length mismatch.
+    pub fn estimate(&self, params: &[f64]) -> Result<f64, QaoaError> {
+        let state = self.ansatz.state_fast(params)?;
+        let diag = self.ansatz.problem().cost().diagonal();
+        let mut rng = self.rng.borrow_mut();
+        let samples = qsim::sample_indices(&state, self.shots, &mut *rng);
+        if samples.is_empty() {
+            // Zero shots: fall back to the exact value (degenerate budget).
+            return self.ansatz.expectation(params);
+        }
+        Ok(samples.iter().map(|&z| diag[z]).sum::<f64>() / samples.len() as f64)
+    }
+
+    /// The best cut value observed among `shots` fresh samples at `params` —
+    /// the quantity a practitioner reads out after optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::ParameterCount`] on a parameter-length mismatch.
+    pub fn best_sampled_cut(&self, params: &[f64]) -> Result<f64, QaoaError> {
+        let state = self.ansatz.state_fast(params)?;
+        let diag = self.ansatz.problem().cost().diagonal();
+        let mut rng = self.rng.borrow_mut();
+        let samples = qsim::sample_indices(&state, self.shots, &mut *rng);
+        Ok(samples
+            .iter()
+            .map(|&z| diag[z])
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaxCutProblem;
+    use graphs::generators;
+    use rand::SeedableRng;
+
+    fn estimator(shots: usize, seed: u64) -> ShotEstimator {
+        let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
+        let ansatz = QaoaAnsatz::new(problem, 1).unwrap();
+        ShotEstimator::new(ansatz, shots, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn estimate_converges_with_shots() {
+        let params = [0.9, 0.35];
+        let exact = estimator(1, 0).ansatz().expectation(&params).unwrap();
+        // Error shrinks roughly as 1/sqrt(shots): compare budgets.
+        let mut coarse_err = 0.0;
+        let mut fine_err = 0.0;
+        for seed in 0..10 {
+            coarse_err += (estimator(32, seed).estimate(&params).unwrap() - exact).abs();
+            fine_err += (estimator(4096, seed).estimate(&params).unwrap() - exact).abs();
+        }
+        assert!(
+            fine_err < coarse_err,
+            "4096-shot error {fine_err} should beat 32-shot error {coarse_err}"
+        );
+        assert!(fine_err / 10.0 < 0.2);
+    }
+
+    #[test]
+    fn estimate_is_unbiased_in_aggregate() {
+        let params = [1.2, 0.5];
+        let exact = estimator(1, 0).ansatz().expectation(&params).unwrap();
+        let mean: f64 = (0..40)
+            .map(|seed| estimator(256, seed).estimate(&params).unwrap())
+            .sum::<f64>()
+            / 40.0;
+        assert!((mean - exact).abs() < 0.1, "{mean} vs {exact}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = [0.4, 0.2];
+        let a = estimator(128, 7).estimate(&params).unwrap();
+        let b = estimator(128, 7).estimate(&params).unwrap();
+        assert_eq!(a, b);
+        // Consecutive calls consume RNG state (fresh shots every call).
+        let e = estimator(128, 7);
+        let first = e.estimate(&params).unwrap();
+        let second = e.estimate(&params).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn zero_shots_falls_back_to_exact() {
+        let params = [0.4, 0.2];
+        let e = estimator(0, 3);
+        let exact = e.ansatz().expectation(&params).unwrap();
+        assert_eq!(e.estimate(&params).unwrap(), exact);
+    }
+
+    #[test]
+    fn best_sampled_cut_bounded_by_optimum() {
+        let e = estimator(512, 11);
+        let best = e.best_sampled_cut(&[0.9, 0.35]).unwrap();
+        assert!(best <= e.ansatz().problem().optimal_cut() + 1e-12);
+        assert!(best >= 0.0);
+    }
+
+    #[test]
+    fn parameter_errors_propagate() {
+        let e = estimator(16, 0);
+        assert!(matches!(
+            e.estimate(&[0.1]),
+            Err(QaoaError::ParameterCount { .. })
+        ));
+        assert!(e.best_sampled_cut(&[0.1, 0.2, 0.3]).is_err());
+    }
+
+    #[test]
+    fn optimizer_runs_on_noisy_objective() {
+        // Nelder-Mead (noise-tolerant) still improves the objective through
+        // the shot estimator.
+        use optimize::{NelderMead, Optimizer, Options};
+        let e = estimator(2048, 21);
+        let objective = |x: &[f64]| -e.estimate(x).expect("valid params");
+        let bounds = crate::parameter_bounds(1).unwrap();
+        let start = [2.0, 1.0];
+        let f0 = e.ansatz().expectation(&start).unwrap();
+        let result = NelderMead::default()
+            .minimize(
+                &objective,
+                &start,
+                &bounds,
+                &Options::default().with_max_iters(100),
+            )
+            .unwrap();
+        let f1 = e.ansatz().expectation(&result.x).unwrap();
+        assert!(f1 > f0, "noisy optimization should still improve: {f0} -> {f1}");
+    }
+}

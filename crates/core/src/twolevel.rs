@@ -1,0 +1,290 @@
+use optimize::{Optimizer, Options};
+use rand::Rng;
+
+use crate::{MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance};
+
+/// Configuration of the two-level flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelConfig {
+    /// Random initializations for the level-1 (`p = 1`) optimization.
+    /// The paper treats level 1 as a single cheap random-init run; raise
+    /// this for a more robust (but costlier) depth-1 optimum.
+    pub level1_starts: usize,
+    /// Optimizer options for both levels (paper: ftol 1e-6).
+    pub options: Options,
+}
+
+impl Default for TwoLevelConfig {
+    fn default() -> Self {
+        Self {
+            level1_starts: 1,
+            options: Options::default(),
+        }
+    }
+}
+
+/// Outcome of one two-level run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelOutcome {
+    /// Final parameters at the target depth.
+    pub params: Vec<f64>,
+    /// Final expectation `⟨C⟩`.
+    pub expectation: f64,
+    /// Final approximation ratio.
+    pub approximation_ratio: f64,
+    /// Function calls spent on level 1 (`p = 1`, random init).
+    pub level1_calls: usize,
+    /// Function calls spent on intermediate levels (hierarchical runs only).
+    pub intermediate_calls: usize,
+    /// Function calls spent on level 2 (target depth, ML init).
+    pub level2_calls: usize,
+    /// The ML-predicted initial parameters that seeded level 2.
+    pub predicted_init: Vec<f64>,
+}
+
+impl TwoLevelOutcome {
+    /// Total function calls — the paper's cost metric for the proposed flow
+    /// (level-1 + intermediate + level-2 calls).
+    #[must_use]
+    pub fn total_calls(&self) -> usize {
+        self.level1_calls + self.intermediate_calls + self.level2_calls
+    }
+}
+
+/// The proposed two-level QAOA implementation flow (Fig. 4).
+///
+/// Level 1 optimizes the cheap `p = 1` instance from random initialization;
+/// the trained [`ParameterPredictor`] maps `(γ₁OPT, β₁OPT, pt)` to tuned
+/// initial parameters; level 2 runs the target-depth instance from that
+/// initialization with a local optimizer.
+///
+/// # Example
+///
+/// ```no_run
+/// use graphs::generators;
+/// use ml::ModelKind;
+/// use optimize::Lbfgsb;
+/// use qaoa::datagen::{DataGenConfig, ParameterDataset};
+/// use qaoa::{MaxCutProblem, ParameterPredictor, TwoLevelConfig, TwoLevelFlow};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), qaoa::QaoaError> {
+/// let corpus = ParameterDataset::generate(&DataGenConfig::quick())?;
+/// let predictor = ParameterPredictor::train(ModelKind::Gpr, &corpus)?;
+/// let flow = TwoLevelFlow::new(&predictor);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let problem = MaxCutProblem::new(&generators::cycle(6))?;
+/// let out = flow.run(&problem, 3, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng)?;
+/// assert!(out.total_calls() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelFlow<'a> {
+    predictor: &'a ParameterPredictor,
+}
+
+impl<'a> TwoLevelFlow<'a> {
+    /// Wraps a trained predictor.
+    #[must_use]
+    pub fn new(predictor: &'a ParameterPredictor) -> Self {
+        Self { predictor }
+    }
+
+    /// The wrapped predictor.
+    #[must_use]
+    pub fn predictor(&self) -> &ParameterPredictor {
+        self.predictor
+    }
+
+    /// Runs the two-level flow for `problem` at `target_depth`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QaoaError::InvalidDepth`] if the target depth exceeds the
+    ///   predictor's training depth.
+    /// * Instance/optimizer errors from either level.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        problem: &MaxCutProblem,
+        target_depth: usize,
+        optimizer: &dyn Optimizer,
+        config: &TwoLevelConfig,
+        rng: &mut R,
+    ) -> Result<TwoLevelOutcome, QaoaError> {
+        // Level 1: cheap p = 1 optimization from random init.
+        let level1 = QaoaInstance::new(problem.clone(), 1)?;
+        let l1 = level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
+
+        // Predict tuned initial parameters for the target depth. The level-1
+        // optimum is folded into the canonical symmetry domain first, so it
+        // matches the corpus the predictor was trained on.
+        let l1_canon = crate::canonical::canonicalize_packed(&l1.params);
+        let init = self
+            .predictor
+            .predict(l1_canon[0], l1_canon[1], target_depth)?;
+
+        // Level 2: target-depth optimization from the ML initialization.
+        let level2 = QaoaInstance::new(problem.clone(), target_depth)?;
+        let l2 = level2.optimize(optimizer, &init, &config.options)?;
+
+        Ok(TwoLevelOutcome {
+            params: l2.params,
+            expectation: l2.expectation,
+            approximation_ratio: l2.approximation_ratio,
+            level1_calls: l1.function_calls,
+            intermediate_calls: 0,
+            level2_calls: l2.function_calls,
+            predicted_init: init,
+        })
+    }
+
+    /// Runs the hierarchical variant (§I(d)): level 1 at `p = 1`, an
+    /// intermediate optimization at the predictor's intermediate depth
+    /// (itself ML-initialized through a two-level companion predictor), then
+    /// the target depth seeded by the hierarchical predictor.
+    ///
+    /// `two_level` supplies the intermediate initialization; `self` must be
+    /// a hierarchical predictor.
+    ///
+    /// # Errors
+    ///
+    /// * [`QaoaError::Ml`] if `self` is not hierarchical.
+    /// * Depth/instance/optimizer errors from any level.
+    pub fn run_hierarchical<R: Rng + ?Sized>(
+        &self,
+        two_level: &ParameterPredictor,
+        problem: &MaxCutProblem,
+        target_depth: usize,
+        optimizer: &dyn Optimizer,
+        config: &TwoLevelConfig,
+        rng: &mut R,
+    ) -> Result<TwoLevelOutcome, QaoaError> {
+        let Some(pm) = self.predictor.intermediate_depth() else {
+            return Err(QaoaError::Ml(ml::MlError::ShapeMismatch {
+                expected: 6,
+                actual: 3,
+                what: "features (run_hierarchical needs a hierarchical predictor)",
+            }));
+        };
+
+        // Level 1.
+        let level1 = QaoaInstance::new(problem.clone(), 1)?;
+        let l1 = level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
+
+        // Intermediate level at pm, ML-initialized via the two-level model.
+        let l1_canon = crate::canonical::canonicalize_packed(&l1.params);
+        let mid_init = two_level.predict(l1_canon[0], l1_canon[1], pm)?;
+        let mid_instance = QaoaInstance::new(problem.clone(), pm)?;
+        let mid = mid_instance.optimize(optimizer, &mid_init, &config.options)?;
+        let mid_canon = crate::canonical::canonicalize_packed(&mid.params);
+
+        // Target level with hierarchical features.
+        let init = self.predictor.predict_hierarchical(
+            l1_canon[0],
+            l1_canon[1],
+            mid_canon[0],
+            mid_canon[pm],
+            target_depth,
+        )?;
+        let level2 = QaoaInstance::new(problem.clone(), target_depth)?;
+        let l2 = level2.optimize(optimizer, &init, &config.options)?;
+
+        Ok(TwoLevelOutcome {
+            params: l2.params,
+            expectation: l2.expectation,
+            approximation_ratio: l2.approximation_ratio,
+            level1_calls: l1.function_calls,
+            intermediate_calls: mid.function_calls,
+            level2_calls: l2.function_calls,
+            predicted_init: init,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{DataGenConfig, ParameterDataset};
+    use graphs::generators;
+    use ml::ModelKind;
+    use optimize::Lbfgsb;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> ParameterDataset {
+        ParameterDataset::generate(&DataGenConfig {
+            n_graphs: 6,
+            n_nodes: 5,
+            edge_probability: 0.6,
+            max_depth: 3,
+            restarts: 3,
+            seed: 5,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn two_level_produces_valid_outcome() {
+        let ds = corpus();
+        let predictor = ParameterPredictor::train(ModelKind::Linear, &ds).unwrap();
+        let flow = TwoLevelFlow::new(&predictor);
+        let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = flow
+            .run(&problem, 2, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng)
+            .unwrap();
+        assert_eq!(out.params.len(), 4);
+        assert_eq!(out.predicted_init.len(), 4);
+        assert!(out.level1_calls > 0);
+        assert!(out.level2_calls > 0);
+        assert_eq!(out.intermediate_calls, 0);
+        assert_eq!(out.total_calls(), out.level1_calls + out.level2_calls);
+        assert!(out.approximation_ratio > 0.6);
+        assert!((0.0..=1.0 + 1e-9).contains(&out.approximation_ratio));
+    }
+
+    #[test]
+    fn target_depth_beyond_training_rejected() {
+        let ds = corpus();
+        let predictor = ParameterPredictor::train(ModelKind::Linear, &ds).unwrap();
+        let flow = TwoLevelFlow::new(&predictor);
+        let problem = MaxCutProblem::new(&generators::cycle(4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            flow.run(&problem, 9, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng),
+            Err(QaoaError::InvalidDepth { depth: 9 })
+        ));
+    }
+
+    #[test]
+    fn hierarchical_run_accumulates_intermediate_cost() {
+        let ds = corpus();
+        let two_level = ParameterPredictor::train(ModelKind::Linear, &ds).unwrap();
+        let hier = ParameterPredictor::train_hierarchical(ModelKind::Linear, &ds, 2).unwrap();
+        let flow = TwoLevelFlow::new(&hier);
+        let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = flow
+            .run_hierarchical(
+                &two_level,
+                &problem,
+                3,
+                &Lbfgsb::default(),
+                &TwoLevelConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(out.intermediate_calls > 0);
+        assert_eq!(
+            out.total_calls(),
+            out.level1_calls + out.intermediate_calls + out.level2_calls
+        );
+        // Running the plain entry point with a hierarchical predictor fails.
+        assert!(flow
+            .run(&problem, 3, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for graph construction and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge referenced a node index `>= n_nodes`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n_nodes: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; simple graphs only.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// A `d`-regular graph with these parameters does not exist
+    /// (`n * d` must be even and `d < n`).
+    InvalidRegularParams {
+        /// Requested node count.
+        n_nodes: usize,
+        /// Requested degree.
+        degree: usize,
+    },
+    /// The pairing-model sampler failed to produce a simple regular graph
+    /// within its retry budget (astronomically unlikely for the sizes used
+    /// here, but surfaced rather than looping forever).
+    GenerationFailed {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n_nodes } => {
+                write!(f, "node {node} out of range for graph with {n_nodes} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} not allowed"),
+            GraphError::InvalidRegularParams { n_nodes, degree } => write!(
+                f,
+                "no {degree}-regular graph on {n_nodes} nodes exists (need n*d even and d < n)"
+            ),
+            GraphError::GenerationFailed { attempts } => {
+                write!(f, "random regular graph generation failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(GraphError::NodeOutOfRange { node: 9, n_nodes: 4 }
+            .to_string()
+            .contains("node 9"));
+        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains("self-loop"));
+        assert!(GraphError::InvalidRegularParams {
+            n_nodes: 5,
+            degree: 3
+        }
+        .to_string()
+        .contains("3-regular"));
+        assert!(GraphError::GenerationFailed { attempts: 10 }
+            .to_string()
+            .contains("10 attempts"));
+    }
+}

@@ -1,0 +1,152 @@
+use crate::Graph;
+
+/// Exact MaxCut solver and its result.
+///
+/// QAOA's quality metric — the approximation ratio `AR = ⟨C⟩ / C_max` — needs
+/// the true optimum `C_max`. For the 8-node instances of the paper an
+/// exhaustive scan over `2^{n-1}` assignments is instantaneous; the solver
+/// supports up to 26 nodes before the scan becomes unreasonable.
+pub struct MaxCut;
+
+/// The result of an exact MaxCut computation.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators, MaxCut};
+/// let square = generators::cycle(4);
+/// let best = MaxCut::solve(&square);
+/// assert_eq!(best.value(), 4.0); // even cycles are bipartite
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutSolution {
+    assignment: usize,
+    value: f64,
+    n_nodes: usize,
+}
+
+impl CutSolution {
+    /// The optimal cut weight `C_max`.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// One optimal assignment as a bitmask (bit `k` = partition of node `k`).
+    /// By convention node 0 is always on side 0.
+    #[must_use]
+    pub fn assignment(&self) -> usize {
+        self.assignment
+    }
+
+    /// The optimal assignment as a boolean vector.
+    #[must_use]
+    pub fn partition(&self) -> Vec<bool> {
+        (0..self.n_nodes)
+            .map(|k| (self.assignment >> k) & 1 == 1)
+            .collect()
+    }
+}
+
+impl MaxCut {
+    /// Maximum node count accepted by [`MaxCut::solve`].
+    pub const MAX_NODES: usize = 26;
+
+    /// Finds the maximum cut by exhaustive search over `2^{n-1}` assignments
+    /// (the global Z₂ flip symmetry halves the space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than [`MaxCut::MAX_NODES`] nodes.
+    #[must_use]
+    pub fn solve(graph: &Graph) -> CutSolution {
+        let n = graph.n_nodes();
+        assert!(
+            n <= Self::MAX_NODES,
+            "exhaustive MaxCut limited to {} nodes",
+            Self::MAX_NODES
+        );
+        if n == 0 {
+            return CutSolution {
+                assignment: 0,
+                value: 0.0,
+                n_nodes: 0,
+            };
+        }
+        let half = 1usize << (n - 1); // fix node n-1 on side 0
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for z in 0..half {
+            let v = graph.cut_value(z);
+            if v > best.1 {
+                best = (z, v);
+            }
+        }
+        CutSolution {
+            assignment: best.0,
+            value: best.1,
+            n_nodes: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_optima() {
+        // Bipartite graphs cut every edge.
+        assert_eq!(MaxCut::solve(&generators::path(6)).value(), 5.0);
+        assert_eq!(MaxCut::solve(&generators::star(7)).value(), 6.0);
+        assert_eq!(MaxCut::solve(&generators::cycle(6)).value(), 6.0);
+        // Odd cycle loses exactly one edge.
+        assert_eq!(MaxCut::solve(&generators::cycle(5)).value(), 4.0);
+        // K4: best cut is 2+2 -> 4 edges.
+        assert_eq!(MaxCut::solve(&generators::complete(4)).value(), 4.0);
+        // K5: best cut is 2+3 -> 6 edges.
+        assert_eq!(MaxCut::solve(&generators::complete(5)).value(), 6.0);
+    }
+
+    #[test]
+    fn assignment_achieves_reported_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi(7, 0.5, &mut rng);
+            let sol = MaxCut::solve(&g);
+            assert_eq!(g.cut_value(sol.assignment()), sol.value());
+            // No assignment can beat it (full brute-force double check).
+            for z in 0..(1usize << 7) {
+                assert!(g.cut_value(z) <= sol.value() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_graph() {
+        let mut g = Graph::new(3);
+        g.add_weighted_edge(0, 1, 5.0).unwrap();
+        g.add_weighted_edge(1, 2, 1.0).unwrap();
+        g.add_weighted_edge(0, 2, 1.0).unwrap();
+        // Isolating node 1 cuts weight 6; isolating node 0 also cuts 6.
+        assert_eq!(MaxCut::solve(&g).value(), 6.0);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(MaxCut::solve(&Graph::new(0)).value(), 0.0);
+        assert_eq!(MaxCut::solve(&Graph::new(4)).value(), 0.0);
+        assert_eq!(MaxCut::solve(&Graph::new(4)).partition(), vec![false; 4]);
+    }
+
+    #[test]
+    fn partition_matches_assignment() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let sol = MaxCut::solve(&g);
+        assert_eq!(sol.value(), 1.0);
+        let p = sol.partition();
+        assert_ne!(p[0], p[1]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Spectral graph analysis: Laplacian spectra and derived quantities.
+//!
+//! MaxCut has a classic spectral story — the maximum cut is upper-bounded
+//! by `n·λ_max(L)/4` (Mohar–Poljak), and the algebraic connectivity `λ₂`
+//! measures how "well-knit" the graph is. These quantities extend the
+//! structural feature set available to graph-aware predictors and give
+//! tests an independent certificate for the exact MaxCut solver.
+
+use linalg::{Matrix, SymmetricEigen};
+
+use crate::Graph;
+
+/// The weighted graph Laplacian `L = D − W` as a dense matrix.
+///
+/// ```
+/// let g = graphs::generators::path(3);
+/// let l = graphs::spectral::laplacian(&g);
+/// assert_eq!(l.get(0, 0), 1.0);
+/// assert_eq!(l.get(1, 1), 2.0);
+/// assert_eq!(l.get(0, 1), -1.0);
+/// ```
+#[must_use]
+pub fn laplacian(graph: &Graph) -> Matrix {
+    let n = graph.n_nodes();
+    let mut l = Matrix::zeros(n, n);
+    for e in graph.edges() {
+        l.set(e.u, e.v, l.get(e.u, e.v) - e.weight);
+        l.set(e.v, e.u, l.get(e.v, e.u) - e.weight);
+        l.set(e.u, e.u, l.get(e.u, e.u) + e.weight);
+        l.set(e.v, e.v, l.get(e.v, e.v) + e.weight);
+    }
+    l
+}
+
+/// All Laplacian eigenvalues in ascending order (the *Laplacian spectrum*).
+///
+/// The smallest eigenvalue of any Laplacian is 0 (constant vector); the
+/// multiplicity of 0 equals the number of connected components.
+///
+/// Returns an empty vector for the empty graph.
+///
+/// # Panics
+///
+/// Panics if the Jacobi eigensolver rejects the Laplacian — impossible for
+/// matrices produced by [`laplacian`], which are symmetric by construction.
+#[must_use]
+pub fn laplacian_spectrum(graph: &Graph) -> Vec<f64> {
+    if graph.n_nodes() == 0 {
+        return Vec::new();
+    }
+    let l = laplacian(graph);
+    SymmetricEigen::new(&l)
+        .expect("graph Laplacians are symmetric")
+        .eigenvalues()
+        .to_vec()
+}
+
+/// Algebraic connectivity `λ₂(L)` (Fiedler value): positive iff the graph
+/// is connected, larger for better-connected graphs.
+///
+/// Returns `0.0` for graphs with fewer than two nodes.
+///
+/// ```
+/// let path = graphs::generators::path(6);
+/// let complete = graphs::generators::complete(6);
+/// let a = graphs::spectral::algebraic_connectivity(&path);
+/// let b = graphs::spectral::algebraic_connectivity(&complete);
+/// assert!(0.0 < a && a < b);
+/// assert!((b - 6.0).abs() < 1e-9); // λ₂(K_n) = n
+/// ```
+#[must_use]
+pub fn algebraic_connectivity(graph: &Graph) -> f64 {
+    let spectrum = laplacian_spectrum(graph);
+    spectrum.get(1).copied().unwrap_or(0.0)
+}
+
+/// The Mohar–Poljak spectral upper bound on the maximum cut:
+/// `maxcut(G) ≤ n·λ_max(L)/4`.
+///
+/// Used in tests as an independent certificate for the exhaustive MaxCut
+/// solver, and available as a normalizing feature for predictors.
+///
+/// ```
+/// use graphs::{generators, spectral, MaxCut};
+/// let g = generators::complete(6);
+/// let exact = MaxCut::solve(&g).value();
+/// assert!(exact <= spectral::maxcut_upper_bound(&g) + 1e-9);
+/// ```
+#[must_use]
+pub fn maxcut_upper_bound(graph: &Graph) -> f64 {
+    let spectrum = laplacian_spectrum(graph);
+    let lambda_max = spectrum.last().copied().unwrap_or(0.0);
+    graph.n_nodes() as f64 * lambda_max / 4.0
+}
+
+/// Number of connected components, read off the multiplicity of the zero
+/// Laplacian eigenvalue.
+///
+/// ```
+/// let mut g = graphs::Graph::new(5);
+/// g.add_edge(0, 1).unwrap();
+/// g.add_edge(2, 3).unwrap();
+/// assert_eq!(graphs::spectral::component_count(&g), 3); // {0,1} {2,3} {4}
+/// ```
+#[must_use]
+pub fn component_count(graph: &Graph) -> usize {
+    laplacian_spectrum(graph)
+        .iter()
+        .filter(|&&l| l.abs() < 1e-9)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, MaxCut};
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = generators::erdos_renyi_nonempty(
+            7,
+            0.5,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4),
+        );
+        let l = laplacian(&g);
+        for i in 0..7 {
+            let row_sum: f64 = (0..7).map(|j| l.get(i, j)).sum();
+            assert!(row_sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_spectra() {
+        // K_n: one zero then n with multiplicity n-1.
+        let spectrum = laplacian_spectrum(&generators::complete(5));
+        assert!(spectrum[0].abs() < 1e-10);
+        for &l in &spectrum[1..] {
+            assert!((l - 5.0).abs() < 1e-9);
+        }
+        // C_n: eigenvalues 2 − 2cos(2πk/n).
+        let spectrum = laplacian_spectrum(&generators::cycle(6));
+        let mut expected: Vec<f64> = (0..6)
+            .map(|k| 2.0 - 2.0 * (2.0 * std::f64::consts::PI * k as f64 / 6.0).cos())
+            .collect();
+        expected.sort_by(f64::total_cmp);
+        for (a, b) in spectrum.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn connectivity_ordering() {
+        let path = algebraic_connectivity(&generators::path(8));
+        let cycle = algebraic_connectivity(&generators::cycle(8));
+        let complete = algebraic_connectivity(&generators::complete(8));
+        assert!(0.0 < path && path < cycle && cycle < complete);
+        // Disconnected graph: λ₂ = 0.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        assert!(algebraic_connectivity(&g).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_bound_certifies_exact_solver() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        for _ in 0..10 {
+            let g = generators::erdos_renyi_nonempty(8, 0.5, &mut rng);
+            let exact = MaxCut::solve(&g).value();
+            let bound = maxcut_upper_bound(&g);
+            assert!(exact <= bound + 1e-9, "exact {exact} > bound {bound}");
+            // The bound is reasonably tight on small dense graphs.
+            assert!(exact >= 0.5 * bound, "exact {exact} << bound {bound}");
+        }
+    }
+
+    #[test]
+    fn weighted_laplacian() {
+        let mut g = Graph::new(2);
+        g.add_weighted_edge(0, 1, 2.5).unwrap();
+        let spectrum = laplacian_spectrum(&g);
+        assert!(spectrum[0].abs() < 1e-12);
+        assert!((spectrum[1] - 5.0).abs() < 1e-12); // λ_max = 2w
+    }
+
+    #[test]
+    fn component_counts() {
+        assert_eq!(component_count(&generators::complete(4)), 1);
+        assert_eq!(component_count(&Graph::new(3)), 3);
+        assert_eq!(component_count(&generators::barbell(3)), 1);
+        let spectrum = laplacian_spectrum(&Graph::new(0));
+        assert!(spectrum.is_empty());
+        assert_eq!(component_count(&Graph::new(0)), 0);
+    }
+}

@@ -1,0 +1,251 @@
+use crate::{LinalgError, Matrix};
+
+/// Eigendecomposition of a real symmetric matrix by the cyclic Jacobi
+/// rotation method.
+///
+/// Jacobi iterates plane rotations that zero one off-diagonal pair at a
+/// time; for the small dense matrices in this workspace (graph Laplacians
+/// of ≤ 26-node problems, GPR kernel matrices of a few hundred rows) it is
+/// simple, unconditionally stable and accurate to machine precision.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, SymmetricEigen};
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymmetricEigen::new(&a)?;
+/// // Eigenvalues of [[2,1],[1,2]] are 1 and 3, ascending.
+/// assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-12);
+/// assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Column `j` is the eigenvector of `eigenvalues[j]`.
+    eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes `a`, which must be square and symmetric (asymmetry up to
+    /// `1e-9` in max norm is tolerated and symmetrized away).
+    ///
+    /// Eigenvalues are returned in ascending order with matching
+    /// eigenvector columns.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for a rectangular input.
+    /// * [`LinalgError::ShapeMismatch`] if `a` is materially asymmetric.
+    /// * [`LinalgError::Empty`] for a 0×0 input.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if a.asymmetry() > 1e-9 {
+            return Err(LinalgError::ShapeMismatch {
+                op: "symmetric eigendecomposition of an asymmetric matrix",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+
+        // Work on the symmetrized copy.
+        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+        let mut v = Matrix::identity(n);
+
+        const MAX_SWEEPS: usize = 100;
+        for _ in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off = off.max(m.get(i, j).abs());
+                }
+            }
+            if off < 1e-14 {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m.get(p, q);
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let aqq = m.get(q, q);
+                    // Rotation angle zeroing (p, q).
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+
+                    // Apply Jᵀ M J on rows/cols p and q.
+                    for k in 0..n {
+                        let mkp = m.get(k, p);
+                        let mkq = m.get(k, q);
+                        m.set(k, p, c * mkp - s * mkq);
+                        m.set(k, q, s * mkp + c * mkq);
+                    }
+                    for k in 0..n {
+                        let mpk = m.get(p, k);
+                        let mqk = m.get(q, k);
+                        m.set(p, k, c * mpk - s * mqk);
+                        m.set(q, k, s * mpk + c * mqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+
+        // Sort ascending, permuting eigenvector columns along.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+        order.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let eigenvectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+
+        Ok(Self {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in ascending order.
+    #[must_use]
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvector matrix; column `j` pairs with `eigenvalues()[j]`.
+    #[must_use]
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Problem dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Max-norm residual `‖A V − V Λ‖` against the original matrix
+    /// (diagnostic; ≈ 1e-13 for well-scaled inputs).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `a` has the wrong dimension.
+    pub fn residual(&self, a: &Matrix) -> Result<f64, LinalgError> {
+        let n = self.dim();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "eigen residual",
+                lhs: a.shape(),
+                rhs: (n, n),
+            });
+        }
+        let av = a.matmul(&self.eigenvectors)?;
+        let mut dev = 0.0_f64;
+        for i in 0..n {
+            for j in 0..n {
+                let vl = self.eigenvectors.get(i, j) * self.eigenvalues[j];
+                dev = dev.max((av.get(i, j) - vl).abs());
+            }
+        }
+        Ok(dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues(), &[-1.0, 3.0]);
+        assert!(e.residual(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues()[1] - 3.0).abs() < 1e-12);
+        // Eigenvectors are (1,-1)/√2 and (1,1)/√2 up to sign.
+        let v0 = (e.eigenvectors().get(0, 0), e.eigenvectors().get(1, 0));
+        assert!((v0.0 + v0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_and_orthonormality_preserved() {
+        // A fixed 5x5 symmetric matrix.
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            let (i, j) = (i as f64, j as f64);
+            (i + 1.0) * (j + 1.0) / 5.0 + if i == j { 2.0 } else { 0.0 }
+        });
+        let e = SymmetricEigen::new(&a).unwrap();
+        let trace: f64 = (0..5).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+        assert!(e.residual(&a).unwrap() < 1e-10);
+        // VᵀV = I.
+        let vtv = e.eigenvectors().transpose().matmul(e.eigenvectors()).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ascending_order() {
+        let a = Matrix::from_fn(6, 6, |i, j| if i == j { (6 - i) as f64 } else { 0.1 });
+        let e = SymmetricEigen::new(&a).unwrap();
+        for w in e.eigenvalues().windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn errors() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            SymmetricEigen::new(&rect),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let asym = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&asym),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let empty = Matrix::zeros(0, 0);
+        assert!(SymmetricEigen::new(&empty).is_err());
+        // Residual dimension check.
+        let a = Matrix::identity(2);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!(e.residual(&Matrix::identity(3)).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[7.5]]).unwrap();
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(e.eigenvalues(), &[7.5]);
+        assert_eq!(e.eigenvectors().get(0, 0).abs(), 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// ```
+/// use linalg::{LinalgError, Matrix};
+/// let err = Matrix::from_rows(&[&[1.0][..], &[1.0, 2.0][..]]).unwrap_err();
+/// assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the offending operation.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A factorization required a square matrix but got a rectangular one.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// Cholesky failed: the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that became non-positive.
+        pivot: usize,
+    },
+    /// A solver hit an (exactly or numerically) singular pivot.
+    Singular {
+        /// Index of the singular pivot.
+        pivot: usize,
+    },
+    /// A matrix with zero rows or columns was passed where data is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite at pivot {pivot}")
+            }
+            LinalgError::Singular { pivot } => write!(f, "matrix is singular at pivot {pivot}"),
+            LinalgError::Empty => write!(f, "matrix has no data"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: 2x3 vs 4x5");
+        assert_eq!(
+            LinalgError::NotSquare { shape: (2, 3) }.to_string(),
+            "matrix is not square: 2x3"
+        );
+        assert_eq!(
+            LinalgError::NotPositiveDefinite { pivot: 1 }.to_string(),
+            "matrix is not positive definite at pivot 1"
+        );
+        assert_eq!(
+            LinalgError::Singular { pivot: 0 }.to_string(),
+            "matrix is singular at pivot 0"
+        );
+        assert_eq!(LinalgError::Empty.to_string(), "matrix has no data");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

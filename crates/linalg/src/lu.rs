@@ -1,0 +1,186 @@
+use crate::{LinalgError, Matrix, Vector};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// General-purpose square solver used where symmetry cannot be guaranteed
+/// (e.g. the KKT-style systems assembled by the SLSQP optimizer's QP
+/// subproblem).
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, Vector};
+/// # fn main() -> Result<(), linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = a.lu()?;
+/// let x = lu.solve(&Vector::from(vec![2.0, 2.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lu {
+    /// Packed L (unit diagonal, below) and U (on and above the diagonal).
+    packed: Matrix,
+    /// Row permutation: row `i` of the factor came from row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Singular`] if no usable pivot exists in some column.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut m = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let (mut pivot_row, mut pivot_val) = (k, m.get(k, k).abs());
+            for i in (k + 1)..n {
+                let v = m.get(i, k).abs();
+                if v > pivot_val {
+                    pivot_row = i;
+                    pivot_val = v;
+                }
+            }
+            if pivot_val < f64::EPSILON * 16.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = m.get(k, j);
+                    m.set(k, j, m.get(pivot_row, j));
+                    m.set(pivot_row, j, tmp);
+                }
+            }
+            let pivot = m.get(k, k);
+            for i in (k + 1)..n {
+                let factor = m.get(i, k) / pivot;
+                m.set(i, k, factor);
+                for j in (k + 1)..n {
+                    let v = m.get(i, j) - factor * m.get(k, j);
+                    m.set(i, j, v);
+                }
+            }
+        }
+        Ok(Self {
+            packed: m,
+            perm,
+            sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` does not match the
+    /// factored dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x = Vector::zeros(n);
+        for i in 0..n {
+            x[i] = b[self.perm[i]];
+        }
+        for i in 0..n {
+            for j in 0..i {
+                let xi = x[i] - self.packed.get(i, j) * x[j];
+                x[i] = xi;
+            }
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                let xi = x[i] - self.packed.get(i, j) * x[j];
+                x[i] = xi;
+            }
+            let xi = x[i] / self.packed.get(i, i);
+            x[i] = xi;
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.packed.get(i, i);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_random_system() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, 1.0],
+            &[4.0, -6.0, 0.0],
+            &[-2.0, 7.0, 2.0],
+        ])
+        .unwrap();
+        let x = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = a.matvec(&x).unwrap();
+        let got = a.lu().unwrap().solve(&b).unwrap();
+        assert!((&got - &x).norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 2.0).abs() < 1e-14);
+        // Permutation sign: swapping rows flips determinant sign.
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]).unwrap();
+        assert!((b.lu().unwrap().det() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&Vector::from(vec![5.0, 7.0])).unwrap();
+        assert_eq!(x.as_slice(), &[7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.lu(), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = Matrix::identity(2).lu().unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+    }
+}

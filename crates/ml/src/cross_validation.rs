@@ -1,0 +1,163 @@
+//! K-fold cross-validation for model selection.
+//!
+//! The paper selects GPR by comparing models on a held-out split; k-fold CV
+//! is the standard refinement when the corpus is small (66 training graphs),
+//! and backs the `model_compare` experiment with variance estimates.
+
+use linalg::Matrix;
+
+use crate::{metrics, MlError, ModelKind};
+
+/// Per-fold and aggregate scores from one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvScores {
+    /// MSE of each fold, in fold order.
+    pub fold_mse: Vec<f64>,
+    /// R² of each fold, in fold order.
+    pub fold_r2: Vec<f64>,
+}
+
+impl CvScores {
+    /// Mean MSE over folds.
+    #[must_use]
+    pub fn mean_mse(&self) -> f64 {
+        metrics::mean(&self.fold_mse)
+    }
+
+    /// Standard deviation of fold MSEs.
+    #[must_use]
+    pub fn std_mse(&self) -> f64 {
+        metrics::std_dev(&self.fold_mse)
+    }
+
+    /// Mean R² over folds.
+    #[must_use]
+    pub fn mean_r2(&self) -> f64 {
+        metrics::mean(&self.fold_r2)
+    }
+}
+
+/// Runs deterministic k-fold cross-validation of `kind` on `(x, y)`.
+///
+/// Folds are contiguous row blocks (shuffle beforehand for a randomized
+/// split — [`Dataset::shuffled`](crate::Dataset::shuffled) composes well).
+///
+/// # Errors
+///
+/// * [`MlError::ShapeMismatch`] if `x.rows() != y.len()`.
+/// * [`MlError::EmptyTrainingSet`] when a fold would leave no training rows
+///   (requires `k >= 2` and `x.rows() >= k`).
+/// * Any per-fold fitting error.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+/// use ml::{cross_validation::k_fold, ModelKind};
+/// # fn main() -> Result<(), ml::MlError> {
+/// let x = Matrix::from_fn(20, 1, |i, _| i as f64);
+/// let y: Vec<f64> = (0..20).map(|i| 2.0 * i as f64 + 1.0).collect();
+/// let scores = k_fold(ModelKind::Linear, &x, &y, 4)?;
+/// assert!(scores.mean_mse() < 1e-10); // exact line, perfect generalization
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_fold(kind: ModelKind, x: &Matrix, y: &[f64], k: usize) -> Result<CvScores, MlError> {
+    if x.rows() != y.len() {
+        return Err(MlError::ShapeMismatch {
+            expected: x.rows(),
+            actual: y.len(),
+            what: "samples",
+        });
+    }
+    let n = x.rows();
+    if k < 2 || n < k {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let mut fold_mse = Vec::with_capacity(k);
+    let mut fold_r2 = Vec::with_capacity(k);
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let train_rows: Vec<usize> = (0..n).filter(|i| *i < lo || *i >= hi).collect();
+        let test_rows: Vec<usize> = (lo..hi).collect();
+        if test_rows.is_empty() {
+            continue;
+        }
+        let xt = Matrix::from_fn(train_rows.len(), x.cols(), |i, j| x.get(train_rows[i], j));
+        let yt: Vec<f64> = train_rows.iter().map(|&i| y[i]).collect();
+        let xv = Matrix::from_fn(test_rows.len(), x.cols(), |i, j| x.get(test_rows[i], j));
+        let yv: Vec<f64> = test_rows.iter().map(|&i| y[i]).collect();
+        let mut model = kind.build();
+        model.fit(&xt, &yt)?;
+        let preds = model.predict_batch(&xv)?;
+        fold_mse.push(metrics::mse(&yv, &preds)?);
+        fold_r2.push(metrics::r2(&yv, &preds)?);
+    }
+    Ok(CvScores { fold_mse, fold_r2 })
+}
+
+/// Cross-validates every model family and returns `(kind, scores)` sorted
+/// by ascending mean MSE (best first).
+///
+/// # Errors
+///
+/// Same conditions as [`k_fold`].
+pub fn compare_models(x: &Matrix, y: &[f64], k: usize) -> Result<Vec<(ModelKind, CvScores)>, MlError> {
+    let mut out = Vec::with_capacity(ModelKind::ALL.len());
+    for kind in ModelKind::ALL {
+        out.push((kind, k_fold(kind, x, y, k)?));
+    }
+    out.sort_by(|a, b| a.1.mean_mse().total_cmp(&b.1.mean_mse()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(n, 1, |i, _| i as f64 * 0.37);
+        let y: Vec<f64> = (0..n).map(|i| 3.0 - 0.5 * (i as f64 * 0.37)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn perfect_line_scores_perfectly() {
+        let (x, y) = line_data(24);
+        let s = k_fold(ModelKind::Linear, &x, &y, 6).unwrap();
+        assert_eq!(s.fold_mse.len(), 6);
+        assert!(s.mean_mse() < 1e-12);
+        assert!(s.mean_r2() > 0.999);
+        assert!(s.std_mse() < 1e-12);
+    }
+
+    #[test]
+    fn fold_sizes_cover_all_rows() {
+        // n not divisible by k: contiguous blocks still partition the data.
+        let (x, y) = line_data(23);
+        let s = k_fold(ModelKind::Tree, &x, &y, 5).unwrap();
+        assert_eq!(s.fold_mse.len(), 5);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let (x, y) = line_data(10);
+        assert!(k_fold(ModelKind::Linear, &x, &y[..5], 2).is_err());
+        assert!(k_fold(ModelKind::Linear, &x, &y, 1).is_err());
+        assert!(k_fold(ModelKind::Linear, &x, &y, 11).is_err());
+    }
+
+    #[test]
+    fn compare_ranks_linear_first_on_linear_data() {
+        let (x, y) = line_data(30);
+        let ranked = compare_models(&x, &y, 5).unwrap();
+        assert_eq!(ranked.len(), 4);
+        // The best model on an exact line must fit it essentially perfectly.
+        assert!(ranked[0].1.mean_mse() < 1e-6, "{:?}", ranked[0].0);
+        // Ordering is ascending in MSE.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1.mean_mse() <= pair[1].1.mean_mse());
+        }
+    }
+}

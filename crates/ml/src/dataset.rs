@@ -1,0 +1,208 @@
+use linalg::Matrix;
+use rand::Rng;
+
+use crate::MlError;
+
+/// A supervised dataset: feature rows `X` and (possibly multi-target)
+/// outputs `Y`.
+///
+/// The paper's dataset has 3 features (`γ₁OPT(p=1)`, `β₁OPT(p=1)`, target
+/// depth `pt`) and up to `2·6 = 12` response columns; 330 rows are split
+/// 20:80 into train and test ([`Dataset::split`]).
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+/// use ml::Dataset;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])?;
+/// let y = Matrix::from_rows(&[&[10.0], &[20.0], &[30.0], &[40.0]])?;
+/// let data = Dataset::new(x, y)?;
+/// let (train, test) = data.split(0.5);
+/// assert_eq!(train.len() + test.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    x: Matrix,
+    y: Matrix,
+}
+
+impl Dataset {
+    /// Wraps features and targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::ShapeMismatch`] if row counts differ and
+    /// [`MlError::EmptyTrainingSet`] for zero rows.
+    pub fn new(x: Matrix, y: Matrix) -> Result<Self, MlError> {
+        if x.rows() != y.rows() {
+            return Err(MlError::ShapeMismatch {
+                expected: x.rows(),
+                actual: y.rows(),
+                what: "target rows",
+            });
+        }
+        if x.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        Ok(Self { x, y })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// `true` if there are no samples (unreachable after `new`, but kept for
+    /// API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Number of feature columns.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of target columns.
+    #[must_use]
+    pub fn n_targets(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Borrows the feature matrix.
+    #[must_use]
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Borrows the target matrix.
+    #[must_use]
+    pub fn targets(&self) -> &Matrix {
+        &self.y
+    }
+
+    /// Target column `j` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= n_targets()`.
+    #[must_use]
+    pub fn target_column(&self, j: usize) -> Vec<f64> {
+        self.y.col(j).into_vec()
+    }
+
+    /// Splits the first `ceil(fraction·n)` rows into the first dataset and
+    /// the rest into the second — deterministic, preserving row order (the
+    /// paper's fixed 66/264 split). Shuffle first ([`Dataset::shuffled`])
+    /// for a randomized split.
+    #[must_use]
+    pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
+        let n = self.len();
+        let k = ((fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n.saturating_sub(1).max(1));
+        (self.take_rows(0, k), self.take_rows(k, n))
+    }
+
+    /// A copy with rows permuted uniformly at random.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        self.select_rows(&order)
+    }
+
+    /// A copy containing exactly the listed rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let x = Matrix::from_fn(rows.len(), self.x.cols(), |i, j| self.x.get(rows[i], j));
+        let y = Matrix::from_fn(rows.len(), self.y.cols(), |i, j| self.y.get(rows[i], j));
+        Dataset { x, y }
+    }
+
+    fn take_rows(&self, from: usize, to: usize) -> Dataset {
+        let rows: Vec<usize> = (from..to).collect();
+        self.select_rows(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let y = Matrix::from_fn(n, 1, |i, _| i as f64);
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn construction_checks() {
+        let x = Matrix::from_fn(3, 2, |_, _| 0.0);
+        let y = Matrix::from_fn(2, 1, |_, _| 0.0);
+        assert!(matches!(
+            Dataset::new(x, y),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert!(!d.is_empty());
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_targets(), 1);
+    }
+
+    #[test]
+    fn paper_split_ratio() {
+        // 330 rows at 20% -> 66 train / 264 test, like the paper.
+        let d = toy(330);
+        let (train, test) = d.split(0.2);
+        assert_eq!(train.len(), 66);
+        assert_eq!(test.len(), 264);
+    }
+
+    #[test]
+    fn split_extremes_never_empty() {
+        let d = toy(4);
+        let (a, b) = d.split(0.0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        let (a, b) = d.split(1.0);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let d = toy(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = d.shuffled(&mut rng);
+        assert_eq!(s.len(), 20);
+        let mut targets: Vec<f64> = (0..20).map(|i| s.targets().get(i, 0)).collect();
+        targets.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(targets, expect);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let d = toy(5);
+        let s = d.select_rows(&[4, 0]);
+        assert_eq!(s.targets().get(0, 0), 4.0);
+        assert_eq!(s.targets().get(1, 0), 0.0);
+        assert_eq!(s.target_column(0), vec![4.0, 0.0]);
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+use linalg::LinalgError;
+
+/// Error type for model fitting and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Feature matrix and target vector disagree on the sample count, or a
+    /// prediction input has the wrong number of features.
+    ShapeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        actual: usize,
+        /// Which quantity disagreed ("samples", "features", ...).
+        what: &'static str,
+    },
+    /// `fit` was given zero training rows.
+    EmptyTrainingSet,
+    /// `predict` called before a successful `fit`.
+    NotFitted,
+    /// A numerical subroutine failed (e.g. a Gram matrix that stayed
+    /// non-positive-definite after jitter).
+    Numerical {
+        /// Description of the failing computation.
+        context: &'static str,
+    },
+    /// An invalid hyperparameter (non-positive length scale, negative C, …).
+    InvalidHyperparameter {
+        /// The hyperparameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "expected {expected} {what}, got {actual}"),
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::NotFitted => write!(f, "model used before fitting"),
+            MlError::Numerical { context } => write!(f, "numerical failure in {context}"),
+            MlError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+impl From<LinalgError> for MlError {
+    fn from(_: LinalgError) -> Self {
+        MlError::Numerical {
+            context: "linear algebra kernel",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            MlError::ShapeMismatch {
+                expected: 3,
+                actual: 2,
+                what: "features"
+            }
+            .to_string(),
+            "expected 3 features, got 2"
+        );
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(MlError::NotFitted.to_string().contains("before fitting"));
+        assert!(MlError::Numerical { context: "cholesky" }
+            .to_string()
+            .contains("cholesky"));
+        assert!(MlError::InvalidHyperparameter {
+            name: "length_scale",
+            value: -1.0
+        }
+        .to_string()
+        .contains("length_scale"));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let e: MlError = LinalgError::Empty.into();
+        assert!(matches!(e, MlError::Numerical { .. }));
+    }
+}

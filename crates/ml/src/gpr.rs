@@ -1,0 +1,315 @@
+use linalg::{Cholesky, Matrix, Vector};
+
+use crate::{MlError, RbfKernel, Regressor, StandardScaler};
+
+/// A Gaussian-process prediction: posterior mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GprPrediction {
+    /// Posterior mean (the point prediction).
+    pub mean: f64,
+    /// Posterior variance (non-negative; clipped at zero).
+    pub variance: f64,
+}
+
+/// Gaussian process regression with an RBF kernel — the paper's best model.
+///
+/// Mirrors MATLAB `fitrgp` defaults: squared-exponential kernel,
+/// standardized inputs, constant (mean-of-targets) prior mean, and
+/// hyperparameters chosen by maximizing the log marginal likelihood. The
+/// likelihood search here is a deterministic grid over length scale, signal
+/// standard deviation and noise standard deviation — ample for the paper's
+/// 3-feature, 66-sample training sets and fully reproducible.
+///
+/// Fitting cost is `O(g · n³)` for `g` grid points; prediction is `O(n)` per
+/// query.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+/// use ml::{GprModel, Regressor};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Noise-free sine samples: GPR interpolates them nearly exactly.
+/// let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 * 0.5]).collect();
+/// let x = Matrix::from_rows(&xs)?;
+/// let y: Vec<f64> = (0..9).map(|i| (i as f64 * 0.5).sin()).collect();
+/// let mut gpr = GprModel::default();
+/// gpr.fit(&x, &y)?;
+/// assert!((gpr.predict(&[1.0])? - 1.0_f64.sin()).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GprModel {
+    /// Candidate length scales for the likelihood grid (on standardized
+    /// features).
+    pub length_scales: Vec<f64>,
+    /// Candidate signal standard deviations.
+    pub signal_stds: Vec<f64>,
+    /// Candidate noise standard deviations.
+    pub noise_stds: Vec<f64>,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: StandardScaler,
+    x_train: Matrix,
+    kernel: RbfKernel,
+    noise_variance: f64,
+    alpha: Vector,
+    chol: Cholesky,
+    y_mean: f64,
+    /// Target standard deviation: targets are standardized before fitting
+    /// (as MATLAB `fitrgp` effectively does through its kernel-amplitude
+    /// optimization) so the hyperparameter grid is scale-free.
+    y_scale: f64,
+}
+
+impl Default for GprModel {
+    fn default() -> Self {
+        Self {
+            length_scales: vec![0.3, 0.5, 1.0, 2.0, 4.0, 8.0],
+            signal_stds: vec![0.5, 1.0, 2.0],
+            noise_stds: vec![1e-4, 1e-3, 1e-2, 5e-2, 1e-1],
+            state: None,
+        }
+    }
+}
+
+impl GprModel {
+    /// Creates a model with the default hyperparameter grid.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a model with fixed hyperparameters (no grid search) — useful
+    /// for ablations and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] for non-positive values.
+    pub fn with_fixed(length_scale: f64, signal_std: f64, noise_std: f64) -> Result<Self, MlError> {
+        RbfKernel::new(length_scale, signal_std)?; // validate early
+        if !(noise_std.is_finite() && noise_std > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "noise_std",
+                value: noise_std,
+            });
+        }
+        Ok(Self {
+            length_scales: vec![length_scale],
+            signal_stds: vec![signal_std],
+            noise_stds: vec![noise_std],
+            state: None,
+        })
+    }
+
+    /// Posterior mean and variance for one query point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Regressor::predict`].
+    pub fn predict_with_variance(&self, x: &[f64]) -> Result<GprPrediction, MlError> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        let z = st.scaler.transform_row(x)?;
+        let k_star = st.kernel.cross(&st.x_train, &z);
+        let standardized_mean: f64 = k_star
+            .iter()
+            .zip(st.alpha.as_slice())
+            .map(|(k, a)| k * a)
+            .sum();
+        let mean = st.y_mean + st.y_scale * standardized_mean;
+        // var = k(x,x) + σ_n² − k*ᵀ (K + σ_n²I)⁻¹ k*, in standardized units.
+        let v = st.chol.solve(&Vector::from(k_star.clone()))?;
+        let reduction: f64 = k_star.iter().zip(v.as_slice()).map(|(k, vi)| k * vi).sum();
+        let variance = (st.kernel.signal_variance() + st.noise_variance - reduction).max(0.0)
+            * st.y_scale
+            * st.y_scale;
+        Ok(GprPrediction { mean, variance })
+    }
+
+    /// Log marginal likelihood of the fitted model (the quantity the grid
+    /// search maximizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before fitting.
+    pub fn log_marginal_likelihood(&self, y: &[f64]) -> Result<f64, MlError> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        let centered: Vec<f64> = y.iter().map(|v| (v - st.y_mean) / st.y_scale).collect();
+        Ok(lml(&st.chol, &st.alpha, &centered))
+    }
+}
+
+fn lml(chol: &Cholesky, alpha: &Vector, y_centered: &[f64]) -> f64 {
+    let n = y_centered.len() as f64;
+    let fit_term: f64 = y_centered
+        .iter()
+        .zip(alpha.as_slice())
+        .map(|(y, a)| y * a)
+        .sum();
+    -0.5 * fit_term - 0.5 * chol.log_det() - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+}
+
+impl Regressor for GprModel {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError> {
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: x.rows(),
+                actual: y.len(),
+                what: "samples",
+            });
+        }
+        if x.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let scaler = StandardScaler::fit(x)?;
+        let xs = scaler.transform(x)?;
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        // Standardize targets so the hyperparameter grid (built for
+        // unit-variance responses) transfers across target scales.
+        let y_std = crate::metrics::std_dev(y);
+        let y_scale = if y_std > 1e-12 { y_std } else { 1.0 };
+        let centered: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
+        let yv = Vector::from(centered.clone());
+
+        let mut best: Option<(f64, Fitted)> = None;
+        for &ls in &self.length_scales {
+            for &sf in &self.signal_stds {
+                let kernel = RbfKernel::new(ls, sf)?;
+                let gram = kernel.gram(&xs);
+                for &sn in &self.noise_stds {
+                    let mut k = gram.clone();
+                    k.add_diagonal(sn * sn + 1e-10);
+                    let Ok(chol) = k.cholesky() else { continue };
+                    let Ok(alpha) = chol.solve(&yv) else { continue };
+                    let score = lml(&chol, &alpha, &centered);
+                    if !score.is_finite() {
+                        continue;
+                    }
+                    if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                        best = Some((
+                            score,
+                            Fitted {
+                                scaler: scaler.clone(),
+                                x_train: xs.clone(),
+                                kernel,
+                                noise_variance: sn * sn,
+                                alpha,
+                                chol,
+                                y_mean,
+                                y_scale,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, fitted)) => {
+                self.state = Some(fitted);
+                Ok(())
+            }
+            None => Err(MlError::Numerical {
+                context: "gpr likelihood grid (no positive-definite candidate)",
+            }),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        Ok(self.predict_with_variance(x)?.mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "GPR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_data(n: usize) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.4]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn interpolates_noise_free_data() {
+        let (x, y) = sine_data(12);
+        let mut gpr = GprModel::default();
+        gpr.fit(&x, &y).unwrap();
+        for (i, yi) in y.iter().enumerate() {
+            let p = gpr.predict(x.row(i)).unwrap();
+            assert!((p - yi).abs() < 0.02, "at {i}: {p} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (x, y) = sine_data(8);
+        let mut gpr = GprModel::default();
+        gpr.fit(&x, &y).unwrap();
+        let near = gpr.predict_with_variance(&[0.4]).unwrap();
+        let far = gpr.predict_with_variance(&[40.0]).unwrap();
+        assert!(far.variance > near.variance);
+        assert!(near.variance >= 0.0);
+    }
+
+    #[test]
+    fn fixed_hyperparameters() {
+        let (x, y) = sine_data(8);
+        let mut gpr = GprModel::with_fixed(1.0, 1.0, 1e-3).unwrap();
+        gpr.fit(&x, &y).unwrap();
+        let p = gpr.predict(&[0.8]).unwrap();
+        assert!((p - 0.8_f64.sin()).abs() < 0.1);
+        assert!(GprModel::with_fixed(-1.0, 1.0, 0.1).is_err());
+        assert!(GprModel::with_fixed(1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn lml_is_finite_and_better_for_right_model() {
+        let (x, y) = sine_data(10);
+        let mut good = GprModel::with_fixed(1.0, 1.0, 1e-2).unwrap();
+        good.fit(&x, &y).unwrap();
+        let l_good = good.log_marginal_likelihood(&y).unwrap();
+        let mut bad = GprModel::with_fixed(100.0, 0.5, 1e-4).unwrap();
+        bad.fit(&x, &y).unwrap();
+        let l_bad = bad.log_marginal_likelihood(&y).unwrap();
+        assert!(l_good.is_finite() && l_bad.is_finite());
+        assert!(l_good > l_bad);
+    }
+
+    #[test]
+    fn error_paths() {
+        let gpr = GprModel::default();
+        assert!(matches!(gpr.predict(&[1.0]), Err(MlError::NotFitted)));
+        let mut gpr = GprModel::default();
+        let x = Matrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(gpr.fit(&x, &[1.0, 2.0]).is_err());
+        gpr.fit(&x, &[1.0]).unwrap();
+        assert!(gpr.predict(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn multifeature_fit() {
+        // f(a, b) = a + 2b on a small grid.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                rows.push(vec![a as f64, b as f64]);
+                y.push(a as f64 + 2.0 * b as f64);
+            }
+        }
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut gpr = GprModel::default();
+        gpr.fit(&x, &y).unwrap();
+        let p = gpr.predict(&[1.5, 2.5]).unwrap();
+        assert!((p - 6.5).abs() < 0.3, "{p}");
+    }
+}

@@ -1,0 +1,158 @@
+use linalg::Matrix;
+
+use crate::MlError;
+
+/// The squared-exponential (RBF) covariance kernel
+/// `k(a, b) = σ_f² · exp(−‖a − b‖² / 2ℓ²)`.
+///
+/// This is MATLAB `fitrgp`'s default (`'squaredexponential'`) and drives
+/// both [`GprModel`](crate::GprModel) and the RBF flavour of
+/// [`SvrModel`](crate::SvrModel).
+///
+/// # Example
+///
+/// ```
+/// use ml::RbfKernel;
+/// # fn main() -> Result<(), ml::MlError> {
+/// let k = RbfKernel::new(1.0, 1.0)?;
+/// assert_eq!(k.eval(&[0.0], &[0.0]), 1.0);           // k(x, x) = σ_f²
+/// assert!(k.eval(&[0.0], &[10.0]) < 1e-20);          // far points decorrelate
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    length_scale: f64,
+    signal_variance: f64,
+}
+
+impl RbfKernel {
+    /// Creates a kernel with length scale `ℓ` and signal standard deviation
+    /// `σ_f` (stored squared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidHyperparameter`] unless both are positive
+    /// and finite.
+    pub fn new(length_scale: f64, signal_std: f64) -> Result<Self, MlError> {
+        if !(length_scale.is_finite() && length_scale > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "length_scale",
+                value: length_scale,
+            });
+        }
+        if !(signal_std.is_finite() && signal_std > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "signal_std",
+                value: signal_std,
+            });
+        }
+        Ok(Self {
+            length_scale,
+            signal_variance: signal_std * signal_std,
+        })
+    }
+
+    /// The length scale ℓ.
+    #[must_use]
+    pub fn length_scale(&self) -> f64 {
+        self.length_scale
+    }
+
+    /// The signal variance σ_f².
+    #[must_use]
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel input length mismatch");
+        let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        self.signal_variance * (-0.5 * sq / (self.length_scale * self.length_scale)).exp()
+    }
+
+    /// The Gram matrix `K[i][j] = k(xᵢ, xⱼ)` over the rows of `x`.
+    #[must_use]
+    pub fn gram(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            k.set(i, i, self.signal_variance);
+            for j in (i + 1)..n {
+                let v = self.eval(x.row(i), x.row(j));
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        k
+    }
+
+    /// The cross-covariance vector `k(x*, xᵢ)` against every row of `x`.
+    #[must_use]
+    pub fn cross(&self, x: &Matrix, query: &[f64]) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.eval(x.row(i), query)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperparameter_validation() {
+        assert!(RbfKernel::new(0.0, 1.0).is_err());
+        assert!(RbfKernel::new(1.0, -1.0).is_err());
+        assert!(RbfKernel::new(f64::NAN, 1.0).is_err());
+        let k = RbfKernel::new(2.0, 3.0).unwrap();
+        assert_eq!(k.length_scale(), 2.0);
+        assert_eq!(k.signal_variance(), 9.0);
+    }
+
+    #[test]
+    fn kernel_values() {
+        let k = RbfKernel::new(1.0, 1.0).unwrap();
+        assert_eq!(k.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        // Distance 1 -> e^{-1/2}.
+        assert!((k.eval(&[0.0], &[1.0]) - (-0.5_f64).exp()).abs() < 1e-15);
+        // Symmetry.
+        assert_eq!(k.eval(&[0.3], &[1.7]), k.eval(&[1.7], &[0.3]));
+    }
+
+    #[test]
+    fn longer_scale_means_smoother() {
+        let short = RbfKernel::new(0.5, 1.0).unwrap();
+        let long = RbfKernel::new(5.0, 1.0).unwrap();
+        assert!(long.eval(&[0.0], &[1.0]) > short.eval(&[0.0], &[1.0]));
+    }
+
+    #[test]
+    fn gram_is_symmetric_with_unit_diagonal() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[3.0]]).unwrap();
+        let k = RbfKernel::new(1.0, 1.0).unwrap();
+        let g = k.gram(&x);
+        assert_eq!(g.asymmetry(), 0.0);
+        for i in 0..3 {
+            assert_eq!(g.get(i, i), 1.0);
+        }
+        // Gram + jitter must be positive definite.
+        let mut gj = g;
+        gj.add_diagonal(1e-9);
+        assert!(gj.cholesky().is_ok());
+    }
+
+    #[test]
+    fn cross_matches_eval() {
+        let x = Matrix::from_rows(&[&[0.0], &[2.0]]).unwrap();
+        let k = RbfKernel::new(1.0, 2.0).unwrap();
+        let c = k.cross(&x, &[1.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], k.eval(&[0.0], &[1.0]));
+        assert_eq!(c[1], k.eval(&[2.0], &[1.0]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Supervised regression models, metrics and preprocessing.
+//!
+//! This crate replaces the MATLAB Statistics & ML Toolbox models the paper
+//! trains as QAOA parameter predictors:
+//!
+//! * [`GprModel`] — Gaussian process regression (`fitrgp`), the paper's best
+//!   model,
+//! * [`LinearModel`] — ordinary least squares (`fitlm`),
+//! * [`TreeModel`] — CART regression tree (`fitrtree`),
+//! * [`SvrModel`] — ε-support-vector regression (`fitrsvm`),
+//!
+//! plus the shared machinery: the [`Regressor`] trait, a [`Dataset`]
+//! container with deterministic train/test splitting (the paper's 20:80
+//! split), feature standardization ([`StandardScaler`]), the
+//! [`MultiOutput`] wrapper (the predictor emits `2·pt` parameters from one
+//! feature vector), and the evaluation metrics of §III-C
+//! ([`metrics`]: MSE, RMSE, MAE, R², adjusted R², Pearson correlation).
+//!
+//! # Example
+//!
+//! ```
+//! use linalg::Matrix;
+//! use ml::{LinearModel, Regressor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Fit y = 1 + 2 x.
+//! let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]])?;
+//! let y = [1.0, 3.0, 5.0, 7.0];
+//! let mut model = LinearModel::new();
+//! model.fit(&x, &y)?;
+//! assert!((model.predict(&[4.0])? - 9.0).abs() < 1e-10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cross_validation;
+mod dataset;
+mod error;
+mod forest;
+mod gpr;
+mod kernel;
+mod knn;
+mod linear;
+pub mod metrics;
+mod multioutput;
+mod ridge;
+mod scaler;
+mod svr;
+mod tree;
+
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use forest::ForestModel;
+pub use gpr::{GprModel, GprPrediction};
+pub use kernel::RbfKernel;
+pub use knn::KnnModel;
+pub use linear::LinearModel;
+pub use multioutput::MultiOutput;
+pub use ridge::RidgeModel;
+pub use scaler::StandardScaler;
+pub use svr::SvrModel;
+pub use tree::TreeModel;
+
+use linalg::Matrix;
+
+/// A single-output regression model.
+///
+/// All four paper models implement this trait, which is object-safe so the
+/// QAOA predictor can switch models at run time (§III-C compares them).
+pub trait Regressor {
+    /// Fits the model to feature rows `x` and targets `y`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::ShapeMismatch`] if `x.rows() != y.len()`.
+    /// * [`MlError::EmptyTrainingSet`] for zero rows.
+    /// * Model-specific numerical failures ([`MlError::Numerical`]).
+    fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<(), MlError>;
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::NotFitted`] before [`Regressor::fit`] succeeds.
+    /// * [`MlError::ShapeMismatch`] for a wrong feature count.
+    fn predict(&self, x: &[f64]) -> Result<f64, MlError>;
+
+    /// Predicts targets for every row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Regressor::predict`].
+    fn predict_batch(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        (0..x.rows()).map(|i| self.predict(x.row(i))).collect()
+    }
+
+    /// Short identifier used in comparison tables (e.g. `"GPR"`).
+    fn name(&self) -> &'static str;
+}
+
+/// The four model families compared in §III-C, plus the extension models
+/// ([`RidgeModel`], [`KnnModel`], [`ForestModel`]) evaluated alongside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Gaussian process regression (the paper's winner).
+    Gpr,
+    /// Ordinary least squares.
+    Linear,
+    /// CART regression tree.
+    Tree,
+    /// ε-support-vector regression.
+    Svr,
+    /// Ridge-regularized linear regression (extension).
+    Ridge,
+    /// k-nearest-neighbour regression (extension).
+    Knn,
+    /// Random-forest regression (extension).
+    Forest,
+}
+
+impl ModelKind {
+    /// The four paper kinds in the paper's order (GPR, LM, RTREE, RSVM).
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Gpr,
+        ModelKind::Linear,
+        ModelKind::Tree,
+        ModelKind::Svr,
+    ];
+
+    /// The paper's four kinds followed by the three extension models.
+    pub const EXTENDED: [ModelKind; 7] = [
+        ModelKind::Gpr,
+        ModelKind::Linear,
+        ModelKind::Tree,
+        ModelKind::Svr,
+        ModelKind::Ridge,
+        ModelKind::Knn,
+        ModelKind::Forest,
+    ];
+
+    /// Instantiates a default-configured model of this kind.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Regressor> {
+        match self {
+            ModelKind::Gpr => Box::new(GprModel::default()),
+            ModelKind::Linear => Box::new(LinearModel::new()),
+            ModelKind::Tree => Box::new(TreeModel::default()),
+            ModelKind::Svr => Box::new(SvrModel::default()),
+            ModelKind::Ridge => Box::new(RidgeModel::default()),
+            ModelKind::Knn => Box::new(KnnModel::default()),
+            ModelKind::Forest => Box::new(ForestModel::default()),
+        }
+    }
+
+    /// The paper's abbreviation for this model (extensions use our names).
+    #[must_use]
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            ModelKind::Gpr => "GPR",
+            ModelKind::Linear => "LM",
+            ModelKind::Tree => "RTREE",
+            ModelKind::Svr => "RSVM",
+            ModelKind::Ridge => "RIDGE",
+            ModelKind::Knn => "KNN",
+            ModelKind::Forest => "RFOREST",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_roundtrip() {
+        for kind in ModelKind::ALL {
+            let model = kind.build();
+            assert!(!model.name().is_empty());
+            assert_eq!(kind.to_string(), kind.abbreviation());
+        }
+    }
+
+    #[test]
+    fn all_kinds_fit_a_line() {
+        let x = Matrix::from_rows(&[
+            &[0.0],
+            &[0.5],
+            &[1.0],
+            &[1.5],
+            &[2.0],
+            &[2.5],
+            &[3.0],
+            &[3.5],
+        ])
+        .unwrap();
+        let y: Vec<f64> = (0..8).map(|i| 1.0 + 0.25 * i as f64).collect();
+        for kind in ModelKind::ALL {
+            let mut m = kind.build();
+            m.fit(&x, &y).unwrap();
+            let preds = m.predict_batch(&x).unwrap();
+            let mse = metrics::mse(&y, &preds).unwrap();
+            assert!(mse < 0.5, "{kind} mse = {mse}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+use linalg::Matrix;
+
+use crate::{MlError, ModelKind, Regressor};
+
+/// Trains one single-output model per target column and predicts them all
+/// at once.
+///
+/// The paper's predictor maps 3 features to `2·pt` responses
+/// (`γ₁…γ_pt, β₁…β_pt`); like MATLAB, it does so with independent
+/// per-response regressions, which is exactly what this wrapper provides.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+/// use ml::{ModelKind, MultiOutput};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]])?;
+/// // Two targets: y0 = x, y1 = -x.
+/// let y = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, -1.0], &[2.0, -2.0], &[3.0, -3.0]])?;
+/// let mut model = MultiOutput::new(ModelKind::Linear);
+/// model.fit(&x, &y)?;
+/// let out = model.predict(&[5.0])?;
+/// assert!((out[0] - 5.0).abs() < 1e-9 && (out[1] + 5.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MultiOutput {
+    kind: ModelKind,
+    models: Vec<Box<dyn Regressor>>,
+}
+
+impl MultiOutput {
+    /// Creates an unfitted wrapper that will instantiate `kind` per target.
+    #[must_use]
+    pub fn new(kind: ModelKind) -> Self {
+        Self {
+            kind,
+            models: Vec::new(),
+        }
+    }
+
+    /// The model family used per target.
+    #[must_use]
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Number of fitted targets (0 before fitting).
+    #[must_use]
+    pub fn n_targets(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Fits one model per column of `y`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::ShapeMismatch`] if row counts differ.
+    /// * [`MlError::EmptyTrainingSet`] for zero rows or zero target columns.
+    /// * Any per-target fitting error.
+    pub fn fit(&mut self, x: &Matrix, y: &Matrix) -> Result<(), MlError> {
+        if x.rows() != y.rows() {
+            return Err(MlError::ShapeMismatch {
+                expected: x.rows(),
+                actual: y.rows(),
+                what: "target rows",
+            });
+        }
+        if y.cols() == 0 || y.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut models = Vec::with_capacity(y.cols());
+        for j in 0..y.cols() {
+            let target = y.col(j).into_vec();
+            let mut model = self.kind.build();
+            model.fit(x, &target)?;
+            models.push(model);
+        }
+        self.models = models;
+        Ok(())
+    }
+
+    /// Predicts all targets for one feature vector, in column order.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::NotFitted`] before [`MultiOutput::fit`].
+    /// * Any per-target prediction error.
+    pub fn predict(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.models.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        self.models.iter().map(|m| m.predict(x)).collect()
+    }
+
+    /// Predicts all targets for every row of `x` (rows × targets).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiOutput::predict`].
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.models.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut out = Matrix::zeros(x.rows(), self.models.len());
+        for i in 0..x.rows() {
+            let row = self.predict(x.row(i))?;
+            for (j, v) in row.into_iter().enumerate() {
+                out.set(i, j, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for MultiOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiOutput")
+            .field("kind", &self.kind)
+            .field("n_targets", &self.models.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted() -> (Matrix, Matrix) {
+        // Non-collinear features so OLS is identifiable.
+        let x = Matrix::from_fn(10, 2, |i, j| if j == 0 { i as f64 } else { ((i * i) % 7) as f64 });
+        // y0 = x0 + x1, y1 = x0 - 2 x1 + 3.
+        let y = Matrix::from_fn(10, 2, |i, j| {
+            let (a, b) = (x.get(i, 0), x.get(i, 1));
+            if j == 0 {
+                a + b
+            } else {
+                a - 2.0 * b + 3.0
+            }
+        });
+        (x, y)
+    }
+
+    #[test]
+    fn independent_targets_recovered() {
+        let (x, y) = planted();
+        let mut m = MultiOutput::new(ModelKind::Linear);
+        m.fit(&x, &y).unwrap();
+        assert_eq!(m.n_targets(), 2);
+        let p = m.predict(&[4.0, 7.0]).unwrap();
+        assert!((p[0] - 11.0).abs() < 1e-8);
+        assert!((p[1] - (4.0 - 14.0 + 3.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn batch_prediction_shape() {
+        let (x, y) = planted();
+        let mut m = MultiOutput::new(ModelKind::Tree);
+        m.fit(&x, &y).unwrap();
+        let out = m.predict_batch(&x).unwrap();
+        assert_eq!(out.shape(), (10, 2));
+    }
+
+    #[test]
+    fn error_paths() {
+        let m = MultiOutput::new(ModelKind::Linear);
+        assert!(matches!(m.predict(&[1.0]), Err(MlError::NotFitted)));
+        let (x, _) = planted();
+        assert!(matches!(
+            m.predict_batch(&x),
+            Err(MlError::NotFitted)
+        ));
+        let mut m = MultiOutput::new(ModelKind::Linear);
+        let bad_y = Matrix::zeros(3, 1);
+        assert!(m.fit(&x, &bad_y).is_err());
+        assert_eq!(m.kind(), ModelKind::Linear);
+    }
+}

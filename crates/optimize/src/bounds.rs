@@ -1,0 +1,200 @@
+use rand::Rng;
+
+use crate::OptimizeError;
+
+/// A box constraint `lowerᵢ ≤ xᵢ ≤ upperᵢ`.
+///
+/// The paper restricts the optimization domain to `βᵢ ∈ [0, π]`,
+/// `γᵢ ∈ [0, 2π]`; every optimizer in this crate both starts inside and
+/// stays inside its box.
+///
+/// # Example
+///
+/// ```
+/// use optimize::Bounds;
+/// # fn main() -> Result<(), optimize::OptimizeError> {
+/// let b = Bounds::uniform(2, 0.0, 1.0)?;
+/// assert_eq!(b.project(&[-0.5, 2.0]), vec![0.0, 1.0]);
+/// assert!(b.contains(&[0.5, 0.5]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from per-coordinate lower/upper pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimizeError::DimensionMismatch`] if lengths differ.
+    /// * [`OptimizeError::EmptyProblem`] for empty input.
+    /// * [`OptimizeError::InvalidBounds`] if any `lower > upper`.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self, OptimizeError> {
+        if lower.len() != upper.len() {
+            return Err(OptimizeError::DimensionMismatch {
+                x0: lower.len(),
+                bounds: upper.len(),
+            });
+        }
+        if lower.is_empty() {
+            return Err(OptimizeError::EmptyProblem);
+        }
+        for (i, (&lo, &hi)) in lower.iter().zip(&upper).enumerate() {
+            if lo > hi {
+                return Err(OptimizeError::InvalidBounds {
+                    index: i,
+                    lower: lo,
+                    upper: hi,
+                });
+            }
+        }
+        Ok(Self { lower, upper })
+    }
+
+    /// Creates `dim` identical `[lower, upper]` intervals.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bounds::new`].
+    pub fn uniform(dim: usize, lower: f64, upper: f64) -> Result<Self, OptimizeError> {
+        Self::new(vec![lower; dim], vec![upper; dim])
+    }
+
+    /// Dimensionality of the box.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bounds.
+    #[must_use]
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    #[must_use]
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Interval width of coordinate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim()`.
+    #[must_use]
+    pub fn width(&self, i: usize) -> f64 {
+        self.upper[i] - self.lower[i]
+    }
+
+    /// `true` if `x` lies inside the box (inclusive).
+    #[must_use]
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(&xi, (&lo, &hi))| xi >= lo && xi <= hi)
+    }
+
+    /// Euclidean projection of `x` onto the box (component-wise clamp).
+    #[must_use]
+    pub fn project(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(&xi, (&lo, &hi))| xi.clamp(lo, hi))
+            .collect()
+    }
+
+    /// In-place version of [`Bounds::project`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn project_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "projection dimension mismatch");
+        for (xi, (&lo, &hi)) in x.iter_mut().zip(self.lower.iter().zip(&self.upper)) {
+            *xi = xi.clamp(lo, hi);
+        }
+    }
+
+    /// Samples a uniformly random interior point — the paper's "random
+    /// initialization" of the QAOA control parameters.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&lo, &hi)| if lo == hi { lo } else { rng.gen_range(lo..hi) })
+            .collect()
+    }
+
+    /// The box center, a deterministic fallback start.
+    #[must_use]
+    pub fn center(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&lo, &hi)| 0.5 * (lo + hi))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_checks() {
+        assert!(matches!(
+            Bounds::new(vec![0.0], vec![1.0, 2.0]),
+            Err(OptimizeError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Bounds::new(vec![], vec![]),
+            Err(OptimizeError::EmptyProblem)
+        ));
+        assert!(matches!(
+            Bounds::new(vec![2.0], vec![1.0]),
+            Err(OptimizeError::InvalidBounds { index: 0, .. })
+        ));
+        let b = Bounds::uniform(3, -1.0, 1.0).unwrap();
+        assert_eq!(b.dim(), 3);
+        assert_eq!(b.width(0), 2.0);
+    }
+
+    #[test]
+    fn membership_and_projection() {
+        let b = Bounds::new(vec![0.0, -1.0], vec![1.0, 1.0]).unwrap();
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(!b.contains(&[1.5, 0.0]));
+        assert!(!b.contains(&[0.5])); // wrong dimension
+        assert_eq!(b.project(&[2.0, -3.0]), vec![1.0, -1.0]);
+        let mut x = [0.5, 0.5];
+        b.project_in_place(&mut x);
+        assert_eq!(x, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = Bounds::new(vec![0.0, 5.0], vec![2.0, 5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let x = b.sample(&mut rng);
+            assert!(b.contains(&x));
+            assert_eq!(x[1], 5.0); // degenerate interval sampled exactly
+        }
+    }
+
+    #[test]
+    fn center_point() {
+        let b = Bounds::new(vec![0.0, 2.0], vec![4.0, 2.0]).unwrap();
+        assert_eq!(b.center(), vec![2.0, 2.0]);
+        assert!(b.contains(&b.center()));
+    }
+}

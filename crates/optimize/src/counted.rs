@@ -1,0 +1,89 @@
+use std::cell::Cell;
+
+/// Wraps an objective and counts every evaluation.
+///
+/// The paper's headline metric is the number of optimization-loop iterations
+/// ("function calls" / "QC calls"), so the count must be airtight: every
+/// optimizer in this crate funnels all evaluations — including finite-
+/// difference gradient probes — through one `Counted` instance.
+///
+/// Interior mutability (a `Cell`) keeps the public objective type a plain
+/// `&dyn Fn(&[f64]) -> f64`.
+///
+/// # Example
+///
+/// ```
+/// use optimize::Counted;
+/// let f = |x: &[f64]| x[0] * x[0];
+/// let counted = Counted::new(&f);
+/// counted.eval(&[2.0]);
+/// counted.eval(&[3.0]);
+/// assert_eq!(counted.count(), 2);
+/// ```
+pub struct Counted<'a> {
+    f: &'a dyn Fn(&[f64]) -> f64,
+    calls: Cell<usize>,
+}
+
+impl<'a> Counted<'a> {
+    /// Wraps `f` with a zeroed counter.
+    #[must_use]
+    pub fn new(f: &'a dyn Fn(&[f64]) -> f64) -> Self {
+        Self {
+            f,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// Evaluates the objective, incrementing the counter.
+    #[must_use]
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.calls.set(self.calls.get() + 1);
+        (self.f)(x)
+    }
+
+    /// Number of evaluations so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.calls.get()
+    }
+}
+
+impl std::fmt::Debug for Counted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counted")
+            .field("calls", &self.calls.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_every_call() {
+        let f = |x: &[f64]| x.iter().sum();
+        let c = Counted::new(&f);
+        assert_eq!(c.count(), 0);
+        for i in 0..17 {
+            let _ = c.eval(&[i as f64]);
+        }
+        assert_eq!(c.count(), 17);
+    }
+
+    #[test]
+    fn passes_values_through() {
+        let f = |x: &[f64]| 2.0 * x[0];
+        let c = Counted::new(&f);
+        assert_eq!(c.eval(&[21.0]), 42.0);
+    }
+
+    #[test]
+    fn debug_shows_count() {
+        let f = |_: &[f64]| 0.0;
+        let c = Counted::new(&f);
+        let _ = c.eval(&[]);
+        assert!(format!("{c:?}").contains("calls: 1"));
+    }
+}

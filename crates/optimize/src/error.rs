@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for optimizer setup and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizeError {
+    /// `x0` and the bounds disagree on dimensionality.
+    DimensionMismatch {
+        /// Length of the starting point.
+        x0: usize,
+        /// Dimension of the bounds.
+        bounds: usize,
+    },
+    /// A zero-dimensional problem was supplied.
+    EmptyProblem,
+    /// A bound has `lower > upper`.
+    InvalidBounds {
+        /// Index of the offending coordinate.
+        index: usize,
+        /// The lower bound.
+        lower: f64,
+        /// The upper bound.
+        upper: f64,
+    },
+    /// The objective returned NaN or ±∞ at the starting point.
+    NonFiniteObjective {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::DimensionMismatch { x0, bounds } => {
+                write!(f, "starting point has {x0} coordinates but bounds have {bounds}")
+            }
+            OptimizeError::EmptyProblem => write!(f, "cannot optimize a zero-dimensional problem"),
+            OptimizeError::InvalidBounds { index, lower, upper } => write!(
+                f,
+                "invalid bound at index {index}: lower {lower} > upper {upper}"
+            ),
+            OptimizeError::NonFiniteObjective { value } => {
+                write!(f, "objective is not finite at the starting point: {value}")
+            }
+        }
+    }
+}
+
+impl Error for OptimizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptimizeError::DimensionMismatch { x0: 2, bounds: 3 }
+            .to_string()
+            .contains("2 coordinates"));
+        assert!(OptimizeError::EmptyProblem.to_string().contains("zero-dimensional"));
+        assert!(OptimizeError::InvalidBounds {
+            index: 1,
+            lower: 2.0,
+            upper: 1.0
+        }
+        .to_string()
+        .contains("index 1"));
+        assert!(OptimizeError::NonFiniteObjective { value: f64::NAN }
+            .to_string()
+            .contains("NaN"));
+    }
+}

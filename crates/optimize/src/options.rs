@@ -1,0 +1,121 @@
+/// Shared termination settings for every optimizer.
+///
+/// The paper runs all optimizers with a functional tolerance of `1e-6` and
+/// SciPy-like default iteration budgets; those are the defaults here.
+///
+/// # Example
+///
+/// ```
+/// let opts = optimize::Options::default().with_ftol(1e-8).with_max_iters(500);
+/// assert_eq!(opts.ftol, 1e-8);
+/// assert_eq!(opts.max_iters, 500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Converged when the improvement in `f` falls below
+    /// `ftol * (1 + |f|)` (SciPy's relative-plus-absolute test).
+    pub ftol: f64,
+    /// Converged when the (projected) gradient infinity-norm falls below
+    /// this value (gradient-based methods only).
+    pub gtol: f64,
+    /// Hard cap on outer iterations.
+    pub max_iters: usize,
+    /// Hard cap on objective evaluations (0 disables the cap).
+    pub max_calls: usize,
+    /// Relative step for finite-difference gradients.
+    pub fd_step: f64,
+}
+
+impl Options {
+    /// The paper's functional tolerance.
+    pub const PAPER_FTOL: f64 = 1e-6;
+
+    /// Returns a copy with a different functional tolerance.
+    #[must_use]
+    pub fn with_ftol(mut self, ftol: f64) -> Self {
+        self.ftol = ftol;
+        self
+    }
+
+    /// Returns a copy with a different gradient tolerance.
+    #[must_use]
+    pub fn with_gtol(mut self, gtol: f64) -> Self {
+        self.gtol = gtol;
+        self
+    }
+
+    /// Returns a copy with a different iteration cap.
+    #[must_use]
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Returns a copy with a different evaluation cap (0 = unlimited).
+    #[must_use]
+    pub fn with_max_calls(mut self, max_calls: usize) -> Self {
+        self.max_calls = max_calls;
+        self
+    }
+
+    /// `true` once `calls` exhausts the evaluation budget.
+    #[must_use]
+    pub fn calls_exhausted(&self, calls: usize) -> bool {
+        self.max_calls != 0 && calls >= self.max_calls
+    }
+
+    /// The SciPy-style convergence test on successive objective values.
+    #[must_use]
+    pub fn f_converged(&self, f_old: f64, f_new: f64) -> bool {
+        (f_old - f_new).abs() <= self.ftol * (1.0 + f_new.abs())
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            ftol: Self::PAPER_FTOL,
+            gtol: 1e-6,
+            max_iters: 1000,
+            max_calls: 0,
+            fd_step: 1e-7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let o = Options::default()
+            .with_ftol(1e-3)
+            .with_gtol(1e-4)
+            .with_max_iters(7)
+            .with_max_calls(9);
+        assert_eq!(o.ftol, 1e-3);
+        assert_eq!(o.gtol, 1e-4);
+        assert_eq!(o.max_iters, 7);
+        assert_eq!(o.max_calls, 9);
+    }
+
+    #[test]
+    fn call_budget() {
+        let o = Options::default();
+        assert!(!o.calls_exhausted(1_000_000)); // default unlimited
+        let capped = o.with_max_calls(10);
+        assert!(!capped.calls_exhausted(9));
+        assert!(capped.calls_exhausted(10));
+    }
+
+    #[test]
+    fn convergence_test_is_relative() {
+        let o = Options::default().with_ftol(1e-6);
+        assert!(o.f_converged(1.0, 1.0));
+        assert!(o.f_converged(1.0 + 5e-7, 1.0));
+        assert!(!o.f_converged(1.1, 1.0));
+        // Scales with |f|: a 1e-4 change at f = 1000 converges at ftol 1e-6.
+        assert!(o.f_converged(1000.0004, 1000.0));
+    }
+}

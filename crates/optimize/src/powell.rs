@@ -1,0 +1,355 @@
+use crate::{Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options, Termination};
+
+/// Powell's conjugate-direction method (derivative-free).
+///
+/// SciPy ships `method="Powell"` alongside the four optimizers the paper
+/// benchmarks; it is included here as an extension so the `optimizer_zoo`
+/// study can place the two-level flow on a broader optimizer spectrum.
+///
+/// Each outer iteration line-minimizes along every direction of the current
+/// direction set (initially the coordinate axes), then replaces the
+/// direction of largest decrease with the overall displacement, per Powell's
+/// classic update with the Acton/Numerical-Recipes acceptance test. Line
+/// minimization is a bounded golden-section search over the feasible segment
+/// of the box, so every iterate is feasible by construction.
+///
+/// # Example
+///
+/// ```
+/// use optimize::{Bounds, Optimizer, Options, Powell};
+/// # fn main() -> Result<(), optimize::OptimizeError> {
+/// let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 10.0 * (x[1] + 0.5).powi(2);
+/// let bounds = Bounds::uniform(2, -2.0, 2.0)?;
+/// let r = Powell::default().minimize(&f, &[0.0, 0.0], &bounds, &Options::default())?;
+/// assert!(r.fx < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Powell {
+    /// Relative tolerance of each golden-section line search.
+    pub line_tol: f64,
+    /// Maximum golden-section iterations per line search.
+    pub line_max_iters: usize,
+}
+
+impl Default for Powell {
+    fn default() -> Self {
+        Self {
+            line_tol: 1e-8,
+            line_max_iters: 100,
+        }
+    }
+}
+
+/// Feasible parameter interval `[t_lo, t_hi]` of the ray `x + t d` in the box.
+fn feasible_interval(x: &[f64], d: &[f64], bounds: &Bounds) -> Option<(f64, f64)> {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    for i in 0..x.len() {
+        if d[i].abs() < 1e-300 {
+            continue;
+        }
+        let a = (bounds.lower()[i] - x[i]) / d[i];
+        let b = (bounds.upper()[i] - x[i]) / d[i];
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        lo = lo.max(a);
+        hi = hi.min(b);
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo > hi {
+        None
+    } else {
+        Some((lo, hi))
+    }
+}
+
+const INV_PHI: f64 = 0.618_033_988_749_894_8; // (√5 − 1) / 2
+
+impl Powell {
+    /// Golden-section minimization of `t ↦ f(x + t d)` over `[lo, hi]`.
+    /// Returns `(t*, f(x + t* d))`.
+    fn line_minimize(
+        &self,
+        counted: &Counted<'_>,
+        x: &[f64],
+        d: &[f64],
+        lo: f64,
+        hi: f64,
+        bounds: &Bounds,
+    ) -> (f64, f64) {
+        let probe = |t: f64| {
+            let p: Vec<f64> = x.iter().zip(d).map(|(&xi, &di)| xi + t * di).collect();
+            counted.eval(&bounds.project(&p))
+        };
+        let mut a = lo;
+        let mut b = hi;
+        let mut c = b - INV_PHI * (b - a);
+        let mut e = a + INV_PHI * (b - a);
+        let mut fc = probe(c);
+        let mut fe = probe(e);
+        let scale = (hi - lo).abs().max(1.0);
+        for _ in 0..self.line_max_iters {
+            if (b - a).abs() <= self.line_tol * scale {
+                break;
+            }
+            if fc < fe {
+                b = e;
+                e = c;
+                fe = fc;
+                c = b - INV_PHI * (b - a);
+                fc = probe(c);
+            } else {
+                a = c;
+                c = e;
+                fc = fe;
+                e = a + INV_PHI * (b - a);
+                fe = probe(e);
+            }
+        }
+        if fc < fe {
+            (c, fc)
+        } else {
+            (e, fe)
+        }
+    }
+}
+
+impl Optimizer for Powell {
+    fn minimize(
+        &self,
+        f: &dyn Fn(&[f64]) -> f64,
+        x0: &[f64],
+        bounds: &Bounds,
+        options: &Options,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        if x0.is_empty() {
+            return Err(OptimizeError::EmptyProblem);
+        }
+        if x0.len() != bounds.dim() {
+            return Err(OptimizeError::DimensionMismatch {
+                x0: x0.len(),
+                bounds: bounds.dim(),
+            });
+        }
+        let counted = Counted::new(f);
+        let n = x0.len();
+        let mut x = bounds.project(x0);
+        let mut fx = counted.eval(&x);
+        if !fx.is_finite() {
+            return Err(OptimizeError::NonFiniteObjective { value: fx });
+        }
+
+        // Direction set: the coordinate axes.
+        let mut dirs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut d = vec![0.0; n];
+                d[i] = 1.0;
+                d
+            })
+            .collect();
+
+        let mut termination = Termination::MaxIterations;
+        let mut iters = 0;
+
+        for iter in 0..options.max_iters {
+            iters = iter + 1;
+            let x_start = x.clone();
+            let f_start = fx;
+            let mut biggest_drop = 0.0;
+            let mut biggest_idx = 0;
+
+            for (k, d) in dirs.iter().enumerate() {
+                if options.calls_exhausted(counted.count()) {
+                    termination = Termination::MaxCalls;
+                    break;
+                }
+                let Some((lo, hi)) = feasible_interval(&x, d, bounds) else {
+                    continue;
+                };
+                if hi - lo < 1e-14 {
+                    continue;
+                }
+                let (t, ft) = self.line_minimize(&counted, &x, d, lo, hi, bounds);
+                if ft < fx {
+                    let drop = fx - ft;
+                    if drop > biggest_drop {
+                        biggest_drop = drop;
+                        biggest_idx = k;
+                    }
+                    for (xi, di) in x.iter_mut().zip(d) {
+                        *xi += t * di;
+                    }
+                    bounds.project_in_place(&mut x);
+                    fx = ft;
+                }
+            }
+            if termination == Termination::MaxCalls {
+                break;
+            }
+            if !fx.is_finite() {
+                termination = Termination::NonFinite;
+                break;
+            }
+
+            // Convergence on function decrease across the whole sweep.
+            if 2.0 * (f_start - fx) <= options.ftol * (f_start.abs() + fx.abs() + 1e-20) {
+                termination = Termination::FtolSatisfied;
+                break;
+            }
+
+            // Powell's direction update: try the total displacement.
+            let disp: Vec<f64> = x.iter().zip(&x_start).map(|(a, b)| a - b).collect();
+            let disp_norm: f64 = disp.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if disp_norm > 1e-14 {
+                // Extrapolated point 2x − x_start.
+                let extrap: Vec<f64> = x.iter().zip(&x_start).map(|(a, b)| 2.0 * a - b).collect();
+                let extrap = bounds.project(&extrap);
+                let f_extrap = counted.eval(&extrap);
+                if f_extrap < f_start {
+                    // Numerical-Recipes acceptance test.
+                    let t = 2.0 * (f_start - 2.0 * fx + f_extrap)
+                        * (f_start - fx - biggest_drop).powi(2)
+                        - biggest_drop * (f_start - f_extrap).powi(2);
+                    if t < 0.0 {
+                        if let Some((lo, hi)) = feasible_interval(&x, &disp, bounds) {
+                            if hi - lo > 1e-14 {
+                                let (t_min, ft) =
+                                    self.line_minimize(&counted, &x, &disp, lo, hi, bounds);
+                                if ft < fx {
+                                    for (xi, di) in x.iter_mut().zip(&disp) {
+                                        *xi += t_min * di;
+                                    }
+                                    bounds.project_in_place(&mut x);
+                                    fx = ft;
+                                }
+                                dirs[biggest_idx] = dirs[n - 1].clone();
+                                dirs[n - 1] = disp;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(OptimizeResult {
+            x,
+            fx,
+            n_calls: counted.count(),
+            n_iters: iters,
+            termination,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Powell"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn minimizes_sphere() {
+        let b = Bounds::uniform(3, -2.0, 2.0).unwrap();
+        let r = Powell::default()
+            .minimize(&sphere, &[1.0, -1.5, 0.7], &b, &Options::default())
+            .unwrap();
+        assert!(r.fx < 1e-10, "{r}");
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        let opts = Options::default().with_max_iters(500);
+        let r = Powell::default().minimize(&rosen, &[-1.2, 1.0], &b, &opts).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-4, "{r}");
+        assert!((r.x[1] - 1.0).abs() < 1e-4, "{r}");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 3.0).powi(2);
+        let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
+        let r = Powell::default()
+            .minimize(&f, &[0.0, 0.0], &b, &Options::default())
+            .unwrap();
+        assert!(b.contains(&r.x));
+        assert!((r.x[0] - 1.0).abs() < 1e-6);
+        assert!((r.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlated_quadratic_uses_direction_update() {
+        // Strongly coupled quadratic where axis moves alone converge slowly.
+        let f = |x: &[f64]| {
+            let u = x[0] + x[1];
+            let v = x[0] - x[1];
+            u * u + 100.0 * v * v
+        };
+        let b = Bounds::uniform(2, -4.0, 4.0).unwrap();
+        let r = Powell::default()
+            .minimize(&f, &[3.0, -2.0], &b, &Options::default())
+            .unwrap();
+        assert!(r.fx < 1e-8, "{r}");
+    }
+
+    #[test]
+    fn start_at_corner() {
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let r = Powell::default()
+            .minimize(&sphere, &[1.0, 1.0], &b, &Options::default())
+            .unwrap();
+        assert!(r.fx < 1e-10);
+    }
+
+    #[test]
+    fn max_calls_cap_respected() {
+        let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        let opts = Options::default().with_max_calls(15);
+        let r = Powell::default().minimize(&sphere, &[4.0, 4.0], &b, &opts).unwrap();
+        // The cap is checked before each direction sweep entry; one line
+        // search adds at most line_max_iters+2 calls past the cap.
+        assert!(r.n_calls <= 15 + 102 + 2);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(matches!(
+            Powell::default().minimize(&sphere, &[0.5], &b, &Options::default()),
+            Err(OptimizeError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Powell::default().minimize(&sphere, &[], &b, &Options::default()),
+            Err(OptimizeError::EmptyProblem)
+        ));
+    }
+
+    #[test]
+    fn nonfinite_start_rejected() {
+        let f = |_: &[f64]| f64::NAN;
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        assert!(matches!(
+            Powell::default().minimize(&f, &[0.5], &b, &Options::default()),
+            Err(OptimizeError::NonFiniteObjective { .. })
+        ));
+    }
+
+    #[test]
+    fn one_dimensional_quadratic() {
+        let f = |x: &[f64]| (x[0] - 0.3).powi(2);
+        let b = Bounds::uniform(1, 0.0, 1.0).unwrap();
+        let r = Powell::default()
+            .minimize(&f, &[0.9], &b, &Options::default())
+            .unwrap();
+        assert!((r.x[0] - 0.3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+use std::fmt;
+
+/// Why an optimization run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Termination {
+    /// Successive objective values differed by less than `ftol`.
+    FtolSatisfied,
+    /// The (projected) gradient norm fell below `gtol`.
+    GtolSatisfied,
+    /// The simplex / trust region collapsed below resolution.
+    StepSizeZero,
+    /// The iteration cap was hit before convergence.
+    MaxIterations,
+    /// The evaluation cap was hit before convergence.
+    MaxCalls,
+    /// The objective produced a non-finite value mid-run; the best finite
+    /// iterate is returned.
+    NonFinite,
+}
+
+impl Termination {
+    /// `true` for terminations that indicate convergence rather than a
+    /// budget or numerical failure.
+    #[must_use]
+    pub fn is_converged(self) -> bool {
+        matches!(
+            self,
+            Termination::FtolSatisfied | Termination::GtolSatisfied | Termination::StepSizeZero
+        )
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Termination::FtolSatisfied => "ftol satisfied",
+            Termination::GtolSatisfied => "gtol satisfied",
+            Termination::StepSizeZero => "step size collapsed",
+            Termination::MaxIterations => "maximum iterations reached",
+            Termination::MaxCalls => "maximum function calls reached",
+            Termination::NonFinite => "objective became non-finite",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of a single local-optimization run.
+///
+/// `n_calls` is the paper's cost metric (loop iterations / QC calls): the
+/// total number of objective evaluations, gradient probes included.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Total objective evaluations consumed.
+    pub n_calls: usize,
+    /// Outer iterations performed.
+    pub n_iters: usize,
+    /// Why the run stopped.
+    pub termination: Termination,
+}
+
+impl OptimizeResult {
+    /// `true` if the run stopped because a convergence test fired.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.termination.is_converged()
+    }
+}
+
+impl fmt::Display for OptimizeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f = {:.6e} after {} calls / {} iters ({})",
+            self.fx, self.n_calls, self.n_iters, self.termination
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_classification() {
+        assert!(Termination::FtolSatisfied.is_converged());
+        assert!(Termination::GtolSatisfied.is_converged());
+        assert!(Termination::StepSizeZero.is_converged());
+        assert!(!Termination::MaxIterations.is_converged());
+        assert!(!Termination::MaxCalls.is_converged());
+        assert!(!Termination::NonFinite.is_converged());
+    }
+
+    #[test]
+    fn display_result() {
+        let r = OptimizeResult {
+            x: vec![1.0],
+            fx: 0.5,
+            n_calls: 10,
+            n_iters: 3,
+            termination: Termination::FtolSatisfied,
+        };
+        let s = r.to_string();
+        assert!(s.contains("10 calls"));
+        assert!(s.contains("ftol satisfied"));
+        assert!(r.converged());
+    }
+}

@@ -1,0 +1,433 @@
+use crate::{
+    forward_difference, Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options,
+    Termination,
+};
+
+/// Sequential quadratic programming for box constraints — the workspace's
+/// SLSQP.
+///
+/// Kraft's SLSQP solves a least-squares QP with general constraints at every
+/// step. The paper's problems carry **only box constraints**, for which the
+/// QP subproblem
+///
+/// ```text
+/// min_d  ½ dᵀB d + gᵀd   s.t.  l ≤ x + d ≤ u
+/// ```
+///
+/// is solved exactly here by a primal active-set method (`solve_box_qp`),
+/// with `B` maintained as a damped-BFGS approximation (Powell's damping, the
+/// same safeguard Kraft uses). A backtracking Armijo line search globalizes
+/// the step. Behaviour on this problem class matches SciPy's SLSQP: fast
+/// quadratic local convergence, bound-respecting iterates, forward-difference
+/// gradients counted as function calls.
+///
+/// # Example
+///
+/// ```
+/// use optimize::{Bounds, Optimizer, Options, Slsqp};
+/// # fn main() -> Result<(), optimize::OptimizeError> {
+/// let f = |x: &[f64]| (x[0] + 2.0_f64).powi(2) + (x[1] - 0.5_f64).powi(2);
+/// let bounds = Bounds::uniform(2, 0.0, 1.0)?;
+/// let r = Slsqp::default().minimize(&f, &[0.9, 0.9], &bounds, &Options::default())?;
+/// // x0 is pinned to its lower bound, x1 is interior.
+/// assert!(r.x[0].abs() < 1e-6 && (r.x[1] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slsqp {
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c1: f64,
+    /// Backtracking factor.
+    pub backtrack: f64,
+    /// Maximum line-search evaluations per iteration.
+    pub max_line_steps: usize,
+}
+
+impl Default for Slsqp {
+    fn default() -> Self {
+        Self {
+            armijo_c1: 1e-4,
+            backtrack: 0.5,
+            max_line_steps: 20,
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dense symmetric matrix in a flat buffer (row-major), n ≤ ~12 here.
+#[derive(Debug, Clone)]
+struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    fn identity(n: usize) -> Self {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        Self { n, data }
+    }
+
+    fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| dot(&self.data[i * self.n..(i + 1) * self.n], x))
+            .collect()
+    }
+
+    /// Rank-one update `B += c · v vᵀ`.
+    fn rank_one(&mut self, c: f64, v: &[f64]) {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                self.data[i * self.n + j] += c * v[i] * v[j];
+            }
+        }
+    }
+
+    /// Solves `B_free d = -g_free` on the free coordinates by Gaussian
+    /// elimination with partial pivoting; returns `None` on singularity.
+    fn solve_free(&self, g: &[f64], free: &[usize]) -> Option<Vec<f64>> {
+        let m = free.len();
+        let mut a = vec![0.0; m * m];
+        let mut b = vec![0.0; m];
+        for (r, &i) in free.iter().enumerate() {
+            for (c, &j) in free.iter().enumerate() {
+                a[r * m + c] = self.get(i, j);
+            }
+            b[r] = -g[i];
+        }
+        // In-place Gaussian elimination.
+        for k in 0..m {
+            let mut piv = k;
+            for r in (k + 1)..m {
+                if a[r * m + k].abs() > a[piv * m + k].abs() {
+                    piv = r;
+                }
+            }
+            if a[piv * m + k].abs() < 1e-12 {
+                return None;
+            }
+            if piv != k {
+                for c in 0..m {
+                    a.swap(k * m + c, piv * m + c);
+                }
+                b.swap(k, piv);
+            }
+            for r in (k + 1)..m {
+                let factor = a[r * m + k] / a[k * m + k];
+                for c in k..m {
+                    a[r * m + c] -= factor * a[k * m + c];
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        for k in (0..m).rev() {
+            let mut s = b[k];
+            for c in (k + 1)..m {
+                s -= a[k * m + c] * b[c];
+            }
+            b[k] = s / a[k * m + k];
+        }
+        Some(b)
+    }
+}
+
+/// Exact primal active-set solver for `min ½dᵀBd + gᵀd, l ≤ x+d ≤ u`.
+///
+/// Starts with all coordinates free; whenever the unconstrained step of the
+/// free subsystem leaves the box, the step is truncated at the first blocking
+/// bound, that coordinate joins the active set, and the subsystem is
+/// re-solved. Terminates in at most `n` outer rounds.
+fn solve_box_qp(b_mat: &SymMatrix, g: &[f64], x: &[f64], bounds: &Bounds) -> Vec<f64> {
+    let n = g.len();
+    let mut d = vec![0.0; n];
+    let mut active = vec![false; n];
+
+    // Coordinates already pinned at a bound with the gradient pushing
+    // outward stay active from the start.
+    for i in 0..n {
+        let at_lower = x[i] <= bounds.lower()[i] + 1e-14 && g[i] > 0.0;
+        let at_upper = x[i] >= bounds.upper()[i] - 1e-14 && g[i] < 0.0;
+        if at_lower || at_upper {
+            active[i] = true;
+        }
+    }
+
+    for _round in 0..n {
+        let free: Vec<usize> = (0..n).filter(|&i| !active[i]).collect();
+        if free.is_empty() {
+            break;
+        }
+        // Gradient of the quadratic model at current d, restricted to free.
+        let bd = b_mat.matvec(&d);
+        let model_grad: Vec<f64> = (0..n).map(|i| g[i] + bd[i]).collect();
+        let Some(step_free) = b_mat.solve_free(&model_grad, &free) else {
+            // Singular reduced Hessian: fall back to a steepest-descent step.
+            for (k, &i) in free.iter().enumerate() {
+                let _ = k;
+                d[i] -= model_grad[i];
+            }
+            // Clamp into the box and stop refining.
+            for i in 0..n {
+                d[i] = d[i].clamp(bounds.lower()[i] - x[i], bounds.upper()[i] - x[i]);
+            }
+            break;
+        };
+
+        // Longest feasible prefix of the proposed free-space step.
+        let mut t_max = 1.0_f64;
+        let mut blocker: Option<usize> = None;
+        for (k, &i) in free.iter().enumerate() {
+            let target = d[i] + step_free[k];
+            let lo = bounds.lower()[i] - x[i];
+            let hi = bounds.upper()[i] - x[i];
+            if target < lo || target > hi {
+                let bound = if target < lo { lo } else { hi };
+                let t = if step_free[k].abs() < 1e-300 {
+                    0.0
+                } else {
+                    (bound - d[i]) / step_free[k]
+                };
+                if t < t_max {
+                    t_max = t.max(0.0);
+                    blocker = Some(i);
+                }
+            }
+        }
+        for (k, &i) in free.iter().enumerate() {
+            d[i] += t_max * step_free[k];
+        }
+        match blocker {
+            Some(i) => active[i] = true,
+            None => break, // full Newton step was feasible: done
+        }
+    }
+    // Numerical safety: keep x + d strictly inside the box.
+    for i in 0..n {
+        d[i] = d[i].clamp(bounds.lower()[i] - x[i], bounds.upper()[i] - x[i]);
+    }
+    d
+}
+
+impl Optimizer for Slsqp {
+    fn minimize(
+        &self,
+        f: &dyn Fn(&[f64]) -> f64,
+        x0: &[f64],
+        bounds: &Bounds,
+        options: &Options,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        if x0.is_empty() {
+            return Err(OptimizeError::EmptyProblem);
+        }
+        if x0.len() != bounds.dim() {
+            return Err(OptimizeError::DimensionMismatch {
+                x0: x0.len(),
+                bounds: bounds.dim(),
+            });
+        }
+        let n = x0.len();
+        let counted = Counted::new(f);
+        let mut x = bounds.project(x0);
+        let mut fx = counted.eval(&x);
+        if !fx.is_finite() {
+            return Err(OptimizeError::NonFiniteObjective { value: fx });
+        }
+        let mut grad = forward_difference(&counted, &x, fx, bounds, options.fd_step);
+        let mut b_mat = SymMatrix::identity(n);
+
+        let mut termination = Termination::MaxIterations;
+        let mut iters = 0;
+        // One Hessian reset is allowed when the line search fails with a
+        // stale BFGS model (standard quasi-Newton restart); a second failure
+        // terminates.
+        let mut hessian_is_fresh = true;
+
+        for iter in 0..options.max_iters {
+            iters = iter + 1;
+            if options.calls_exhausted(counted.count()) {
+                termination = Termination::MaxCalls;
+                break;
+            }
+            let d = solve_box_qp(&b_mat, &grad, &x, bounds);
+            let d_norm = d.iter().map(|v| v.abs()).fold(0.0_f64, f64::max);
+            if d_norm <= options.gtol {
+                termination = Termination::GtolSatisfied;
+                break;
+            }
+
+            // Armijo backtracking along d (already feasible end point).
+            let gd = dot(&grad, &d);
+            let mut alpha = 1.0_f64;
+            let mut accepted = false;
+            let mut x_new = x.clone();
+            let mut f_new = fx;
+            for _ in 0..self.max_line_steps {
+                let trial: Vec<f64> = x.iter().zip(&d).map(|(&xi, &di)| xi + alpha * di).collect();
+                let trial = bounds.project(&trial);
+                let ft = counted.eval(&trial);
+                if ft.is_finite() && ft <= fx + self.armijo_c1 * alpha * gd {
+                    x_new = trial;
+                    f_new = ft;
+                    accepted = true;
+                    break;
+                }
+                alpha *= self.backtrack;
+                if options.calls_exhausted(counted.count()) {
+                    break;
+                }
+            }
+            if !accepted {
+                if !hessian_is_fresh {
+                    // Retry once from a steepest-descent model.
+                    b_mat = SymMatrix::identity(n);
+                    hessian_is_fresh = true;
+                    continue;
+                }
+                termination = Termination::StepSizeZero;
+                break;
+            }
+
+            let grad_new = forward_difference(&counted, &x_new, f_new, bounds, options.fd_step);
+
+            // Damped BFGS (Powell): keep B positive definite even when the
+            // curvature condition fails.
+            let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(a, b)| a - b).collect();
+            let bs = b_mat.matvec(&s);
+            let sbs = dot(&s, &bs);
+            let sy = dot(&s, &y);
+            if sbs > 1e-300 {
+                let theta = if sy >= 0.2 * sbs {
+                    1.0
+                } else {
+                    0.8 * sbs / (sbs - sy)
+                };
+                let r: Vec<f64> = y
+                    .iter()
+                    .zip(&bs)
+                    .map(|(&yi, &bsi)| theta * yi + (1.0 - theta) * bsi)
+                    .collect();
+                let sr = dot(&s, &r);
+                if sr > 1e-300 {
+                    b_mat.rank_one(-1.0 / sbs, &bs);
+                    b_mat.rank_one(1.0 / sr, &r);
+                    hessian_is_fresh = false;
+                }
+            }
+
+            let converged = options.f_converged(fx, f_new);
+            x = x_new;
+            fx = f_new;
+            grad = grad_new;
+            if converged {
+                termination = Termination::FtolSatisfied;
+                break;
+            }
+        }
+
+        Ok(OptimizeResult {
+            x,
+            fx,
+            n_calls: counted.count(),
+            n_iters: iters,
+            termination,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "SLSQP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn interior_minimum() {
+        let f = |x: &[f64]| (x[0] - 0.3_f64).powi(2) + 2.0 * (x[1] - 0.6_f64).powi(2);
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let r = Slsqp::default()
+            .minimize(&f, &[0.9, 0.1], &b, &Options::default())
+            .unwrap();
+        assert!((r.x[0] - 0.3).abs() < 1e-5, "{r}");
+        assert!((r.x[1] - 0.6).abs() < 1e-5, "{r}");
+    }
+
+    #[test]
+    fn bound_constrained_minimum() {
+        // Unconstrained min at (-2, 3): both coordinates pinned.
+        let f = |x: &[f64]| (x[0] + 2.0_f64).powi(2) + (x[1] - 3.0_f64).powi(2);
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let r = Slsqp::default()
+            .minimize(&f, &[0.5, 0.5], &b, &Options::default())
+            .unwrap();
+        assert!(r.x[0].abs() < 1e-6, "{r}");
+        assert!((r.x[1] - 1.0).abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn rosenbrock() {
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
+        let r = Slsqp::default()
+            .minimize(&f, &[-1.0, 2.0], &b, &Options::default().with_max_iters(500))
+            .unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{r}");
+    }
+
+    #[test]
+    fn box_qp_exact_on_quadratic() {
+        // B = I, g = (2, -2), x = (0.5, 0.5), box [0,1]: d = (-0.5, 0.5).
+        let b_mat = SymMatrix::identity(2);
+        let bounds = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        let d = solve_box_qp(&b_mat, &[2.0, -2.0], &[0.5, 0.5], &bounds);
+        assert!((d[0] + 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_qp_respects_prepinned_bounds() {
+        let b_mat = SymMatrix::identity(2);
+        let bounds = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        // At lower bound with positive gradient: stay pinned.
+        let d = solve_box_qp(&b_mat, &[5.0, 0.0], &[0.0, 0.5], &bounds);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn counts_calls() {
+        let b = Bounds::uniform(3, -1.0, 1.0).unwrap();
+        let r = Slsqp::default()
+            .minimize(&sphere, &[0.9, -0.9, 0.4], &b, &Options::default())
+            .unwrap();
+        assert!(r.n_calls > 3); // initial eval + first gradient
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn error_paths() {
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert!(Slsqp::default()
+            .minimize(&sphere, &[0.1], &b, &Options::default())
+            .is_err());
+        let inf = |_: &[f64]| f64::INFINITY;
+        assert!(Slsqp::default()
+            .minimize(&inf, &[0.5, 0.5], &b, &Options::default())
+            .is_err());
+    }
+}

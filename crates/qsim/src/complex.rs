@@ -1,0 +1,288 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Implemented first-party (rather than pulling in `num-complex`) per the
+/// workspace's hermetic-build policy; provides exactly the operations the
+/// simulator needs.
+///
+/// # Example
+///
+/// ```
+/// use qsim::Complex64;
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// assert!((Complex64::from_polar(1.0, std::f64::consts::PI).re + 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian components.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// let z = qsim::Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!(z.re.abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[must_use]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}`, the unit phase used by diagonal gate kernels.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`; cheaper than [`Self::abs`] and exact for
+    /// probability computations.
+    #[must_use]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[must_use]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by `i` without a full complex multiply.
+    #[must_use]
+    pub fn mul_i(self) -> Self {
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `true` if both components are finite.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-14;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, Complex64::ZERO);
+        assert_eq!(a * Complex64::ONE, a);
+        let quotient = (a * b) / b;
+        assert!((quotient - a).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+        assert!((Complex64::cis(PI) + Complex64::ONE).abs() < EPS);
+    }
+
+    #[test]
+    fn mul_i_is_quarter_turn() {
+        let z = Complex64::new(1.0, 0.0);
+        let w = z.mul_i();
+        assert_eq!(w, Complex64::I);
+        assert!((w.arg() - FRAC_PI_2).abs() < EPS);
+        assert_eq!(z.mul_i().mul_i(), -z);
+    }
+
+    #[test]
+    fn scalar_ops_and_sum() {
+        let z = Complex64::new(1.0, 1.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, 2.0));
+        assert_eq!(2.0 * z, z.scale(2.0));
+        let total: Complex64 = [z, z, -z].into_iter().sum();
+        assert_eq!(total, z);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::ONE;
+        z += Complex64::I;
+        z -= Complex64::ONE;
+        z *= Complex64::I;
+        assert_eq!(z, -Complex64::ONE);
+    }
+
+    #[test]
+    fn display_and_finite() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+    }
+
+    #[test]
+    fn from_real() {
+        let z: Complex64 = 2.5.into();
+        assert_eq!(z, Complex64::new(2.5, 0.0));
+    }
+}

@@ -1,0 +1,621 @@
+use crate::channels::{KrausChannel, NoiseModel};
+use crate::circuit::{Circuit, Gate};
+use crate::gates::{self, Gate2};
+use crate::{Complex64, DiagonalObservable, QsimError, StateVector};
+
+/// Widest register the density-matrix simulator will allocate
+/// (`4^n` complex entries; 12 qubits ≈ 256 MiB).
+pub const MAX_DM_QUBITS: usize = 12;
+
+/// A mixed quantum state ρ on `n` qubits, stored as a dense row-major
+/// `2ⁿ × 2ⁿ` complex matrix.
+///
+/// The state-vector simulator ([`StateVector`]) covers the paper's
+/// noiseless experiments; this type extends the substrate to open-system
+/// dynamics via Kraus [`KrausChannel`]s, enabling the `noisy_qaoa` study of
+/// the two-level flow under gate errors. Qubit index conventions (bit `q`
+/// of the basis index) match [`StateVector`] exactly, and
+/// [`DensityMatrix::run`] on a noiseless model agrees with the pure-state
+/// simulation to machine precision (cross-validated in the test suite).
+///
+/// # Example
+///
+/// ```
+/// use qsim::{Circuit, DensityMatrix, NoiseModel};
+/// # fn main() -> Result<(), qsim::QsimError> {
+/// // A noisy Bell pair keeps unit trace but loses purity.
+/// let mut circuit = Circuit::new(2);
+/// circuit.h(0).cnot(0, 1);
+/// let mut rho = DensityMatrix::zero_state(2)?;
+/// rho.run(&circuit, &NoiseModel::uniform_depolarizing(0.0, 0.05)?)?;
+/// assert!((rho.trace() - 1.0).abs() < 1e-12);
+/// assert!(rho.purity() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n_qubits: usize,
+    dim: usize,
+    /// Row-major entries ρ[r * dim + c].
+    elems: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::TooManyQubits`] beyond [`MAX_DM_QUBITS`].
+    pub fn zero_state(n_qubits: usize) -> Result<Self, QsimError> {
+        if n_qubits > MAX_DM_QUBITS {
+            return Err(QsimError::TooManyQubits { n_qubits });
+        }
+        let dim = 1usize << n_qubits;
+        let mut elems = vec![Complex64::ZERO; dim * dim];
+        elems[0] = Complex64::ONE;
+        Ok(Self {
+            n_qubits,
+            dim,
+            elems,
+        })
+    }
+
+    /// The uniform-superposition pure state `|+…+⟩⟨+…+|` that starts every
+    /// QAOA circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::TooManyQubits`] beyond [`MAX_DM_QUBITS`].
+    pub fn plus_state(n_qubits: usize) -> Result<Self, QsimError> {
+        Self::from_state_vector(&StateVector::plus_state(n_qubits))
+    }
+
+    /// The maximally mixed state `I / 2ⁿ`.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::TooManyQubits`] beyond [`MAX_DM_QUBITS`].
+    pub fn maximally_mixed(n_qubits: usize) -> Result<Self, QsimError> {
+        if n_qubits > MAX_DM_QUBITS {
+            return Err(QsimError::TooManyQubits { n_qubits });
+        }
+        let dim = 1usize << n_qubits;
+        let mut elems = vec![Complex64::ZERO; dim * dim];
+        let w = 1.0 / dim as f64;
+        for r in 0..dim {
+            elems[r * dim + r] = Complex64::new(w, 0.0);
+        }
+        Ok(Self {
+            n_qubits,
+            dim,
+            elems,
+        })
+    }
+
+    /// The projector `|ψ⟩⟨ψ|` of a pure state.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::TooManyQubits`] beyond [`MAX_DM_QUBITS`].
+    pub fn from_state_vector(state: &StateVector) -> Result<Self, QsimError> {
+        let n_qubits = state.n_qubits();
+        if n_qubits > MAX_DM_QUBITS {
+            return Err(QsimError::TooManyQubits { n_qubits });
+        }
+        let dim = state.dim();
+        let amps = state.amplitudes();
+        let mut elems = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            for col in 0..dim {
+                elems[r * dim + col] = amps[r] * amps[col].conj();
+            }
+        }
+        Ok(Self {
+            n_qubits,
+            dim,
+            elems,
+        })
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Hilbert-space dimension `2ⁿ`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Matrix element `ρ[r, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    #[must_use]
+    pub fn element(&self, r: usize, c: usize) -> Complex64 {
+        assert!(r < self.dim && c < self.dim, "index out of range");
+        self.elems[r * self.dim + c]
+    }
+
+    /// Trace `Tr ρ` (1 for any physical state; real up to rounding).
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        (0..self.dim).map(|r| self.elems[r * self.dim + r].re).sum()
+    }
+
+    /// Purity `Tr ρ²` ∈ `[1/2ⁿ, 1]`; exactly 1 for pure states.
+    #[must_use]
+    pub fn purity(&self) -> f64 {
+        // Tr ρ² = Σ_{r,c} ρ_{rc} ρ_{cr} = Σ_{r,c} |ρ_{rc}|² for Hermitian ρ.
+        self.elems.iter().map(|e| e.norm_sqr()).sum()
+    }
+
+    /// Measurement probability of the computational basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    #[must_use]
+    pub fn probability(&self, index: usize) -> f64 {
+        assert!(index < self.dim, "index out of range");
+        self.elems[index * self.dim + index].re.max(0.0)
+    }
+
+    /// All `2ⁿ` basis-state probabilities (the diagonal).
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim).map(|i| self.probability(i)).collect()
+    }
+
+    /// Expectation `Tr(ρ O)` of a diagonal observable — the QAOA cost
+    /// readout.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::DimensionMismatch`] if dimensions disagree.
+    pub fn expectation_diagonal(&self, obs: &DiagonalObservable) -> Result<f64, QsimError> {
+        if obs.diagonal().len() != self.dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: obs.diagonal().len(),
+                actual: self.dim,
+            });
+        }
+        Ok(obs
+            .diagonal()
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| o * self.elems[i * self.dim + i].re)
+            .sum())
+    }
+
+    /// Max-norm deviation from Hermiticity (diagnostic; 0 for valid states).
+    #[must_use]
+    pub fn hermiticity_deviation(&self) -> f64 {
+        let mut dev = 0.0_f64;
+        for r in 0..self.dim {
+            for c in (r..self.dim).skip(1) {
+                dev = dev.max((self.elems[r * self.dim + c] - self.elems[c * self.dim + r].conj()).abs());
+            }
+        }
+        dev
+    }
+
+    fn check_qubit(&self, qubit: usize) -> Result<(), QsimError> {
+        if qubit >= self.n_qubits {
+            return Err(QsimError::QubitOutOfRange {
+                qubit,
+                n_qubits: self.n_qubits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Left-multiplies by a single-qubit operator: ρ → A ρ.
+    fn left_mul_single(&mut self, qubit: usize, a: &Gate2) {
+        let stride = 1usize << qubit;
+        let dim = self.dim;
+        let mut base = 0;
+        while base < dim {
+            for offset in base..base + stride {
+                let r0 = offset;
+                let r1 = offset + stride;
+                for col in 0..dim {
+                    let e0 = self.elems[r0 * dim + col];
+                    let e1 = self.elems[r1 * dim + col];
+                    self.elems[r0 * dim + col] = a[0][0] * e0 + a[0][1] * e1;
+                    self.elems[r1 * dim + col] = a[1][0] * e0 + a[1][1] * e1;
+                }
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Right-multiplies by the adjoint of a single-qubit operator: ρ → ρ A†.
+    fn right_mul_single_adjoint(&mut self, qubit: usize, a: &Gate2) {
+        let stride = 1usize << qubit;
+        let dim = self.dim;
+        let mut base = 0;
+        while base < dim {
+            for offset in base..base + stride {
+                let c0 = offset;
+                let c1 = offset + stride;
+                for r in 0..dim {
+                    let e0 = self.elems[r * dim + c0];
+                    let e1 = self.elems[r * dim + c1];
+                    // (ρ A†)[r, c] = Σ_k ρ[r, k] conj(A[c, k]).
+                    self.elems[r * dim + c0] = e0 * a[0][0].conj() + e1 * a[0][1].conj();
+                    self.elems[r * dim + c1] = e0 * a[1][0].conj() + e1 * a[1][1].conj();
+                }
+            }
+            base += stride << 1;
+        }
+    }
+
+    /// Applies a single-qubit unitary: ρ → U ρ U†.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::QubitOutOfRange`] for a bad index.
+    pub fn apply_single(&mut self, qubit: usize, u: &Gate2) -> Result<(), QsimError> {
+        self.check_qubit(qubit)?;
+        self.left_mul_single(qubit, u);
+        self.right_mul_single_adjoint(qubit, u);
+        Ok(())
+    }
+
+    /// Applies a controlled single-qubit unitary (control must be `|1⟩`).
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::QubitOutOfRange`] for a bad index.
+    /// * [`QsimError::DuplicateQubit`] if `control == target`.
+    pub fn apply_controlled(
+        &mut self,
+        control: usize,
+        target: usize,
+        u: &Gate2,
+    ) -> Result<(), QsimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QsimError::DuplicateQubit { qubit: control });
+        }
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        let dim = self.dim;
+        // Left multiplication by the controlled unitary.
+        for r in 0..dim {
+            if r & cmask != 0 && r & tmask == 0 {
+                let r1 = r | tmask;
+                for col in 0..dim {
+                    let e0 = self.elems[r * dim + col];
+                    let e1 = self.elems[r1 * dim + col];
+                    self.elems[r * dim + col] = u[0][0] * e0 + u[0][1] * e1;
+                    self.elems[r1 * dim + col] = u[1][0] * e0 + u[1][1] * e1;
+                }
+            }
+        }
+        // Right multiplication by its adjoint.
+        for c in 0..dim {
+            if c & cmask != 0 && c & tmask == 0 {
+                let c1 = c | tmask;
+                for r in 0..dim {
+                    let e0 = self.elems[r * dim + c];
+                    let e1 = self.elems[r * dim + c1];
+                    self.elems[r * dim + c] = e0 * u[0][0].conj() + e1 * u[0][1].conj();
+                    self.elems[r * dim + c1] = e0 * u[1][0].conj() + e1 * u[1][1].conj();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a diagonal unitary given its `2ⁿ` phases:
+    /// `ρ_{jk} → φ_j ρ_{jk} φ_k*`.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::DimensionMismatch`] if `phases.len() != dim()`.
+    pub fn apply_diagonal(&mut self, phases: &[Complex64]) -> Result<(), QsimError> {
+        if phases.len() != self.dim {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim,
+                actual: phases.len(),
+            });
+        }
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                self.elems[r * self.dim + c] *= phases[r] * phases[c].conj();
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit Kraus channel: `ρ → Σ K ρ K†`.
+    ///
+    /// # Errors
+    ///
+    /// [`QsimError::QubitOutOfRange`] for a bad index.
+    pub fn apply_channel(&mut self, qubit: usize, channel: &KrausChannel) -> Result<(), QsimError> {
+        self.check_qubit(qubit)?;
+        if channel.is_identity() {
+            return Ok(());
+        }
+        let mut acc = vec![Complex64::ZERO; self.elems.len()];
+        for k in channel.ops() {
+            let mut term = self.clone();
+            term.left_mul_single(qubit, k);
+            term.right_mul_single_adjoint(qubit, k);
+            for (a, t) in acc.iter_mut().zip(&term.elems) {
+                *a += *t;
+            }
+        }
+        self.elems = acc;
+        Ok(())
+    }
+
+    /// Applies one circuit gate (no noise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates qubit-index errors from the underlying operations.
+    pub fn apply_gate(&mut self, gate: &Gate) -> Result<(), QsimError> {
+        match *gate {
+            Gate::H(q) => self.apply_single(q, &gates::h()),
+            Gate::X(q) => self.apply_single(q, &gates::x()),
+            Gate::Y(q) => self.apply_single(q, &gates::y()),
+            Gate::Z(q) => self.apply_single(q, &gates::z()),
+            Gate::Rx { qubit, theta } => self.apply_single(qubit, &gates::rx(theta)),
+            Gate::Ry { qubit, theta } => self.apply_single(qubit, &gates::ry(theta)),
+            Gate::Rz { qubit, theta } => self.apply_single(qubit, &gates::rz(theta)),
+            Gate::Cnot { control, target } => self.apply_controlled(control, target, &gates::x()),
+            Gate::Cz { a, b } => self.apply_controlled(a, b, &gates::z()),
+            Gate::Swap { a, b } => {
+                self.apply_controlled(a, b, &gates::x())?;
+                self.apply_controlled(b, a, &gates::x())?;
+                self.apply_controlled(a, b, &gates::x())
+            }
+        }
+    }
+
+    /// Runs a circuit with per-gate noise injection: after every gate the
+    /// configured channel of `noise` hits the gate's qubits.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::WidthMismatch`] if the circuit width differs.
+    /// * Qubit-index errors from individual gates.
+    pub fn run(&mut self, circuit: &Circuit, noise: &NoiseModel) -> Result<(), QsimError> {
+        if circuit.n_qubits() != self.n_qubits {
+            return Err(QsimError::WidthMismatch {
+                circuit: circuit.n_qubits(),
+                state: self.n_qubits,
+            });
+        }
+        for gate in circuit.ops() {
+            self.apply_gate(gate)?;
+            let channel = if gate.is_two_qubit() {
+                noise.after_2q.as_ref()
+            } else {
+                noise.after_1q.as_ref()
+            };
+            if let Some(ch) = channel {
+                for q in gate.qubits() {
+                    self.apply_channel(q, ch)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_is_pure() {
+        let rho = DensityMatrix::zero_state(3).unwrap();
+        assert_eq!(rho.n_qubits(), 3);
+        assert_eq!(rho.dim(), 8);
+        assert!((rho.trace() - 1.0).abs() < EPS);
+        assert!((rho.purity() - 1.0).abs() < EPS);
+        assert!((rho.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn plus_state_matches_state_vector() {
+        let rho = DensityMatrix::plus_state(2).unwrap();
+        for i in 0..4 {
+            assert!((rho.probability(i) - 0.25).abs() < EPS);
+        }
+        assert!((rho.purity() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let rho = DensityMatrix::maximally_mixed(2).unwrap();
+        assert!((rho.trace() - 1.0).abs() < EPS);
+        assert!((rho.purity() - 0.25).abs() < EPS);
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        assert!(matches!(
+            DensityMatrix::zero_state(MAX_DM_QUBITS + 1),
+            Err(QsimError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn noiseless_run_matches_state_vector() {
+        // A generic circuit touching every op variant.
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .h(1)
+            .h(2)
+            .rz(0, 0.7)
+            .rx(1, 1.1)
+            .ry(2, -0.4)
+            .cnot(0, 1)
+            .cz(1, 2)
+            .x(0)
+            .y(1)
+            .z(2)
+            .swap(0, 2);
+        let psi = c.run(StateVector::zero_state(3)).unwrap();
+        let mut rho = DensityMatrix::zero_state(3).unwrap();
+        rho.run(&c, &NoiseModel::noiseless()).unwrap();
+        let expected = DensityMatrix::from_state_vector(&psi).unwrap();
+        for r in 0..8 {
+            for col in 0..8 {
+                assert!(
+                    (rho.element(r, col) - expected.element(r, col)).abs() < 1e-10,
+                    "mismatch at ({r},{col})"
+                );
+            }
+        }
+        assert!((rho.purity() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_diagonal_matches_state_vector() {
+        let n = 2;
+        let phases: Vec<Complex64> = (0..4).map(|i| Complex64::cis(0.3 * i as f64)).collect();
+        let mut psi = StateVector::plus_state(n);
+        psi.apply_diagonal(&phases).unwrap();
+        let mut rho = DensityMatrix::plus_state(n).unwrap();
+        rho.apply_diagonal(&phases).unwrap();
+        let expected = DensityMatrix::from_state_vector(&psi).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((rho.element(r, c) - expected.element(r, c)).abs() < EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn full_depolarizing_yields_maximally_mixed_qubit() {
+        let mut rho = DensityMatrix::zero_state(1).unwrap();
+        rho.apply_channel(0, &KrausChannel::depolarizing(1.0).unwrap())
+            .unwrap();
+        // ρ → (1/3)(XρX + YρY + ZρZ) at p=1: |0⟩⟨0| → diag(1/3, 2/3).
+        assert!((rho.trace() - 1.0).abs() < EPS);
+        assert!((rho.probability(0) - 1.0 / 3.0).abs() < EPS);
+        assert!((rho.probability(1) - 2.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let mut rho = DensityMatrix::zero_state(1).unwrap();
+        rho.apply_single(0, &gates::x()).unwrap(); // |1⟩
+        rho.apply_channel(0, &KrausChannel::amplitude_damping(0.3).unwrap())
+            .unwrap();
+        assert!((rho.probability(0) - 0.3).abs() < EPS);
+        assert!((rho.probability(1) - 0.7).abs() < EPS);
+        // Full damping returns to |0⟩.
+        rho.apply_channel(0, &KrausChannel::amplitude_damping(1.0).unwrap())
+            .unwrap();
+        assert!((rho.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_populations() {
+        let mut rho = DensityMatrix::zero_state(1).unwrap();
+        rho.apply_single(0, &gates::h()).unwrap(); // |+⟩
+        let before = rho.element(0, 1).abs();
+        rho.apply_channel(0, &KrausChannel::phase_damping(0.5).unwrap())
+            .unwrap();
+        let after = rho.element(0, 1).abs();
+        assert!(after < before);
+        assert!((rho.probability(0) - 0.5).abs() < EPS);
+        assert!((rho.probability(1) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn channels_preserve_trace_and_hermiticity() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).rz(1, 0.3).rx(0, 0.9);
+        let nm = NoiseModel::uniform_depolarizing(0.01, 0.05).unwrap();
+        let mut rho = DensityMatrix::zero_state(2).unwrap();
+        rho.run(&c, &nm).unwrap();
+        assert!((rho.trace() - 1.0).abs() < 1e-10);
+        assert!(rho.hermiticity_deviation() < 1e-10);
+        assert!(rho.purity() < 1.0);
+        assert!(rho.purity() >= 0.25 - EPS);
+    }
+
+    #[test]
+    fn noise_strictly_decreases_purity_with_rate() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let mut last = 1.1;
+        for p in [0.0, 0.02, 0.1, 0.3] {
+            let nm = NoiseModel::uniform_depolarizing(p, p).unwrap();
+            let mut rho = DensityMatrix::zero_state(2).unwrap();
+            rho.run(&c, &nm).unwrap();
+            assert!(rho.purity() < last, "p={p}");
+            last = rho.purity();
+        }
+    }
+
+    #[test]
+    fn expectation_diagonal_limits() {
+        // ZZ observable on a Bell state: ⟨ZZ⟩ = 1.
+        let obs = DiagonalObservable::from_fn(2, |i| {
+            let parity = (i.count_ones() % 2) as f64;
+            1.0 - 2.0 * parity
+        });
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let mut rho = DensityMatrix::zero_state(2).unwrap();
+        rho.run(&c, &NoiseModel::noiseless()).unwrap();
+        assert!((rho.expectation_diagonal(&obs).unwrap() - 1.0).abs() < EPS);
+        // Maximally mixed: ⟨ZZ⟩ = 0.
+        let mixed = DensityMatrix::maximally_mixed(2).unwrap();
+        assert!(mixed.expectation_diagonal(&obs).unwrap().abs() < EPS);
+        // Dimension mismatch.
+        let bad = DiagonalObservable::from_fn(3, |_| 1.0);
+        assert!(matches!(
+            mixed.expectation_diagonal(&bad),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn width_and_index_errors() {
+        let mut rho = DensityMatrix::zero_state(2).unwrap();
+        let c3 = Circuit::new(3);
+        assert!(matches!(
+            rho.run(&c3, &NoiseModel::noiseless()),
+            Err(QsimError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            rho.apply_single(5, &gates::x()),
+            Err(QsimError::QubitOutOfRange { .. })
+        ));
+        assert!(matches!(
+            rho.apply_controlled(0, 0, &gates::x()),
+            Err(QsimError::DuplicateQubit { .. })
+        ));
+        assert!(matches!(
+            rho.apply_diagonal(&[Complex64::ONE; 3]),
+            Err(QsimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_decomposition_correct() {
+        // |01⟩ → |10⟩ under SWAP (qubit 0 is the low bit).
+        let mut rho = DensityMatrix::zero_state(2).unwrap();
+        rho.apply_single(0, &gates::x()).unwrap(); // index 1 = |q1=0,q0=1⟩
+        rho.apply_gate(&Gate::Swap { a: 0, b: 1 }).unwrap();
+        assert!((rho.probability(2) - 1.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QsimError {
+    /// A gate referenced a qubit index `>= n_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the register.
+        n_qubits: usize,
+    },
+    /// A two-qubit gate was given the same qubit twice.
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// A circuit built for one register width was run on another.
+    WidthMismatch {
+        /// Width the circuit was built for.
+        circuit: usize,
+        /// Width of the state it was applied to.
+        state: usize,
+    },
+    /// An observable's dimension does not match the state dimension.
+    DimensionMismatch {
+        /// Dimension expected by the observable.
+        expected: usize,
+        /// Dimension of the state.
+        actual: usize,
+    },
+    /// Requested register is too wide to allocate (`2^n` amplitudes).
+    TooManyQubits {
+        /// The requested qubit count.
+        n_qubits: usize,
+    },
+    /// A quantum channel failed validation (probability outside `[0, 1]`,
+    /// Kraus set not trace-preserving, empty operator list, …).
+    InvalidChannel {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::QubitOutOfRange { qubit, n_qubits } => {
+                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+            }
+            QsimError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate applied twice to qubit {qubit}")
+            }
+            QsimError::WidthMismatch { circuit, state } => write!(
+                f,
+                "circuit built for {circuit} qubits applied to {state}-qubit state"
+            ),
+            QsimError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "observable dimension {expected} does not match state dimension {actual}"
+            ),
+            QsimError::TooManyQubits { n_qubits } => {
+                write!(f, "{n_qubits} qubits exceeds the supported register width")
+            }
+            QsimError::InvalidChannel { reason } => {
+                write!(f, "invalid quantum channel: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            QsimError::QubitOutOfRange {
+                qubit: 5,
+                n_qubits: 3
+            }
+            .to_string(),
+            "qubit 5 out of range for 3-qubit register"
+        );
+        assert!(QsimError::DuplicateQubit { qubit: 1 }
+            .to_string()
+            .contains("qubit 1"));
+        assert!(QsimError::WidthMismatch {
+            circuit: 2,
+            state: 3
+        }
+        .to_string()
+        .contains("2 qubits"));
+        assert!(QsimError::DimensionMismatch {
+            expected: 4,
+            actual: 8
+        }
+        .to_string()
+        .contains('8'));
+        assert!(QsimError::TooManyQubits { n_qubits: 64 }
+            .to_string()
+            .contains("64"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+    }
+}

@@ -1,0 +1,261 @@
+use crate::{QsimError, StateVector};
+
+/// An observable that is diagonal in the computational basis.
+///
+/// Cost Hamiltonians of combinatorial problems (MaxCut in this workspace)
+/// are diagonal, so their expectation in a state `|ψ⟩` is just
+/// `Σ_z |ψ_z|² · C(z)` — no matrix products needed. The diagonal is stored
+/// densely (`2^n` entries), matching the state-vector representation.
+///
+/// # Example
+///
+/// ```
+/// use qsim::{DiagonalObservable, StateVector};
+/// # fn main() -> Result<(), qsim::QsimError> {
+/// // A one-qubit "Z" observable: +1 on |0⟩, -1 on |1⟩.
+/// let z = DiagonalObservable::new(vec![1.0, -1.0])?;
+/// let plus = StateVector::plus_state(1);
+/// assert!(z.expectation(&plus)?.abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagonalObservable {
+    diag: Vec<f64>,
+}
+
+impl DiagonalObservable {
+    /// Wraps a dense diagonal. The length must be a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] for non-power-of-two (or
+    /// empty) input.
+    pub fn new(diag: Vec<f64>) -> Result<Self, QsimError> {
+        if diag.is_empty() || !diag.len().is_power_of_two() {
+            return Err(QsimError::DimensionMismatch {
+                expected: diag.len().next_power_of_two().max(1),
+                actual: diag.len(),
+            });
+        }
+        Ok(Self { diag })
+    }
+
+    /// Builds the diagonal by evaluating `f` on every basis index.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize) -> f64>(n_qubits: usize, f: F) -> Self {
+        Self {
+            diag: (0..1usize << n_qubits).map(f).collect(),
+        }
+    }
+
+    /// Borrows the diagonal entries.
+    #[must_use]
+    pub fn diagonal(&self) -> &[f64] {
+        &self.diag
+    }
+
+    /// Number of qubits the observable acts on.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.diag.len().trailing_zeros() as usize
+    }
+
+    /// Largest diagonal entry (the exact optimum for maximization problems).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.diag.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest diagonal entry.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.diag.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Expectation `⟨ψ|D|ψ⟩ = Σ_z |ψ_z|² D_z`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the state dimension
+    /// differs from the diagonal length.
+    pub fn expectation(&self, state: &StateVector) -> Result<f64, QsimError> {
+        if state.dim() != self.diag.len() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.diag.len(),
+                actual: state.dim(),
+            });
+        }
+        Ok(state
+            .amplitudes()
+            .iter()
+            .zip(&self.diag)
+            .map(|(a, d)| a.norm_sqr() * d)
+            .sum())
+    }
+}
+
+/// A product of Pauli-Z operators on a subset of qubits, `Z_{q1} Z_{q2} …`.
+///
+/// Eigenvalue on basis state `z` is `(-1)^{popcount(z & mask)}`. MaxCut edge
+/// terms are two-qubit Z-strings; this type also supports correlation
+/// measurements in tests.
+///
+/// # Example
+///
+/// ```
+/// use qsim::{PauliZString, StateVector};
+/// # fn main() -> Result<(), qsim::QsimError> {
+/// let zz = PauliZString::new(&[0, 1]);
+/// let bell = {
+///     let mut c = qsim::Circuit::new(2);
+///     c.h(0).cnot(0, 1);
+///     c.run(StateVector::zero_state(2))?
+/// };
+/// // Bell state has perfect ZZ correlation.
+/// assert!((zz.expectation(&bell)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PauliZString {
+    mask: u64,
+}
+
+impl PauliZString {
+    /// Builds a Z-string acting on the listed qubits (duplicates cancel,
+    /// matching the operator identity `Z² = I`).
+    #[must_use]
+    pub fn new(qubits: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &q in qubits {
+            mask ^= 1 << q;
+        }
+        Self { mask }
+    }
+
+    /// The bitmask of qubits carrying a Z factor.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Eigenvalue `±1` on the computational basis state with index `z`.
+    #[must_use]
+    pub fn eigenvalue(&self, z: usize) -> f64 {
+        if ((z as u64) & self.mask).count_ones().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Expectation `⟨ψ|Z…Z|ψ⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] if the mask addresses a qubit
+    /// beyond the state's register.
+    pub fn expectation(&self, state: &StateVector) -> Result<f64, QsimError> {
+        let width = state.n_qubits();
+        if self.mask >> width != 0 {
+            let qubit = (63 - self.mask.leading_zeros()) as usize;
+            return Err(QsimError::QubitOutOfRange {
+                qubit,
+                n_qubits: width,
+            });
+        }
+        Ok(state
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .map(|(z, a)| a.norm_sqr() * self.eigenvalue(z))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn diagonal_rejects_bad_lengths() {
+        assert!(DiagonalObservable::new(vec![]).is_err());
+        assert!(DiagonalObservable::new(vec![1.0, 2.0, 3.0]).is_err());
+        assert!(DiagonalObservable::new(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn diagonal_expectation_on_basis_states() {
+        let d = DiagonalObservable::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        for z in 0..4 {
+            let s = StateVector::basis_state(2, z);
+            assert!((d.expectation(&s).unwrap() - z as f64).abs() < EPS);
+        }
+        assert_eq!(d.max(), 3.0);
+        assert_eq!(d.min(), 0.0);
+        assert_eq!(d.n_qubits(), 2);
+    }
+
+    #[test]
+    fn diagonal_expectation_uniform_is_mean() {
+        let d = DiagonalObservable::from_fn(3, |z| z as f64);
+        let s = StateVector::plus_state(3);
+        assert!((d.expectation(&s).unwrap() - 3.5).abs() < EPS);
+        assert!(d.expectation(&StateVector::plus_state(2)).is_err());
+    }
+
+    #[test]
+    fn z_string_eigenvalues() {
+        let z01 = PauliZString::new(&[0, 1]);
+        assert_eq!(z01.eigenvalue(0b00), 1.0);
+        assert_eq!(z01.eigenvalue(0b01), -1.0);
+        assert_eq!(z01.eigenvalue(0b10), -1.0);
+        assert_eq!(z01.eigenvalue(0b11), 1.0);
+    }
+
+    #[test]
+    fn duplicate_qubits_cancel() {
+        let id = PauliZString::new(&[2, 2]);
+        assert_eq!(id.mask(), 0);
+        let s = StateVector::plus_state(3);
+        assert!((id.expectation(&s).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn single_z_on_plus_is_zero() {
+        let z = PauliZString::new(&[0]);
+        let s = StateVector::plus_state(1);
+        assert!(z.expectation(&s).unwrap().abs() < EPS);
+    }
+
+    #[test]
+    fn out_of_range_mask_rejected() {
+        let z = PauliZString::new(&[4]);
+        let s = StateVector::plus_state(2);
+        assert!(matches!(
+            z.expectation(&s),
+            Err(QsimError::QubitOutOfRange { qubit: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn ghz_parity() {
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).cnot(1, 2);
+        let ghz = c.run(StateVector::zero_state(3)).unwrap();
+        // Z_i Z_j = +1 for every pair in a GHZ state; single Z is 0.
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            let zz = PauliZString::new(&[a, b]);
+            assert!((zz.expectation(&ghz).unwrap() - 1.0).abs() < EPS);
+        }
+        assert!(PauliZString::new(&[1])
+            .expectation(&ghz)
+            .unwrap()
+            .abs()
+            < EPS);
+    }
+}

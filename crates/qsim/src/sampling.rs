@@ -1,0 +1,169 @@
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::{DensityMatrix, StateVector};
+
+/// Inverse-CDF sampling from an explicit probability vector.
+fn sample_from_probs<R: Rng + ?Sized>(probs: &[f64], shots: usize, rng: &mut R) -> Vec<usize> {
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        acc += p.max(0.0);
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    let last = probs.len().saturating_sub(1);
+    (0..shots)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("non-NaN cdf")) {
+                Ok(i) | Err(i) => i.min(last),
+            }
+        })
+        .collect()
+}
+
+/// Draws `shots` basis-state indices from the Born distribution of `state`.
+///
+/// Uses inverse-CDF sampling per shot; adequate for the shot counts used in
+/// QAOA experiments (`≤ 10^5`).
+///
+/// # Example
+///
+/// ```
+/// use qsim::{sample_indices, StateVector};
+/// use rand::SeedableRng;
+/// let state = StateVector::basis_state(2, 3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let shots = sample_indices(&state, 100, &mut rng);
+/// assert!(shots.iter().all(|&z| z == 3));
+/// ```
+pub fn sample_indices<R: Rng + ?Sized>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    sample_from_probs(&state.probabilities(), shots, rng)
+}
+
+/// Draws `shots` measurements and returns a histogram of basis states.
+///
+/// Keys are basis indices; values are observed counts summing to `shots`.
+pub fn sample_counts<R: Rng + ?Sized>(
+    state: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
+    for z in sample_indices(state, shots, rng) {
+        *counts.entry(z).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Draws `shots` basis-state indices from the diagonal of a density matrix
+/// — projective measurement of a (possibly mixed) open-system state.
+///
+/// # Example
+///
+/// ```
+/// use qsim::{sample_density_indices, DensityMatrix};
+/// use rand::SeedableRng;
+/// # fn main() -> Result<(), qsim::QsimError> {
+/// let rho = DensityMatrix::maximally_mixed(2)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let shots = sample_density_indices(&rho, 100, &mut rng);
+/// assert_eq!(shots.len(), 100);
+/// assert!(shots.iter().all(|&z| z < 4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_density_indices<R: Rng + ?Sized>(
+    rho: &DensityMatrix,
+    shots: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    sample_from_probs(&rho.probabilities(), shots, rng)
+}
+
+/// Draws `shots` measurements from a density matrix and returns a histogram
+/// of basis states.
+pub fn sample_density_counts<R: Rng + ?Sized>(
+    rho: &DensityMatrix,
+    shots: usize,
+    rng: &mut R,
+) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
+    for z in sample_density_indices(rho, shots, rng) {
+        *counts.entry(z).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_state_samples_deterministically() {
+        let s = StateVector::basis_state(3, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&s, 50, &mut rng);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&5], 50);
+    }
+
+    #[test]
+    fn uniform_state_covers_support() {
+        let s = StateVector::plus_state(2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let counts = sample_counts(&s, 4000, &mut rng);
+        assert_eq!(counts.values().sum::<usize>(), 4000);
+        // All four outcomes present, each within 5 sigma of 1000.
+        for z in 0..4 {
+            let c = *counts.get(&z).unwrap_or(&0) as f64;
+            assert!((c - 1000.0).abs() < 5.0 * (4000.0_f64 * 0.25 * 0.75).sqrt());
+        }
+    }
+
+    #[test]
+    fn zero_shots_is_empty() {
+        let s = StateVector::plus_state(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_indices(&s, 0, &mut rng).is_empty());
+        assert!(sample_counts(&s, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let s = StateVector::plus_state(3);
+        let a = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9));
+        let b = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn density_sampling_matches_pure_state_distribution() {
+        // Sampling |ψ⟩⟨ψ| must match sampling |ψ⟩ for the same seed.
+        let s = StateVector::plus_state(2);
+        let rho = DensityMatrix::from_state_vector(&s).unwrap();
+        let a = sample_indices(&s, 64, &mut StdRng::seed_from_u64(4));
+        let b = sample_density_indices(&rho, 64, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mixed_state_sampling_covers_support() {
+        let rho = DensityMatrix::maximally_mixed(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let counts = sample_density_counts(&rho, 4000, &mut rng);
+        assert_eq!(counts.values().sum::<usize>(), 4000);
+        for z in 0..4 {
+            let c = *counts.get(&z).unwrap_or(&0) as f64;
+            assert!((c - 1000.0).abs() < 5.0 * (4000.0_f64 * 0.25 * 0.75).sqrt());
+        }
+    }
+}

@@ -1,0 +1,418 @@
+use crate::{Complex64, QsimError};
+
+/// Maximum register width this simulator will allocate (`2^28` amplitudes,
+/// 4 GiB of `Complex64`). The paper's workloads use 8 qubits.
+pub const MAX_QUBITS: usize = 28;
+
+/// A pure quantum state of `n` qubits stored as `2^n` complex amplitudes.
+///
+/// Qubit `k` owns bit `k` of the basis index (little-endian). All gate
+/// kernels are in-place and `O(2^n)`.
+///
+/// # Example
+///
+/// ```
+/// use qsim::{gates, StateVector};
+/// # fn main() -> Result<(), qsim::QsimError> {
+/// let mut psi = StateVector::zero_state(1);
+/// psi.apply_single(0, &gates::h())?;
+/// assert!((psi.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((psi.norm() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > MAX_QUBITS`; use [`StateVector::try_zero_state`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn zero_state(n_qubits: usize) -> Self {
+        Self::try_zero_state(n_qubits).expect("register too wide")
+    }
+
+    /// Fallible version of [`StateVector::zero_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::TooManyQubits`] if the register would exceed
+    /// [`MAX_QUBITS`].
+    pub fn try_zero_state(n_qubits: usize) -> Result<Self, QsimError> {
+        if n_qubits > MAX_QUBITS {
+            return Err(QsimError::TooManyQubits { n_qubits });
+        }
+        let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
+        amps[0] = Complex64::ONE;
+        Ok(Self { n_qubits, amps })
+    }
+
+    /// Creates the uniform superposition `H^{⊗n}|0…0⟩` — the QAOA input
+    /// state — directly, without applying `n` Hadamard gates.
+    #[must_use]
+    pub fn plus_state(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        let amp = Complex64::new(1.0 / (dim as f64).sqrt(), 0.0);
+        Self {
+            n_qubits,
+            amps: vec![amp; dim],
+        }
+    }
+
+    /// Creates a basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n_qubits`.
+    #[must_use]
+    pub fn basis_state(n_qubits: usize, index: usize) -> Self {
+        let mut s = Self::zero_state(n_qubits);
+        assert!(index < s.dim(), "basis index out of range");
+        s.amps[0] = Complex64::ZERO;
+        s.amps[index] = Complex64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes (length must be a power of two).
+    ///
+    /// The caller is responsible for normalization; use
+    /// [`StateVector::normalize`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if the length is not a power
+    /// of two (or zero).
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Result<Self, QsimError> {
+        let dim = amps.len();
+        if dim == 0 || !dim.is_power_of_two() {
+            return Err(QsimError::DimensionMismatch {
+                expected: dim.next_power_of_two().max(1),
+                actual: dim,
+            });
+        }
+        Ok(Self {
+            n_qubits: dim.trailing_zeros() as usize,
+            amps,
+        })
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Dimension `2^n` of the Hilbert space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Borrows the amplitudes.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Mutably borrows the amplitudes (used by diagonal fast paths).
+    #[must_use]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    #[must_use]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        self.amps[index]
+    }
+
+    /// `|⟨index|ψ⟩|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    #[must_use]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// The full probability distribution over basis states.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The 2-norm of the state (1 for a physical state).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.amps
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Rescales to unit norm. No-op on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            let inv = 1.0 / n;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if widths differ.
+    pub fn inner(&self, other: &StateVector) -> Result<Complex64, QsimError> {
+        if self.dim() != other.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if widths differ.
+    pub fn fidelity(&self, other: &StateVector) -> Result<f64, QsimError> {
+        Ok(self.inner(other)?.norm_sqr())
+    }
+
+    fn check_qubit(&self, qubit: usize) -> Result<(), QsimError> {
+        if qubit >= self.n_qubits {
+            Err(QsimError::QubitOutOfRange {
+                qubit,
+                n_qubits: self.n_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies a single-qubit unitary `u` (row-major `[[u00,u01],[u10,u11]]`)
+    /// to `qubit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitOutOfRange`] for a bad qubit index.
+    pub fn apply_single(&mut self, qubit: usize, u: &[[Complex64; 2]; 2]) -> Result<(), QsimError> {
+        self.check_qubit(qubit)?;
+        let stride = 1usize << qubit;
+        let dim = self.dim();
+        let mut base = 0;
+        while base < dim {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = u[0][0] * a0 + u[0][1] * a1;
+                self.amps[i1] = u[1][0] * a0 + u[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a unitary to `target`, controlled on `control` being `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::QubitOutOfRange`] for a bad index.
+    /// * [`QsimError::DuplicateQubit`] if `control == target`.
+    pub fn apply_controlled(
+        &mut self,
+        control: usize,
+        target: usize,
+        u: &[[Complex64; 2]; 2],
+    ) -> Result<(), QsimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QsimError::DuplicateQubit { qubit: control });
+        }
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.dim() {
+            // Visit each target pair once, only when the control bit is set.
+            if i & cmask != 0 && i & tmask == 0 {
+                let j = i | tmask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = u[0][0] * a0 + u[0][1] * a1;
+                self.amps[j] = u[1][0] * a0 + u[1][1] * a1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplies amplitude `i` by `phases[i]` — the fast path for diagonal
+    /// unitaries such as the QAOA phase-separation layer `e^{-iγ H_C}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if `phases.len() != dim()`.
+    pub fn apply_diagonal(&mut self, phases: &[Complex64]) -> Result<(), QsimError> {
+        if phases.len() != self.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                actual: phases.len(),
+            });
+        }
+        for (a, p) in self.amps.iter_mut().zip(phases) {
+            *a *= *p;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_shape() {
+        let s = StateVector::zero_state(3);
+        assert_eq!(s.n_qubits(), 3);
+        assert_eq!(s.dim(), 8);
+        assert_eq!(s.amplitude(0), Complex64::ONE);
+        assert!((s.norm() - 1.0).abs() < EPS);
+        assert!(StateVector::try_zero_state(64).is_err());
+    }
+
+    #[test]
+    fn plus_state_is_uniform() {
+        let s = StateVector::plus_state(4);
+        for i in 0..16 {
+            assert!((s.probability(i) - 1.0 / 16.0).abs() < EPS);
+        }
+        // Agreement with explicit Hadamards.
+        let mut h = StateVector::zero_state(4);
+        for q in 0..4 {
+            h.apply_single(q, &gates::h()).unwrap();
+        }
+        assert!((s.fidelity(&h).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn basis_state_and_from_amplitudes() {
+        let s = StateVector::basis_state(2, 3);
+        assert_eq!(s.probability(3), 1.0);
+        assert!(StateVector::from_amplitudes(vec![Complex64::ONE; 3]).is_err());
+        assert!(StateVector::from_amplitudes(vec![]).is_err());
+        let ok = StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ZERO]).unwrap();
+        assert_eq!(ok.n_qubits(), 1);
+    }
+
+    #[test]
+    fn x_flips_correct_bit() {
+        let mut s = StateVector::zero_state(3);
+        s.apply_single(1, &gates::x()).unwrap();
+        assert!((s.probability(0b010) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn gate_out_of_range() {
+        let mut s = StateVector::zero_state(2);
+        assert!(matches!(
+            s.apply_single(2, &gates::x()),
+            Err(QsimError::QubitOutOfRange { qubit: 2, .. })
+        ));
+        assert!(matches!(
+            s.apply_controlled(0, 0, &gates::x()),
+            Err(QsimError::DuplicateQubit { qubit: 0 })
+        ));
+    }
+
+    #[test]
+    fn cnot_entangles() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_single(0, &gates::h()).unwrap();
+        s.apply_controlled(0, 1, &gates::x()).unwrap();
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability(0b01) < EPS);
+        assert!(s.probability(0b10) < EPS);
+    }
+
+    #[test]
+    fn controlled_gate_ignores_control_zero() {
+        let mut s = StateVector::zero_state(2);
+        s.apply_controlled(0, 1, &gates::x()).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn diagonal_phase_preserves_probabilities() {
+        let mut s = StateVector::plus_state(2);
+        let phases: Vec<Complex64> = (0..4).map(|i| Complex64::cis(0.3 * i as f64)).collect();
+        let before = s.probabilities();
+        s.apply_diagonal(&phases).unwrap();
+        let after = s.probabilities();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < EPS);
+        }
+        assert!(s.apply_diagonal(&phases[..2]).is_err());
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut s =
+            StateVector::from_amplitudes(vec![Complex64::new(3.0, 0.0), Complex64::new(4.0, 0.0)])
+                .unwrap();
+        s.normalize();
+        assert!((s.norm() - 1.0).abs() < EPS);
+        assert!((s.probability(0) - 0.36).abs() < EPS);
+        let mut z = StateVector::from_amplitudes(vec![Complex64::ZERO, Complex64::ZERO]).unwrap();
+        z.normalize(); // must not divide by zero
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn inner_product_orthogonality() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 1);
+        assert_eq!(a.inner(&b).unwrap(), Complex64::ZERO);
+        assert_eq!(a.inner(&a).unwrap(), Complex64::ONE);
+        assert!(a.inner(&StateVector::zero_state(3)).is_err());
+        assert_eq!(a.fidelity(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rz_adds_relative_phase_only() {
+        let mut s = StateVector::plus_state(1);
+        s.apply_single(0, &gates::rz(1.0)).unwrap();
+        // Probabilities unchanged; relative phase is e^{i}.
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+        let rel = s.amplitude(1) / s.amplitude(0);
+        assert!((rel.arg() - 1.0).abs() < EPS);
+    }
+}

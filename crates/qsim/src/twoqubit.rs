@@ -1,0 +1,213 @@
+//! General two-qubit unitaries and higher-level gate utilities.
+//!
+//! The QAOA pipeline only needs CNOT/CZ, but a usable simulator crate also
+//! exposes arbitrary 4×4 unitaries (for custom interactions and tests) and
+//! the `U3` parametrization that any single-qubit unitary decomposes into.
+
+use crate::gates::Gate2;
+use crate::{Complex64, QsimError, StateVector};
+
+/// A 4×4 complex matrix in row-major order, acting on qubit pair `(a, b)`
+/// with basis ordering `|b a⟩ = |00⟩, |01⟩, |10⟩, |11⟩` (bit of `a` is the
+/// least-significant index bit).
+pub type Gate4 = [[Complex64; 4]; 4];
+
+/// The 4×4 identity.
+#[must_use]
+pub fn identity4() -> Gate4 {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = Complex64::ONE;
+    }
+    m
+}
+
+/// Kronecker product `u ⊗ v` (with `v` on the low qubit).
+#[must_use]
+pub fn kron(u: &Gate2, v: &Gate2) -> Gate4 {
+    let mut out = [[Complex64::ZERO; 4]; 4];
+    for i in 0..2 {
+        for j in 0..2 {
+            for k in 0..2 {
+                for l in 0..2 {
+                    out[2 * i + k][2 * j + l] = u[i][j] * v[k][l];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The CNOT matrix with control on the low index bit.
+#[must_use]
+pub fn cnot4() -> Gate4 {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    // |b a⟩: control a (low bit), target b (high bit).
+    m[0][0] = Complex64::ONE; // |00⟩ -> |00⟩
+    m[3][1] = Complex64::ONE; // |01⟩ -> |11⟩
+    m[2][2] = Complex64::ONE; // |10⟩ -> |10⟩
+    m[1][3] = Complex64::ONE; // |11⟩ -> |01⟩
+    m
+}
+
+/// `exp(−iθ Z⊗Z / 2)` — the MaxCut edge interaction as one native gate.
+#[must_use]
+pub fn rzz(theta: f64) -> Gate4 {
+    let mut m = [[Complex64::ZERO; 4]; 4];
+    let minus = Complex64::cis(-theta / 2.0);
+    let plus = Complex64::cis(theta / 2.0);
+    m[0][0] = minus; // |00⟩: ZZ = +1
+    m[1][1] = plus; //  |01⟩: ZZ = −1
+    m[2][2] = plus; //  |10⟩: ZZ = −1
+    m[3][3] = minus; // |11⟩: ZZ = +1
+    m
+}
+
+/// Largest entry-wise deviation between two 4×4 gates.
+#[must_use]
+pub fn max_deviation4(a: &Gate4, b: &Gate4) -> f64 {
+    let mut worst = 0.0_f64;
+    for i in 0..4 {
+        for j in 0..4 {
+            worst = worst.max((a[i][j] - b[i][j]).abs());
+        }
+    }
+    worst
+}
+
+/// `true` if `u` is unitary to within `tol`.
+#[must_use]
+pub fn is_unitary4(u: &Gate4, tol: f64) -> bool {
+    let mut prod = [[Complex64::ZERO; 4]; 4];
+    for (i, row) in prod.iter_mut().enumerate() {
+        for (j, entry) in row.iter_mut().enumerate() {
+            for urow in u {
+                *entry += urow[i].conj() * urow[j];
+            }
+        }
+    }
+    max_deviation4(&prod, &identity4()) <= tol
+}
+
+impl StateVector {
+    /// Applies an arbitrary two-qubit unitary to qubits `(a, b)`, where bit
+    /// `a` is the low index bit of the 4×4 matrix basis.
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::QubitOutOfRange`] for bad indices.
+    /// * [`QsimError::DuplicateQubit`] if `a == b`.
+    pub fn apply_two_qubit(&mut self, a: usize, b: usize, u: &Gate4) -> Result<(), QsimError> {
+        for q in [a, b] {
+            if q >= self.n_qubits() {
+                return Err(QsimError::QubitOutOfRange {
+                    qubit: q,
+                    n_qubits: self.n_qubits(),
+                });
+            }
+        }
+        if a == b {
+            return Err(QsimError::DuplicateQubit { qubit: a });
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let amps = self.amplitudes_mut();
+        for i in 0..amps.len() {
+            // Visit each 4-amplitude block once, from its |00⟩ member.
+            if i & ma == 0 && i & mb == 0 {
+                let idx = [i, i | ma, i | mb, i | ma | mb];
+                let old = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+                for (r, &target) in idx.iter().enumerate() {
+                    let mut acc = Complex64::ZERO;
+                    for (c, &o) in old.iter().enumerate() {
+                        acc += u[r][c] * o;
+                    }
+                    amps[target] = acc;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn builtin_gates_unitary() {
+        assert!(is_unitary4(&identity4(), EPS));
+        assert!(is_unitary4(&cnot4(), EPS));
+        assert!(is_unitary4(&rzz(0.731), EPS));
+        assert!(is_unitary4(&kron(&gates::h(), &gates::rx(0.4)), EPS));
+    }
+
+    #[test]
+    fn cnot4_matches_controlled_kernel() {
+        // Dense CNOT vs the dedicated controlled-gate kernel, on a random
+        // product state.
+        let mut prep = crate::Circuit::new(3);
+        prep.ry(0, 0.7).ry(1, -0.4).ry(2, 1.1);
+        let base = prep.run(StateVector::zero_state(3)).unwrap();
+        let mut dense = base.clone();
+        dense.apply_two_qubit(0, 1, &cnot4()).unwrap();
+        let mut kernel = base;
+        kernel.apply_controlled(0, 1, &gates::x()).unwrap();
+        assert!((dense.fidelity(&kernel).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn kron_matches_sequential_single_gates() {
+        let u = gates::rx(0.9);
+        let v = gates::rz(1.3);
+        let mut prep = crate::Circuit::new(2);
+        prep.h(0).h(1);
+        let base = prep.run(StateVector::zero_state(2)).unwrap();
+        let mut dense = base.clone();
+        // kron(u, v): u on the high qubit (1), v on the low qubit (0).
+        dense.apply_two_qubit(0, 1, &kron(&u, &v)).unwrap();
+        let mut seq = base;
+        seq.apply_single(0, &v).unwrap();
+        seq.apply_single(1, &u).unwrap();
+        assert!((dense.fidelity(&seq).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rzz_matches_cnot_rz_cnot() {
+        let theta = 0.83;
+        let mut prep = crate::Circuit::new(2);
+        prep.h(0).ry(1, 0.6);
+        let base = prep.run(StateVector::zero_state(2)).unwrap();
+        let mut dense = base.clone();
+        dense.apply_two_qubit(0, 1, &rzz(theta)).unwrap();
+        let mut decomposed = base;
+        decomposed.apply_controlled(0, 1, &gates::x()).unwrap();
+        decomposed.apply_single(1, &gates::rz(theta)).unwrap();
+        decomposed.apply_controlled(0, 1, &gates::x()).unwrap();
+        assert!((dense.fidelity(&decomposed).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn two_qubit_preserves_norm() {
+        let mut s = StateVector::plus_state(4);
+        s.apply_two_qubit(1, 3, &rzz(2.2)).unwrap();
+        s.apply_two_qubit(3, 1, &cnot4()).unwrap();
+        assert!((s.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn errors() {
+        let mut s = StateVector::zero_state(2);
+        assert!(matches!(
+            s.apply_two_qubit(0, 5, &identity4()),
+            Err(QsimError::QubitOutOfRange { qubit: 5, .. })
+        ));
+        assert!(matches!(
+            s.apply_two_qubit(1, 1, &identity4()),
+            Err(QsimError::DuplicateQubit { qubit: 1 })
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! Domain study: how QAOA depth trades off against solution quality across
+//! graph families (the workload class the paper's introduction motivates:
+//! hard combinatorial instances on near-term devices).
+//!
+//! Sweeps depth p = 1..4 over 3-regular, Erdős–Rényi and complete graphs
+//! and reports the approximation ratio and loop cost of each, echoing
+//! Fig. 1(c) across families rather than single graphs.
+//!
+//! Run: `cargo run --release -p qaoa --example regular_graph_study`
+
+use graphs::{generators, Graph};
+use ml::metrics::mean;
+use optimize::{Lbfgsb, Options};
+use qaoa::{MaxCutProblem, QaoaInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family(name: &str, make: impl Fn(&mut StdRng) -> Graph, rng: &mut StdRng) -> (String, Vec<Graph>) {
+    (name.to_string(), (0..3).map(|_| make(rng)).collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let families = vec![
+        family(
+            "3-regular",
+            |r| generators::random_regular(8, 3, r).expect("valid regular params"),
+            &mut rng,
+        ),
+        family("ER(8, 0.5)", |r| generators::erdos_renyi_nonempty(8, 0.5, r), &mut rng),
+        family("complete K6", |_| generators::complete(6), &mut rng),
+    ];
+
+    let optimizer = Lbfgsb::default();
+    let options = Options::default();
+    let restarts = 8;
+
+    println!(
+        "{:<12} {:>3} {:>9} {:>10}",
+        "family", "p", "meanAR", "meanFC"
+    );
+    for (name, graphs) in &families {
+        for p in 1..=4 {
+            let mut ars = Vec::new();
+            let mut fcs = Vec::new();
+            for graph in graphs {
+                let problem = MaxCutProblem::new(graph)?;
+                let instance = QaoaInstance::new(problem, p)?;
+                let out = instance.optimize_multistart(&optimizer, restarts, &mut rng, &options)?;
+                ars.push(out.approximation_ratio);
+                fcs.push(out.function_calls as f64);
+            }
+            println!("{:<12} {:>3} {:>9.4} {:>10.1}", name, p, mean(&ars), mean(&fcs));
+        }
+    }
+    println!("\nReading: AR climbs toward 1 with depth in every family while the loop cost");
+    println!("grows — the run-time pressure the paper's ML initialization relieves.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Spectral certificates for MaxCut: how close do exact cuts and QAOA get
+//! to the Mohar–Poljak Laplacian bound?
+//!
+//! For a spread of graph families this prints the algebraic connectivity,
+//! the spectral upper bound `n·λ_max(L)/4`, the exact maximum cut, and the
+//! depth-2 QAOA expectation — a compact picture of instance hardness that
+//! complements the paper's ER-only evaluation.
+//!
+//! Run: `cargo run --release -p qaoa --example spectral_bounds`
+
+use graphs::{generators, spectral, Graph, MaxCut};
+use optimize::{Lbfgsb, Options};
+use qaoa::{MaxCutProblem, QaoaInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(19);
+    let families: Vec<(&str, Graph)> = vec![
+        ("cycle(8)", generators::cycle(8)),
+        ("complete(8)", generators::complete(8)),
+        ("3-regular", generators::random_regular(8, 3, &mut rng)?),
+        ("ER(0.5)", generators::erdos_renyi_nonempty(8, 0.5, &mut rng)),
+        ("BA(m=2)", generators::barabasi_albert(8, 2, &mut rng)?),
+        ("barbell(4)", generators::barbell(4)),
+        ("wheel(8)", generators::wheel(8)),
+    ];
+
+    println!(
+        "{:<12} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "graph", "edges", "lambda2", "bound", "exact", "QAOA p2", "AR"
+    );
+    for (name, graph) in families {
+        let lambda2 = spectral::algebraic_connectivity(&graph);
+        let bound = spectral::maxcut_upper_bound(&graph);
+        let exact = MaxCut::solve(&graph).value();
+
+        let problem = MaxCutProblem::new(&graph)?;
+        let instance = QaoaInstance::new(problem, 2)?;
+        let out = instance.optimize_multistart(
+            &Lbfgsb::default(),
+            5,
+            &mut rng,
+            &Options::default(),
+        )?;
+
+        println!(
+            "{:<12} {:>6} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.4}",
+            name,
+            graph.n_edges(),
+            lambda2,
+            bound,
+            exact,
+            out.expectation,
+            out.approximation_ratio
+        );
+    }
+    println!(
+        "\nExact cuts always respect the spectral bound; well-connected graphs\n\
+         (large lambda2) sit closer to it, and QAOA tracks the exact value\n\
+         within its depth-limited approximation ratio."
+    );
+    Ok(())
+}
