@@ -17,16 +17,14 @@
 //! * **fourier** — incremental coefficient-space optimization (Zhou et al.),
 //! * **two-level** — the paper's flow: p = 1 optimum → GPR → pt init.
 //!
-//! Run: `cargo run --release -p bench --bin baseline_compare [-- --quick]`
+//! Run: `cargo run --release -p bench --bin baseline_compare [-- --quick] [-- --threads N]`
 
 use bench::RunConfig;
 use ml::metrics::mean;
 use ml::ModelKind;
 use optimize::{Lbfgsb, Options};
 use qaoa::warmstart::{linear_ramp, FourierFlow, InterpFlow};
-use qaoa::{
-    evaluation, MaxCutProblem, ParameterPredictor, QaoaInstance, TwoLevelConfig, TwoLevelFlow,
-};
+use qaoa::{MaxCutProblem, ParameterPredictor, QaoaInstance, TwoLevelConfig, TwoLevelFlow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -60,11 +58,13 @@ fn main() {
     let options = Options::default();
     let n_eval = test.graphs().len().min(if config.quick { 12 } else { 64 });
     let depths: Vec<usize> = (2..=config.max_depth.min(5)).collect();
+    let pool = engine::Pool::new(config.threads());
 
     println!(
         "# Baseline comparison: L-BFGS-B, {n_eval} test graphs, \
-         random uses {} starts",
-        config.naive_starts.unwrap_or(config.restarts)
+         random uses {} starts, {} threads",
+        config.naive_starts.unwrap_or(config.restarts),
+        pool.threads()
     );
     println!(
         "{:>3} {:>10} {:>9} {:>9} {:>9}",
@@ -80,22 +80,26 @@ fn main() {
             StrategyStats::new("two-level"),
         ];
 
-        // Random baseline via the shared Table-I protocol.
-        let naive = evaluation::naive_protocol(
+        // Random baseline via the shared (engine-parallel) Table-I protocol.
+        let naive = engine::compare::naive_protocol(
             &test.graphs()[..n_eval],
             depth,
             &optimizer,
             config.naive_starts.unwrap_or(config.restarts),
             &options,
             config.seed,
+            &pool,
         )
         .expect("naive protocol");
         for (ar, fc) in naive {
             strategies[0].push(ar, fc);
         }
 
-        for (gid, graph) in test.graphs().iter().take(n_eval).enumerate() {
-            let problem = MaxCutProblem::new(graph).expect("non-empty graph");
+        // The four warm-start strategies, one engine job per graph. Seeds
+        // are derived per (depth, graph), so results match serial exactly.
+        let graphs = &test.graphs()[..n_eval];
+        let per_graph = pool.run_ordered(graphs.len(), |gid| {
+            let problem = MaxCutProblem::new(&graphs[gid]).expect("non-empty graph");
             let seed = config.seed ^ ((depth as u64) << 32) ^ gid as u64;
 
             // Linear ramp: one shot at the target depth.
@@ -104,21 +108,21 @@ fn main() {
             let out = instance
                 .optimize(&optimizer, &init, &options)
                 .expect("ramp optimization");
-            strategies[1].push(out.approximation_ratio, out.function_calls);
+            let ramp = (out.approximation_ratio, out.function_calls);
 
             // INTERP incremental flow.
             let mut rng = StdRng::seed_from_u64(seed);
             let out = InterpFlow::default()
                 .run(&problem, depth, &optimizer, &mut rng)
                 .expect("interp flow");
-            strategies[2].push(out.approximation_ratio, out.total_calls());
+            let interp = (out.approximation_ratio, out.total_calls());
 
             // FOURIER incremental flow.
             let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
             let out = FourierFlow::default()
                 .run(&problem, depth, &optimizer, &mut rng)
                 .expect("fourier flow");
-            strategies[3].push(out.approximation_ratio, out.total_calls());
+            let fourier = (out.approximation_ratio, out.total_calls());
 
             // Two-level ML flow.
             let mut rng = StdRng::seed_from_u64(seed ^ 0x4D4C);
@@ -135,7 +139,14 @@ fn main() {
                     &mut rng,
                 )
                 .expect("two-level flow");
-            strategies[4].push(out.approximation_ratio, out.total_calls());
+            let two_level = (out.approximation_ratio, out.total_calls());
+
+            [ramp, interp, fourier, two_level]
+        });
+        for samples in per_graph {
+            for (si, (ar, fc)) in samples.into_iter().enumerate() {
+                strategies[1 + si].push(ar, fc);
+            }
         }
 
         let random_fc = mean(&strategies[0].fc);

@@ -9,15 +9,16 @@
 //! (3-regular, Barabási–Albert, Watts–Strogatz, dense ER), reporting the
 //! function-call reduction and AR delta per family.
 //!
-//! Run: `cargo run --release -p bench --bin generalization_study [-- --quick]`
+//! Run: `cargo run --release -p bench --bin generalization_study [-- --quick] [-- --threads N]`
 
 use bench::RunConfig;
 use graphs::{generators, Graph};
 use ml::metrics::mean;
 use ml::ModelKind;
 use optimize::{Lbfgsb, Options};
+use qaoa::evaluation::graph_seed;
 use qaoa::graph_aware::GraphAwarePredictor;
-use qaoa::{evaluation, MaxCutProblem, ParameterPredictor};
+use qaoa::{MaxCutProblem, ParameterPredictor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,10 +66,13 @@ fn main() {
         config.nodes + 1
     };
 
+    let pool = engine::Pool::new(config.threads());
     println!(
         "# Generalization study: GPR trained on ER({:.1}) n={}, evaluated at p={depth}, \
-         {per_family} graphs/family, L-BFGS-B",
-        0.5, config.nodes
+         {per_family} graphs/family, L-BFGS-B, {} threads",
+        0.5,
+        config.nodes,
+        pool.threads()
     );
     println!(
         "{:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
@@ -85,16 +89,17 @@ fn main() {
     }
 
     for (name, graphs) in &families {
-        let naive = evaluation::naive_protocol(
+        let naive = engine::compare::naive_protocol(
             graphs,
             depth,
             &optimizer,
             naive_starts,
             &options,
             config.seed,
+            &pool,
         )
         .expect("naive protocol");
-        let ml = evaluation::two_level_protocol(
+        let ml = engine::compare::two_level_protocol(
             graphs,
             depth,
             &optimizer,
@@ -102,21 +107,22 @@ fn main() {
             1,
             &options,
             config.seed ^ 0xA11,
+            &pool,
         )
         .expect("two-level protocol");
 
-        // Graph-aware two-level runs.
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB22);
-        let mut ga_ar = Vec::new();
-        let mut ga_fc = Vec::new();
-        for graph in graphs.iter() {
-            let problem = MaxCutProblem::new(graph).expect("non-empty graph");
+        // Graph-aware two-level runs, one engine job per graph (per-graph
+        // seeds keep the fan-out schedule-independent).
+        let ga: Vec<(f64, f64)> = pool.run_ordered(graphs.len(), |gi| {
+            let mut rng = StdRng::seed_from_u64(graph_seed(config.seed ^ 0xB22, gi));
+            let problem = MaxCutProblem::new(&graphs[gi]).expect("non-empty graph");
             let out = aware
                 .run_two_level(&problem, depth, &optimizer, &options, &mut rng)
                 .expect("graph-aware flow");
-            ga_ar.push(out.approximation_ratio);
-            ga_fc.push(out.total_calls() as f64);
-        }
+            (out.approximation_ratio, out.total_calls() as f64)
+        });
+        let ga_ar: Vec<f64> = ga.iter().map(|s| s.0).collect();
+        let ga_fc: Vec<f64> = ga.iter().map(|s| s.1).collect();
 
         let naive_ar = mean(&naive.iter().map(|s| s.0).collect::<Vec<_>>());
         let naive_fc = mean(&naive.iter().map(|s| s.1 as f64).collect::<Vec<_>>());

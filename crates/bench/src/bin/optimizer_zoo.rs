@@ -7,7 +7,7 @@
 //! naive-vs-two-level comparison, checking that the function-call reduction
 //! holds across the wider spectrum.
 //!
-//! Run: `cargo run --release -p bench --bin optimizer_zoo [-- --quick]`
+//! Run: `cargo run --release -p bench --bin optimizer_zoo [-- --quick] [-- --threads N]`
 
 use bench::RunConfig;
 use ml::ModelKind;
@@ -34,13 +34,16 @@ fn main() {
         eval_config.naive_starts = n;
     }
 
+    let pool = engine::Pool::new(config.threads());
     println!(
-        "# Optimizer zoo: naive vs two-level on {n_eval} test graphs, depths {:?}",
-        eval_config.depths
+        "# Optimizer zoo: naive vs two-level on {n_eval} test graphs, depths {:?}, {} threads",
+        eval_config.depths,
+        pool.threads()
     );
     println!("{}", evaluation::table_header());
-    let rows = evaluation::compare(graphs, &extended_optimizers(), &predictor, &eval_config)
-        .expect("comparison");
+    let rows =
+        engine::compare::compare(graphs, &extended_optimizers(), &predictor, &eval_config, &pool)
+            .expect("comparison");
     let mut reductions = Vec::new();
     let mut spsa_ar_gain = Vec::new();
     for row in &rows {

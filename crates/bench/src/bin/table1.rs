@@ -7,11 +7,11 @@
 //! target depth (paper: 12.3% → 65.7%, average 44.9%); ML AR never worse
 //! than naive AR.
 //!
-//! Run: `cargo run --release -p bench --bin table1 [-- --quick]`
+//! Run: `cargo run --release -p bench --bin table1 [-- --quick] [-- --threads N]`
 
 use bench::RunConfig;
 use ml::ModelKind;
-use qaoa::evaluation::{compare, table_header, EvaluationConfig};
+use qaoa::evaluation::{table_header, EvaluationConfig};
 use qaoa::ParameterPredictor;
 
 fn main() {
@@ -33,8 +33,15 @@ fn main() {
         seed: config.seed,
     };
     let optimizers = optimize::all_optimizers();
-    eprintln!("# sweeping {} optimizers x {:?} depths...", optimizers.len(), eval.depths);
-    let rows = compare(test.graphs(), &optimizers, &predictor, &eval).expect("comparison sweep");
+    let pool = engine::Pool::new(config.threads());
+    eprintln!(
+        "# sweeping {} optimizers x {:?} depths on {} threads...",
+        optimizers.len(),
+        eval.depths,
+        pool.threads()
+    );
+    let rows = engine::compare::compare(test.graphs(), &optimizers, &predictor, &eval, &pool)
+        .expect("comparison sweep");
 
     println!("# Table I: naive random init vs two-level ML init (FC in thousands of calls)");
     println!("{}", table_header());

@@ -10,6 +10,7 @@
 //! --restarts N       random inits per instance  (paper: 20)
 //! --max-depth N      corpus depth               (paper: 6)
 //! --seed N           RNG seed                   (default: 2020)
+//! --threads N        engine worker count        (default: all cores)
 //! ```
 //!
 //! Parsing is deliberately dependency-free.
@@ -35,6 +36,8 @@ pub struct RunConfig {
     /// binaries (`None` = same as `restarts`). Lets a cached corpus (keyed
     /// on `restarts`) be reused while scaling evaluation cost separately.
     pub naive_starts: Option<usize>,
+    /// Engine worker count (`None` = the machine's available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl RunConfig {
@@ -49,6 +52,7 @@ impl RunConfig {
             seed: 2020,
             quick: false,
             naive_starts: None,
+            threads: None,
         }
     }
 
@@ -63,6 +67,7 @@ impl RunConfig {
             seed: 2020,
             quick: true,
             naive_starts: None,
+            threads: None,
         }
     }
 
@@ -86,7 +91,7 @@ impl RunConfig {
                     i += 1;
                 }
                 "--nodes" | "--graphs" | "--restarts" | "--max-depth" | "--seed"
-                | "--naive-starts" => {
+                | "--naive-starts" | "--threads" => {
                     let value = args
                         .get(i + 1)
                         .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -99,6 +104,7 @@ impl RunConfig {
                         "--restarts" => config.restarts = parsed as usize,
                         "--max-depth" => config.max_depth = parsed as usize,
                         "--naive-starts" => config.naive_starts = Some(parsed as usize),
+                        "--threads" => config.threads = Some((parsed as usize).max(1)),
                         _ => config.seed = parsed,
                     }
                     i += 2;
@@ -122,7 +128,7 @@ impl RunConfig {
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!(
-                    "usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N] [--seed N] [--naive-starts N]"
+                    "usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N] [--seed N] [--naive-starts N] [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -150,17 +156,41 @@ impl RunConfig {
         self.naive_starts.unwrap_or(self.restarts)
     }
 
-    /// Generates the corpus for this configuration, caching it as TSV under
-    /// `target/` so repeated figure binaries share the (one-time, §III-A)
-    /// generation cost. Delete the cache file to force regeneration.
+    /// Engine worker count: `--threads` if given, else the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// A batch engine sized by [`RunConfig::threads`].
+    #[must_use]
+    pub fn engine(&self) -> engine::Engine {
+        engine::Engine::new(self.threads())
+    }
+
+    /// Generates the corpus for this configuration on the parallel engine,
+    /// caching it as TSV under `target/` so repeated figure binaries share
+    /// the (one-time, §III-A) generation cost. Delete the cache file to
+    /// force regeneration.
+    ///
+    /// The engine's per-cell deterministic seeding makes the corpus a pure
+    /// function of the configuration — the same at any `--threads` value.
     ///
     /// # Panics
     ///
     /// Panics if generation fails (binaries have no recovery path).
     #[must_use]
     pub fn corpus(&self) -> qaoa::datagen::ParameterDataset {
+        // v2: engine-generated (per-cell derived seeds, canonical depth-1
+        // solves). The version tag keeps corpora from the old serial
+        // streaming-RNG generator from being loaded as if equivalent.
         let cache = std::path::PathBuf::from(format!(
-            "target/qaoa_corpus_n{}_g{}_d{}_r{}_s{}.tsv",
+            "target/qaoa_corpus_v2_n{}_g{}_d{}_r{}_s{}.tsv",
             self.nodes, self.graphs, self.max_depth, self.restarts, self.seed
         ));
         if cache.exists() {
@@ -173,11 +203,15 @@ impl RunConfig {
             }
         }
         eprintln!(
-            "# generating corpus ({} graphs x depths 1..={}, {} restarts)...",
-            self.graphs, self.max_depth, self.restarts
+            "# generating corpus ({} graphs x depths 1..={}, {} restarts, {} threads)...",
+            self.graphs,
+            self.max_depth,
+            self.restarts,
+            self.threads()
         );
-        let ds = qaoa::datagen::ParameterDataset::generate(&self.datagen())
-            .expect("corpus generation");
+        let (ds, report) =
+            engine::corpus::generate(&self.datagen(), &self.engine()).expect("corpus generation");
+        eprintln!("# corpus: {}", report.summary());
         if let Err(e) = ds.save(&cache) {
             eprintln!("# warning: could not cache corpus: {e}");
         } else {
@@ -243,6 +277,19 @@ mod tests {
         assert!(RunConfig::parse(sv(&["--nodes"])).is_err());
         assert!(RunConfig::parse(sv(&["--nodes", "zero"])).is_err());
         assert!(RunConfig::parse(sv(&["--graphs", "0"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        let c = RunConfig::parse(sv(&["--quick", "--threads", "3"])).unwrap();
+        assert_eq!(c.threads, Some(3));
+        assert_eq!(c.threads(), 3);
+        assert_eq!(c.engine().threads(), 3);
+        // Zero clamps to one worker.
+        let c = RunConfig::parse(sv(&["--threads", "0"])).unwrap();
+        assert_eq!(c.threads(), 1);
+        // Default: machine parallelism, at least one.
+        assert!(RunConfig::paper().threads() >= 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::path::Path;
 use graphs::{generators, Graph};
 use optimize::{Lbfgsb, Optimizer, Options};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{MaxCutProblem, QaoaError, QaoaInstance};
 
@@ -144,7 +144,6 @@ impl ParameterDataset {
     /// Propagates problem-construction and optimizer errors.
     pub fn from_graphs(graphs: Vec<Graph>, config: &DataGenConfig) -> Result<Self, QaoaError> {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
-        let optimizer = Lbfgsb::default();
         let mut records = Vec::with_capacity(graphs.len() * config.max_depth);
         for (graph_id, graph) in graphs.iter().enumerate() {
             let problem = MaxCutProblem::new(graph)?;
@@ -152,62 +151,52 @@ impl ParameterDataset {
             // the next one.
             let mut prev: Option<(Vec<f64>, Vec<f64>)> = None;
             for depth in 1..=config.max_depth {
-                let instance = QaoaInstance::new(problem.clone(), depth)?;
-                // The paper's protocol: best of `restarts` random inits.
-                let mut outcome = instance.optimize_multistart(
-                    &optimizer as &dyn Optimizer,
-                    config.restarts,
-                    &mut rng,
-                    &config.options,
-                )?;
-                // One extra trend-seeded run (Zhou et al.'s INTERP schedule,
-                // the paper's ref [5]): initialize depth p from the
-                // interpolated depth-(p−1) optimum. QAOA landscapes carry
-                // many near-degenerate local optima, and independent
-                // multistart hops between them across graphs; the
-                // interpolation seed keeps every graph in the same smooth
-                // basin family — the regularity Figs. 2/3 depend on.
-                if let Some((pg, pb)) = &prev {
-                    let mut seed = interp_resample(pg, depth);
-                    seed.extend(interp_resample(pb, depth));
-                    let seeded = instance.optimize(
-                        &optimizer as &dyn Optimizer,
-                        &seed,
-                        &config.options,
-                    )?;
-                    let total = outcome.function_calls + seeded.function_calls;
-                    // Record the random-restart winner only when it beats
-                    // the trend-consistent optimum by a real margin;
-                    // near-degenerate ties resolve to the seeded basin.
-                    let margin = config.trend_preference_margin
-                        * (1.0 + seeded.expectation.abs());
-                    if outcome.expectation <= seeded.expectation + margin {
-                        outcome = seeded;
-                    }
-                    outcome.function_calls = total;
-                }
-                // Fold the optimum into the canonical symmetry domain so
-                // optimal parameters are comparable across graphs (see the
-                // `canonical` module).
-                let mut gammas = outcome.gammas().to_vec();
-                let mut betas = outcome.betas().to_vec();
-                crate::canonical::canonicalize(&mut gammas, &mut betas);
-                prev = Some((gammas.clone(), betas.clone()));
-                records.push(OptimalRecord {
-                    graph_id,
-                    depth,
-                    gammas,
-                    betas,
-                    expectation: outcome.expectation,
-                    approximation_ratio: outcome.approximation_ratio,
-                    function_calls: outcome.function_calls,
-                });
+                let record = solve_depth(&problem, graph_id, depth, prev.as_ref(), config, &mut rng)?;
+                prev = Some((record.gammas.clone(), record.betas.clone()));
+                records.push(record);
             }
         }
         Ok(Self {
             graphs,
             records,
             max_depth: config.max_depth,
+        })
+    }
+
+    /// Assembles a dataset from pre-solved parts — the constructor used by
+    /// the parallel `engine` corpus generator, which fans [`solve_depth`]
+    /// jobs across a worker pool and stitches the records back together in
+    /// graph order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::Parse`] when a record references a graph outside
+    /// `graphs` or a depth beyond `max_depth` (the same invariants the TSV
+    /// reader enforces).
+    pub fn from_parts(
+        graphs: Vec<Graph>,
+        records: Vec<OptimalRecord>,
+        max_depth: usize,
+    ) -> Result<Self, QaoaError> {
+        for (i, r) in records.iter().enumerate() {
+            if r.graph_id >= graphs.len() || r.depth == 0 || r.depth > max_depth {
+                return Err(QaoaError::Parse {
+                    line: i + 1,
+                    message: format!(
+                        "record {} out of range: graph_id {} (of {}), depth {} (max {})",
+                        i,
+                        r.graph_id,
+                        graphs.len(),
+                        r.depth,
+                        max_depth
+                    ),
+                });
+            }
+        }
+        Ok(Self {
+            graphs,
+            records,
+            max_depth,
         })
     }
 
@@ -414,6 +403,72 @@ impl ParameterDataset {
         let file = std::fs::File::open(path)?;
         Self::read_tsv(file)
     }
+}
+
+/// Solves one `(graph, depth)` corpus cell: the paper's best-of-`restarts`
+/// multistart, plus one trend-seeded run interpolated from the previous
+/// depth's canonical optimum (`prev`), with near-ties resolved to the
+/// trend-consistent basin. Returns the canonicalized [`OptimalRecord`].
+///
+/// This is the unit of work of the §III-A pipeline. The serial
+/// [`ParameterDataset::from_graphs`] streams one RNG through every cell;
+/// the parallel engine derives an independent RNG per cell so results are
+/// identical at any worker count.
+///
+/// # Errors
+///
+/// Propagates instance-construction and optimizer errors.
+pub fn solve_depth<R: Rng + ?Sized>(
+    problem: &MaxCutProblem,
+    graph_id: usize,
+    depth: usize,
+    prev: Option<&(Vec<f64>, Vec<f64>)>,
+    config: &DataGenConfig,
+    rng: &mut R,
+) -> Result<OptimalRecord, QaoaError> {
+    let optimizer = Lbfgsb::default();
+    let instance = QaoaInstance::new(problem.clone(), depth)?;
+    // The paper's protocol: best of `restarts` random inits.
+    let mut outcome = instance.optimize_multistart(
+        &optimizer as &dyn Optimizer,
+        config.restarts,
+        rng,
+        &config.options,
+    )?;
+    // One extra trend-seeded run (Zhou et al.'s INTERP schedule, the
+    // paper's ref [5]): initialize depth p from the interpolated
+    // depth-(p−1) optimum. QAOA landscapes carry many near-degenerate
+    // local optima, and independent multistart hops between them across
+    // graphs; the interpolation seed keeps every graph in the same smooth
+    // basin family — the regularity Figs. 2/3 depend on.
+    if let Some((pg, pb)) = prev {
+        let mut seed = interp_resample(pg, depth);
+        seed.extend(interp_resample(pb, depth));
+        let seeded = instance.optimize(&optimizer as &dyn Optimizer, &seed, &config.options)?;
+        let total = outcome.function_calls + seeded.function_calls;
+        // Record the random-restart winner only when it beats the
+        // trend-consistent optimum by a real margin; near-degenerate ties
+        // resolve to the seeded basin.
+        let margin = config.trend_preference_margin * (1.0 + seeded.expectation.abs());
+        if outcome.expectation <= seeded.expectation + margin {
+            outcome = seeded;
+        }
+        outcome.function_calls = total;
+    }
+    // Fold the optimum into the canonical symmetry domain so optimal
+    // parameters are comparable across graphs (see the `canonical` module).
+    let mut gammas = outcome.gammas().to_vec();
+    let mut betas = outcome.betas().to_vec();
+    crate::canonical::canonicalize(&mut gammas, &mut betas);
+    Ok(OptimalRecord {
+        graph_id,
+        depth,
+        gammas,
+        betas,
+        expectation: outcome.expectation,
+        approximation_ratio: outcome.approximation_ratio,
+        function_calls: outcome.function_calls,
+    })
 }
 
 /// Linearly resamples a parameter schedule to a new length — Zhou et al.'s

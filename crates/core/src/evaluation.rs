@@ -134,10 +134,51 @@ pub fn table_header() -> String {
     )
 }
 
+/// Derives the independent RNG seed of one graph within a protocol sweep.
+///
+/// Both protocols seed **per graph** from `(master, graph_index)` rather
+/// than streaming one RNG across the whole sweep. The derivation is a
+/// SplitMix64 finalizer, so it is a pure function of its inputs — which is
+/// what lets the `engine` crate run per-graph jobs on any number of workers
+/// and still reproduce the serial sweep bit-for-bit.
+#[must_use]
+pub fn graph_seed(master: u64, graph_index: usize) -> u64 {
+    use crate::stablehash::{mix64, GOLDEN_GAMMA};
+    mix64(master ^ (graph_index as u64).wrapping_mul(GOLDEN_GAMMA))
+}
+
+/// Runs the naive protocol for a **single** graph: `n_starts` independent
+/// random-init optimizations, one `(AR, FC)` sample per start.
+///
+/// # Errors
+///
+/// Propagates problem-construction and optimizer errors.
+pub fn naive_protocol_graph(
+    graph: &Graph,
+    depth: usize,
+    optimizer: &dyn Optimizer,
+    n_starts: usize,
+    options: &Options,
+    seed: u64,
+) -> Result<Vec<(f64, usize)>, QaoaError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = crate::parameter_bounds(depth)?;
+    let problem = MaxCutProblem::new(graph)?;
+    let instance = QaoaInstance::new(problem, depth)?;
+    let mut samples = Vec::with_capacity(n_starts);
+    for _ in 0..n_starts {
+        let start = bounds.sample(&mut rng);
+        let out = instance.optimize(optimizer, &start, options)?;
+        samples.push((out.approximation_ratio, out.function_calls));
+    }
+    Ok(samples)
+}
+
 /// Runs the naive protocol for one optimizer/depth over a set of graphs.
 ///
 /// Returns per-run `(approximation_ratio, function_calls)` samples — one
-/// per (graph, start) pair.
+/// per (graph, start) pair. Each graph is seeded independently via
+/// [`graph_seed`].
 ///
 /// # Errors
 ///
@@ -150,24 +191,50 @@ pub fn naive_protocol(
     options: &Options,
     seed: u64,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let bounds = crate::parameter_bounds(depth)?;
     let mut samples = Vec::with_capacity(graphs.len() * n_starts);
-    for graph in graphs {
-        let problem = MaxCutProblem::new(graph)?;
-        let instance = QaoaInstance::new(problem, depth)?;
-        for _ in 0..n_starts {
-            let start = bounds.sample(&mut rng);
-            let out = instance.optimize(optimizer, &start, options)?;
-            samples.push((out.approximation_ratio, out.function_calls));
-        }
+    for (gi, graph) in graphs.iter().enumerate() {
+        samples.extend(naive_protocol_graph(
+            graph,
+            depth,
+            optimizer,
+            n_starts,
+            options,
+            graph_seed(seed, gi),
+        )?);
     }
     Ok(samples)
+}
+
+/// Runs the two-level protocol for a **single** graph, returning its
+/// `(approximation_ratio, total_function_calls)` sample.
+///
+/// # Errors
+///
+/// Propagates flow errors.
+pub fn two_level_protocol_graph(
+    graph: &Graph,
+    depth: usize,
+    optimizer: &dyn Optimizer,
+    predictor: &ParameterPredictor,
+    level1_starts: usize,
+    options: &Options,
+    seed: u64,
+) -> Result<(f64, usize), QaoaError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flow = TwoLevelFlow::new(predictor);
+    let config = TwoLevelConfig {
+        level1_starts,
+        options: *options,
+    };
+    let problem = MaxCutProblem::new(graph)?;
+    let out = flow.run(&problem, depth, optimizer, &config, &mut rng)?;
+    Ok((out.approximation_ratio, out.total_calls()))
 }
 
 /// Runs the two-level protocol for one optimizer/depth over a set of graphs.
 ///
 /// Returns per-graph `(approximation_ratio, total_function_calls)` samples.
+/// Each graph is seeded independently via [`graph_seed`].
 ///
 /// # Errors
 ///
@@ -181,19 +248,86 @@ pub fn two_level_protocol(
     options: &Options,
     seed: u64,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let flow = TwoLevelFlow::new(predictor);
-    let config = TwoLevelConfig {
-        level1_starts,
-        options: *options,
-    };
     let mut samples = Vec::with_capacity(graphs.len());
-    for graph in graphs {
-        let problem = MaxCutProblem::new(graph)?;
-        let out = flow.run(&problem, depth, optimizer, &config, &mut rng)?;
-        samples.push((out.approximation_ratio, out.total_calls()));
+    for (gi, graph) in graphs.iter().enumerate() {
+        samples.push(two_level_protocol_graph(
+            graph,
+            depth,
+            optimizer,
+            predictor,
+            level1_starts,
+            options,
+            graph_seed(seed, gi),
+        )?);
     }
     Ok(samples)
+}
+
+/// The RNG seed of the `(optimizer_index, depth_index)` cell of a sweep —
+/// a pure function of the sweep seed and cell coordinates, shared by the
+/// serial [`compare`] and the parallel engine driver.
+#[must_use]
+pub fn cell_seed(master: u64, optimizer_index: usize, depth_index: usize) -> u64 {
+    master.wrapping_add((optimizer_index * 1000 + depth_index) as u64)
+}
+
+/// Aggregates per-run samples of both protocols into one [`ComparisonRow`].
+#[must_use]
+pub fn row_from_samples(
+    optimizer_name: &str,
+    depth: usize,
+    naive: &[(f64, usize)],
+    ml: &[(f64, usize)],
+) -> ComparisonRow {
+    let naive_ar: Vec<f64> = naive.iter().map(|s| s.0).collect();
+    let naive_fc: Vec<f64> = naive.iter().map(|s| s.1 as f64).collect();
+    let ml_ar: Vec<f64> = ml.iter().map(|s| s.0).collect();
+    let ml_fc: Vec<f64> = ml.iter().map(|s| s.1 as f64).collect();
+    ComparisonRow {
+        optimizer: optimizer_name.to_string(),
+        depth,
+        naive_ar_mean: mean(&naive_ar),
+        naive_ar_sd: std_dev(&naive_ar),
+        naive_fc_mean: mean(&naive_fc),
+        naive_fc_sd: std_dev(&naive_fc),
+        ml_ar_mean: mean(&ml_ar),
+        ml_ar_sd: std_dev(&ml_ar),
+        ml_fc_mean: mean(&ml_fc),
+        ml_fc_sd: std_dev(&ml_fc),
+    }
+}
+
+/// Computes one Table-I cell (both protocols, all graphs) serially.
+///
+/// # Errors
+///
+/// Propagates any protocol error.
+pub fn compare_cell(
+    graphs: &[Graph],
+    optimizer: &dyn Optimizer,
+    depth: usize,
+    predictor: &ParameterPredictor,
+    config: &EvaluationConfig,
+    seed: u64,
+) -> Result<ComparisonRow, QaoaError> {
+    let naive = naive_protocol(
+        graphs,
+        depth,
+        optimizer,
+        config.naive_starts,
+        &config.options,
+        seed,
+    )?;
+    let ml = two_level_protocol(
+        graphs,
+        depth,
+        optimizer,
+        predictor,
+        config.level1_starts,
+        &config.options,
+        seed.wrapping_add(500),
+    )?;
+    Ok(row_from_samples(optimizer.name(), depth, &naive, &ml))
 }
 
 /// Produces the full Table-I comparison for the given optimizers and test
@@ -204,49 +338,21 @@ pub fn two_level_protocol(
 /// Propagates any per-cell error.
 pub fn compare(
     graphs: &[Graph],
-    optimizers: &[Box<dyn Optimizer>],
+    optimizers: &[Box<dyn Optimizer + Send + Sync>],
     predictor: &ParameterPredictor,
     config: &EvaluationConfig,
 ) -> Result<Vec<ComparisonRow>, QaoaError> {
     let mut rows = Vec::new();
     for (oi, optimizer) in optimizers.iter().enumerate() {
         for (di, &depth) in config.depths.iter().enumerate() {
-            let cell_seed = config
-                .seed
-                .wrapping_add((oi * 1000 + di) as u64);
-            let naive = naive_protocol(
+            rows.push(compare_cell(
                 graphs,
-                depth,
                 optimizer.as_ref(),
-                config.naive_starts,
-                &config.options,
-                cell_seed,
-            )?;
-            let ml = two_level_protocol(
-                graphs,
                 depth,
-                optimizer.as_ref(),
                 predictor,
-                config.level1_starts,
-                &config.options,
-                cell_seed.wrapping_add(500),
-            )?;
-            let naive_ar: Vec<f64> = naive.iter().map(|s| s.0).collect();
-            let naive_fc: Vec<f64> = naive.iter().map(|s| s.1 as f64).collect();
-            let ml_ar: Vec<f64> = ml.iter().map(|s| s.0).collect();
-            let ml_fc: Vec<f64> = ml.iter().map(|s| s.1 as f64).collect();
-            rows.push(ComparisonRow {
-                optimizer: optimizer.name().to_string(),
-                depth,
-                naive_ar_mean: mean(&naive_ar),
-                naive_ar_sd: std_dev(&naive_ar),
-                naive_fc_mean: mean(&naive_fc),
-                naive_fc_sd: std_dev(&naive_fc),
-                ml_ar_mean: mean(&ml_ar),
-                ml_ar_sd: std_dev(&ml_ar),
-                ml_fc_mean: mean(&ml_fc),
-                ml_fc_sd: std_dev(&ml_fc),
-            });
+                config,
+                cell_seed(config.seed, oi, di),
+            )?);
         }
     }
     Ok(rows)
@@ -327,7 +433,7 @@ mod tests {
         let ds = corpus();
         let (train, test) = ds.split_by_graph(0.5);
         let predictor = ParameterPredictor::train(ModelKind::Linear, &train).unwrap();
-        let optimizers: Vec<Box<dyn Optimizer>> = vec![Box::new(Lbfgsb::default())];
+        let optimizers: Vec<Box<dyn Optimizer + Send + Sync>> = vec![Box::new(Lbfgsb::default())];
         let config = EvaluationConfig {
             depths: vec![2],
             naive_starts: 2,

@@ -52,6 +52,7 @@ mod instance;
 pub mod landscape;
 pub mod noise;
 pub mod noisy;
+pub mod stablehash;
 mod predictor;
 mod problem;
 mod twolevel;

@@ -1,0 +1,108 @@
+//! Process-stable hashing and mixing primitives.
+//!
+//! Three guarantees in this workspace are *bit-level* and cross-crate:
+//! serial sweeps equal engine-parallel sweeps (per-graph seeds), cache
+//! keys are stable across processes ([`crate::canonical`]), and per-job
+//! RNG derivation is a pure function of stable keys (`engine::seed`).
+//! All of them reduce to the two primitives here — one shared definition,
+//! so a constant tweak can never desynchronize the call sites.
+
+/// The SplitMix64 increment ("golden gamma").
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 finalizer: a bijective avalanche mix of `z`.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One SplitMix64 step: advance by [`GOLDEN_GAMMA`], then finalize.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    mix64(state.wrapping_add(GOLDEN_GAMMA))
+}
+
+/// Streaming FNV-1a (64-bit): process-stable, unlike `DefaultHasher`.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// The standard FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs one word (little-endian bytes).
+    pub fn write_u64(&mut self, word: u64) {
+        self.write(&word.to_le_bytes());
+    }
+
+    /// The digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a of a byte string.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixers_are_pure_and_discriminating() {
+        assert_eq!(mix64(7), mix64(7));
+        assert_ne!(mix64(7), mix64(8));
+        assert_eq!(splitmix64(0), mix64(GOLDEN_GAMMA));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+        let mut w = Fnv64::default();
+        w.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(
+            w.finish(),
+            fnv1a(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01])
+        );
+    }
+}

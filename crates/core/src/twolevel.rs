@@ -115,11 +115,36 @@ impl<'a> TwoLevelFlow<'a> {
         // Level 1: cheap p = 1 optimization from random init.
         let level1 = QaoaInstance::new(problem.clone(), 1)?;
         let l1 = level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
+        self.run_with_level1(problem, target_depth, optimizer, config, &l1)
+    }
 
+    /// Runs the flow's second level from an **already-computed** depth-1
+    /// optimum — the entry point the parallel engine uses when its
+    /// isomorphism cache already holds the level-1 solution for this
+    /// graph's canonical class, so the `p = 1` optimization is skipped
+    /// entirely.
+    ///
+    /// `level1.function_calls` is carried into the outcome's
+    /// `level1_calls`; pass an outcome with zeroed calls to account a
+    /// cache hit as free.
+    ///
+    /// # Errors
+    ///
+    /// * [`QaoaError::InvalidDepth`] if the target depth exceeds the
+    ///   predictor's training depth.
+    /// * Instance/optimizer errors from level 2.
+    pub fn run_with_level1(
+        &self,
+        problem: &MaxCutProblem,
+        target_depth: usize,
+        optimizer: &dyn Optimizer,
+        config: &TwoLevelConfig,
+        level1: &crate::InstanceOutcome,
+    ) -> Result<TwoLevelOutcome, QaoaError> {
         // Predict tuned initial parameters for the target depth. The level-1
         // optimum is folded into the canonical symmetry domain first, so it
         // matches the corpus the predictor was trained on.
-        let l1_canon = crate::canonical::canonicalize_packed(&l1.params);
+        let l1_canon = crate::canonical::canonicalize_packed(&level1.params);
         let init = self
             .predictor
             .predict(l1_canon[0], l1_canon[1], target_depth)?;
@@ -132,7 +157,7 @@ impl<'a> TwoLevelFlow<'a> {
             params: l2.params,
             expectation: l2.expectation,
             approximation_ratio: l2.approximation_ratio,
-            level1_calls: l1.function_calls,
+            level1_calls: level1.function_calls,
             intermediate_calls: 0,
             level2_calls: l2.function_calls,
             predicted_init: init,

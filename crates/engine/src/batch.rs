@@ -1,0 +1,363 @@
+//! Batch execution of independent QAOA optimization jobs.
+//!
+//! A [`Job`] is one `(graph, depth, restarts)` optimization; an [`Engine`]
+//! fans a queue of jobs across its worker [`Pool`](crate::Pool) and returns
+//! the [`InstanceOutcome`]s **in submission order**, plus a [`BatchReport`]
+//! with per-job wall time and the function-call accounting that
+//! `optimize::Counted` threads through every outcome.
+//!
+//! Depth-1 jobs are routed through the engine's isomorphism
+//! [`Level1Cache`]: the solve runs on the canonical representative graph
+//! with an RNG seeded from the canonical class hash, so isomorphic jobs
+//! produce bit-identical outcomes and hit each other's cache entries —
+//! at any worker count, in any schedule.
+
+use std::time::{Duration, Instant};
+
+use graphs::Graph;
+use optimize::{Optimizer, Options};
+use qaoa::canonical::graph_key;
+use qaoa::{
+    InstanceOutcome, MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance, TwoLevelConfig,
+    TwoLevelFlow, TwoLevelOutcome,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::Level1Cache;
+use crate::pool::Pool;
+use crate::seed;
+
+/// One unit of batch work: optimize a `(graph, depth)` QAOA instance with
+/// best-of-`restarts` multistart.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Problem graph.
+    pub graph: Graph,
+    /// Circuit depth `p`.
+    pub depth: usize,
+    /// Random multistart count.
+    pub restarts: usize,
+}
+
+impl Job {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(graph: Graph, depth: usize, restarts: usize) -> Self {
+        Self {
+            graph,
+            depth,
+            restarts,
+        }
+    }
+
+    /// Stable key of this job at `index` in its queue — the input to
+    /// [`seed::derive2`], independent of scheduling.
+    #[must_use]
+    pub fn stable_key(&self, index: usize) -> u64 {
+        let mut h: u64 = self.graph.n_nodes() as u64;
+        for e in self.graph.edges() {
+            h = seed::mix(h, &[e.u as u64, e.v as u64, e.weight.to_bits()]);
+        }
+        seed::mix(h, &[self.depth as u64, self.restarts as u64, index as u64])
+    }
+}
+
+/// Batch-wide execution settings.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Master seed every per-job RNG is derived from.
+    pub master_seed: u64,
+    /// Optimizer options for all jobs.
+    pub options: Options,
+    /// Route depth-1 jobs through the isomorphism cache.
+    pub use_cache: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            master_seed: 2020,
+            options: Options::default(),
+            use_cache: true,
+        }
+    }
+}
+
+/// Per-job accounting.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Wall-clock time of this job on its worker.
+    pub wall: Duration,
+    /// Objective evaluations spent (from `optimize::Counted`).
+    pub function_calls: usize,
+    /// Whether the depth-1 cache served this job.
+    pub cache_hit: bool,
+}
+
+/// Aggregated accounting for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-job stats, in submission order.
+    pub jobs: Vec<JobStats>,
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+    /// Worker count used.
+    pub threads: usize,
+    /// Sum of all jobs' function calls.
+    pub total_function_calls: usize,
+    /// Depth-1 cache hits within this batch.
+    pub cache_hits: usize,
+    /// Depth-1 cache misses (solves) within this batch.
+    pub cache_misses: usize,
+}
+
+impl BatchReport {
+    /// Sum of per-job wall times — the serial-equivalent compute time.
+    /// `busy() / wall` approximates the parallel speedup achieved.
+    #[must_use]
+    pub fn busy(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs on {} threads: wall {:.2?}, busy {:.2?} ({:.2}x), {} fn calls, cache {}/{} hit",
+            self.jobs.len(),
+            self.threads,
+            self.wall,
+            self.busy(),
+            self.busy().as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+            self.total_function_calls,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+/// The batch executor: a worker pool plus the shared depth-1 cache.
+#[derive(Debug, Default)]
+pub struct Engine {
+    pool: Pool,
+    cache: Level1Cache,
+}
+
+impl Engine {
+    /// An engine with `threads` workers and an empty cache.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: Pool::new(threads),
+            cache: Level1Cache::new(),
+        }
+    }
+
+    /// An engine sized to the machine's available parallelism.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self {
+            pool: Pool::auto(),
+            cache: Level1Cache::new(),
+        }
+    }
+
+    /// The worker pool.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The shared depth-1 optimum cache.
+    #[must_use]
+    pub fn cache(&self) -> &Level1Cache {
+        &self.cache
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Solves the depth-1 instance of `graph`'s canonical class, through
+    /// the cache. The solve operates on the **canonical representative**
+    /// with an RNG seeded from the class hash, making the result a pure
+    /// function of `(master_seed, class, restarts)` — identical for every
+    /// isomorphic graph and every schedule. Returns `(outcome, was_hit)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instance-construction and optimizer errors.
+    pub fn level1_cached(
+        &self,
+        graph: &Graph,
+        optimizer: &dyn Optimizer,
+        restarts: usize,
+        config: &BatchConfig,
+    ) -> Result<(InstanceOutcome, bool), QaoaError> {
+        let key = graph_key(graph);
+        let solve = || {
+            let representative = key.to_graph();
+            let problem = MaxCutProblem::new(&representative)?;
+            let instance = QaoaInstance::new(problem, 1)?;
+            let mut rng = StdRng::seed_from_u64(seed::derive2(
+                config.master_seed,
+                "level1",
+                key.hash64(),
+                restarts as u64,
+            ));
+            instance.optimize_multistart(optimizer, restarts, &mut rng, &config.options)
+        };
+        if config.use_cache {
+            self.cache.get_or_solve(&key, solve)
+        } else {
+            Ok((solve()?, false))
+        }
+    }
+
+    /// Runs `jobs` across the pool, returning outcomes in submission order
+    /// together with the batch report.
+    ///
+    /// Determinism contract: for a fixed `jobs` queue and
+    /// `config.master_seed`, the outcomes are bit-identical at **any**
+    /// worker count — every job's RNG is derived from its stable key, and
+    /// depth-1 cache entries are pure functions of the graph's canonical
+    /// class.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in submission order) job error.
+    pub fn run_batch(
+        &self,
+        optimizer: &(dyn Optimizer + Sync),
+        jobs: &[Job],
+        config: &BatchConfig,
+    ) -> Result<(Vec<InstanceOutcome>, BatchReport), QaoaError> {
+        let batch_start = Instant::now();
+        let results: Vec<Result<(InstanceOutcome, JobStats), QaoaError>> =
+            self.pool.run_ordered(jobs.len(), |i| {
+                let job = &jobs[i];
+                let start = Instant::now();
+                let (outcome, cache_hit) = if job.depth == 1 {
+                    self.level1_cached(&job.graph, optimizer, job.restarts, config)?
+                } else {
+                    let problem = MaxCutProblem::new(&job.graph)?;
+                    let instance = QaoaInstance::new(problem, job.depth)?;
+                    let mut rng = StdRng::seed_from_u64(seed::mix(
+                        config.master_seed,
+                        &[seed::domain_hash("batch"), job.stable_key(i)],
+                    ));
+                    let outcome = instance.optimize_multistart(
+                        optimizer,
+                        job.restarts,
+                        &mut rng,
+                        &config.options,
+                    )?;
+                    (outcome, false)
+                };
+                let stats = JobStats {
+                    wall: start.elapsed(),
+                    function_calls: outcome.function_calls,
+                    cache_hit,
+                };
+                Ok((outcome, stats))
+            });
+
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut job_stats = Vec::with_capacity(jobs.len());
+        for result in results {
+            let (outcome, stats) = result?;
+            outcomes.push(outcome);
+            job_stats.push(stats);
+        }
+        let cache_hits = job_stats.iter().filter(|s| s.cache_hit).count();
+        let cache_misses = jobs
+            .iter()
+            .zip(&job_stats)
+            .filter(|(job, stats)| job.depth == 1 && !stats.cache_hit)
+            .count();
+        let report = BatchReport {
+            total_function_calls: job_stats.iter().map(|s| s.function_calls).sum(),
+            cache_hits,
+            cache_misses,
+            wall: batch_start.elapsed(),
+            threads: self.threads(),
+            jobs: job_stats,
+        };
+        Ok((outcomes, report))
+    }
+
+    /// Runs the two-level flow over a batch of graphs with the level-1
+    /// optimization served by the isomorphism cache: each graph's `p = 1`
+    /// optimum is computed once per canonical class (via
+    /// [`Engine::level1_cached`]) and fed to
+    /// [`TwoLevelFlow::run_with_level1`], so isomorphic instances skip
+    /// level 1 entirely.
+    ///
+    /// Cache-hit level-1 calls are still accounted in each outcome's
+    /// `level1_calls` (the cached solve's cost), keeping outcomes
+    /// bit-identical whether or not the cache was warm; the report's
+    /// `cache_hits` shows how much work was actually skipped.
+    ///
+    /// Outcomes are in graph order and identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in graph order) flow error.
+    pub fn run_two_level_batch(
+        &self,
+        graphs: &[Graph],
+        target_depth: usize,
+        optimizer: &(dyn Optimizer + Sync),
+        predictor: &ParameterPredictor,
+        level1_starts: usize,
+        config: &BatchConfig,
+    ) -> Result<(Vec<TwoLevelOutcome>, BatchReport), QaoaError> {
+        let batch_start = Instant::now();
+        let flow_config = TwoLevelConfig {
+            level1_starts,
+            options: config.options,
+        };
+        let results: Vec<Result<(TwoLevelOutcome, JobStats), QaoaError>> =
+            self.pool.run_ordered(graphs.len(), |i| {
+                let start = Instant::now();
+                let (level1, cache_hit) =
+                    self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
+                let problem = MaxCutProblem::new(&graphs[i])?;
+                let flow = TwoLevelFlow::new(predictor);
+                let outcome = flow.run_with_level1(
+                    &problem,
+                    target_depth,
+                    optimizer,
+                    &flow_config,
+                    &level1,
+                )?;
+                let stats = JobStats {
+                    wall: start.elapsed(),
+                    function_calls: outcome.total_calls(),
+                    cache_hit,
+                };
+                Ok((outcome, stats))
+            });
+
+        let mut outcomes = Vec::with_capacity(graphs.len());
+        let mut job_stats = Vec::with_capacity(graphs.len());
+        for result in results {
+            let (outcome, stats) = result?;
+            outcomes.push(outcome);
+            job_stats.push(stats);
+        }
+        let cache_hits = job_stats.iter().filter(|s| s.cache_hit).count();
+        let report = BatchReport {
+            total_function_calls: job_stats.iter().map(|s| s.function_calls).sum(),
+            cache_hits,
+            cache_misses: job_stats.len() - cache_hits,
+            wall: batch_start.elapsed(),
+            threads: self.threads(),
+            jobs: job_stats,
+        };
+        Ok((outcomes, report))
+    }
+}

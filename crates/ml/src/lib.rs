@@ -67,7 +67,7 @@ use linalg::Matrix;
 ///
 /// All four paper models implement this trait, which is object-safe so the
 /// QAOA predictor can switch models at run time (§III-C compares them).
-pub trait Regressor {
+pub trait Regressor: Send + Sync {
     /// Fits the model to feature rows `x` and targets `y`.
     ///
     /// # Errors

@@ -95,7 +95,7 @@ pub trait Optimizer {
 /// assert_eq!(names, ["L-BFGS-B", "Nelder-Mead", "SLSQP", "COBYLA"]);
 /// ```
 #[must_use]
-pub fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
+pub fn all_optimizers() -> Vec<Box<dyn Optimizer + Send + Sync>> {
     vec![
         Box::new(Lbfgsb::default()),
         Box::new(NelderMead::default()),
@@ -113,7 +113,7 @@ pub fn all_optimizers() -> Vec<Box<dyn Optimizer>> {
 /// assert_eq!(opts.last().unwrap().name(), "SPSA");
 /// ```
 #[must_use]
-pub fn extended_optimizers() -> Vec<Box<dyn Optimizer>> {
+pub fn extended_optimizers() -> Vec<Box<dyn Optimizer + Send + Sync>> {
     let mut v = all_optimizers();
     v.push(Box::new(Powell::default()));
     v.push(Box::new(Spsa::default()));

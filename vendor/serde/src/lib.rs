@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace only needs the trait names and derives to exist — nothing
+//! serializes through serde at runtime (persistence uses hand-rolled TSV).
+//! The traits are therefore empty markers and the derives emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no-op stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use crate as serde;
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct WithAttrs {
+        #[serde(skip)]
+        _cached: Option<u32>,
+        _plain: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        _A,
+        _B(u8),
+    }
+
+    fn assert_impls<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        assert_impls::<WithAttrs>();
+        assert_impls::<Kind>();
+    }
+}

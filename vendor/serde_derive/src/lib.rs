@@ -1,0 +1,45 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The sibling `serde` stand-in defines `Serialize` / `Deserialize` as empty
+//! marker traits, so the derives only need to emit empty impl blocks. The
+//! `serde` helper attribute (`#[serde(skip)]`, …) is declared so field
+//! attributes parse, then ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` / `union` keyword,
+/// skipping attributes and doc comments.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input.clone() {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let text = ident.to_string();
+                if saw_keyword {
+                    return Some(text);
+                }
+                if text == "struct" || text == "enum" || text == "union" {
+                    saw_keyword = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("derive(Serialize) on a named type");
+    format!("impl serde::Serialize for {name} {}", "{}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input).expect("derive(Deserialize) on a named type");
+    format!("impl<'de> serde::Deserialize<'de> for {name} {}", "{}")
+        .parse()
+        .expect("generated impl parses")
+}
