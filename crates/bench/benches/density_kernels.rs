@@ -58,7 +58,13 @@ fn bench_noisy_vs_clean_energy(c: &mut Criterion) {
     let problem = MaxCutProblem::new(&graph).expect("non-empty");
     let ansatz = QaoaAnsatz::new(problem.clone(), 2).expect("valid depth");
     group.bench_function("statevector_fast", |b| {
-        b.iter(|| black_box(ansatz.expectation(black_box(&params)).expect("valid params")));
+        b.iter(|| {
+            black_box(
+                ansatz
+                    .expectation(black_box(&params))
+                    .expect("valid params"),
+            )
+        });
     });
 
     let clean = NoisyQaoa::new(problem.clone(), 2, NoiseModel::noiseless()).expect("small");

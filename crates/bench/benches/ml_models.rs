@@ -34,7 +34,9 @@ fn bench_fit(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
             b.iter(|| {
                 let mut model = kind.build();
-                model.fit(black_box(&x), black_box(&y)).expect("fit succeeds");
+                model
+                    .fit(black_box(&x), black_box(&y))
+                    .expect("fit succeeds");
                 black_box(model.predict(&[1.0, 0.5, 3.0]).expect("predict succeeds"))
             });
         });
@@ -49,7 +51,13 @@ fn bench_predict(c: &mut Criterion) {
         let mut model = kind.build();
         model.fit(&x, &y).expect("fit succeeds");
         group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
-            b.iter(|| black_box(model.predict(black_box(&[2.0, 0.9, 4.0])).expect("predict succeeds")));
+            b.iter(|| {
+                black_box(
+                    model
+                        .predict(black_box(&[2.0, 0.9, 4.0]))
+                        .expect("predict succeeds"),
+                )
+            });
         });
     }
     group.finish();

@@ -58,7 +58,13 @@ fn bench_qaoa_paths(c: &mut Criterion) {
         let ansatz = QaoaAnsatz::new(problem.clone(), p).expect("valid depth");
         let params: Vec<f64> = (0..2 * p).map(|i| 0.2 + 0.1 * i as f64).collect();
         group.bench_with_input(BenchmarkId::new("fast", p), &p, |b, _| {
-            b.iter(|| black_box(ansatz.expectation(black_box(&params)).expect("valid params")));
+            b.iter(|| {
+                black_box(
+                    ansatz
+                        .expectation(black_box(&params))
+                        .expect("valid params"),
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("gate_level", p), &p, |b, _| {
             b.iter(|| {

@@ -28,15 +28,25 @@ fn main() {
     let flow_config = TwoLevelConfig::default();
     let depths: Vec<usize> = ((intermediate + 1)..=config.max_depth.min(5)).collect();
 
-    println!("# Hierarchical ablation (pm = {intermediate}), L-BFGS-B, {} test graphs", test.graphs().len());
+    println!(
+        "# Hierarchical ablation (pm = {intermediate}), L-BFGS-B, {} test graphs",
+        test.graphs().len()
+    );
     println!(
         "{:>3} {:>10} {:>10} {:>12} {:>10} {:>12} {:>10}",
         "p", "naiveFC", "2lvlFC", "2lvlAR", "hierFC", "hierAR", "hier-red%"
     );
 
     for &pt in &depths {
-        let naive = naive_protocol(test.graphs(), pt, &optimizer, config.restarts.min(5), &Default::default(), config.seed)
-            .expect("naive protocol");
+        let naive = naive_protocol(
+            test.graphs(),
+            pt,
+            &optimizer,
+            config.restarts.min(5),
+            &Default::default(),
+            config.seed,
+        )
+        .expect("naive protocol");
         let naive_fc = mean(&naive.iter().map(|s| s.1 as f64).collect::<Vec<_>>());
 
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5);

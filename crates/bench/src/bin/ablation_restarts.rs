@@ -26,8 +26,13 @@ fn main() {
     let optimizer = Lbfgsb::default();
     let options = Options::default();
 
-    println!("# Restart ablation: best AR found vs restart budget, depth {depth}, {n_graphs} ER graphs");
-    println!("{:>9} {:>10} {:>10} {:>12}", "restarts", "meanAR", "sdAR", "meanFC");
+    println!(
+        "# Restart ablation: best AR found vs restart budget, depth {depth}, {n_graphs} ER graphs"
+    );
+    println!(
+        "{:>9} {:>10} {:>10} {:>12}",
+        "restarts", "meanAR", "sdAR", "meanFC"
+    );
     for &k in &budgets {
         let mut ars = Vec::new();
         let mut fcs = Vec::new();

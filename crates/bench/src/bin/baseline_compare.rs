@@ -58,7 +58,7 @@ fn main() {
     let options = Options::default();
     let n_eval = test.graphs().len().min(if config.quick { 12 } else { 64 });
     let depths: Vec<usize> = (2..=config.max_depth.min(5)).collect();
-    let pool = engine::Pool::new(config.threads());
+    let pool = bench::cli::pool(&config);
 
     println!(
         "# Baseline comparison: L-BFGS-B, {n_eval} test graphs, \

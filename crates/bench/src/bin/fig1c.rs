@@ -28,9 +28,14 @@ fn main() {
         .map(|_| generators::random_regular(nodes, degree, &mut rng).expect("valid regular params"))
         .collect();
 
-    println!("# Fig 1(c): AR and FC vs depth, {n_graphs} random {degree}-regular {nodes}-node graphs");
+    println!(
+        "# Fig 1(c): AR and FC vs depth, {n_graphs} random {degree}-regular {nodes}-node graphs"
+    );
     println!("# {restarts} random inits per (graph, depth), L-BFGS-B, ftol 1e-6");
-    println!("{:<6} {:>3} {:>9} {:>9} {:>10} {:>10}", "graph", "p", "meanAR", "sdAR", "meanFC", "sdFC");
+    println!(
+        "{:<6} {:>3} {:>9} {:>9} {:>10} {:>10}",
+        "graph", "p", "meanAR", "sdAR", "meanFC", "sdFC"
+    );
 
     let optimizer = Lbfgsb::default();
     let options = Options::default();

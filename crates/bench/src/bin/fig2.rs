@@ -77,7 +77,10 @@ fn main() {
         .collect();
     for &p in &depths {
         println!("## depth p = {p}");
-        println!("{:<6} {:>3} {:>10} {:>10}", "graph", "i", "gamma_i", "beta_i");
+        println!(
+            "{:<6} {:>3} {:>10} {:>10}",
+            "graph", "i", "gamma_i", "beta_i"
+        );
         for (gi, chain) in chains.iter().enumerate() {
             // Continuity-anchored fold over the whole chain, then read the
             // requested depth's row.

@@ -28,12 +28,17 @@ fn main() {
     let optimizer = Lbfgsb::default();
     let options = Options::default();
 
-    println!("# Fig 3: optimal gamma_i / beta_i vs depth p, one {degree}-regular {nodes}-node graph");
+    println!(
+        "# Fig 3: optimal gamma_i / beta_i vs depth p, one {degree}-regular {nodes}-node graph"
+    );
     println!(
         "# {} random inits at p=1, INTERP chain above, L-BFGS-B, ftol 1e-6",
         config.restarts
     );
-    println!("{:>3} {:>3} {:>10} {:>10} {:>9}", "p", "i", "gamma_i", "beta_i", "AR");
+    println!(
+        "{:>3} {:>3} {:>10} {:>10} {:>9}",
+        "p", "i", "gamma_i", "beta_i", "AR"
+    );
     let mut chain: Vec<Vec<f64>> = Vec::new();
     let mut ars = Vec::new();
     for p in 1..=max_depth {
@@ -54,7 +59,10 @@ fn main() {
         ars.push(outcome.approximation_ratio);
         chain.push(outcome.params);
     }
-    for (row, display) in qaoa::canonical::display_fold_chain(&chain).iter().enumerate() {
+    for (row, display) in qaoa::canonical::display_fold_chain(&chain)
+        .iter()
+        .enumerate()
+    {
         let p = row + 1;
         for i in 0..p {
             println!(

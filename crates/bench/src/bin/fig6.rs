@@ -45,9 +45,18 @@ fn main() {
         }
         let mu = mean(&errors);
         mus.push(mu);
-        println!("\n## target depth p = {pt}: mu = {mu:.1}%, sigma = {:.1}% ({} samples)", std_dev(&errors), errors.len());
+        println!(
+            "\n## target depth p = {pt}: mu = {mu:.1}%, sigma = {:.1}% ({} samples)",
+            std_dev(&errors),
+            errors.len()
+        );
         print!("{}", text_histogram(&errors, 12, 40));
     }
     println!("\n# Expected shape: mu grows with target depth (paper: 5.7 -> 8.1 -> 9.4 -> 10.2).");
-    println!("# measured mu sequence: {:?}", mus.iter().map(|m| (m * 10.0).round() / 10.0).collect::<Vec<_>>());
+    println!(
+        "# measured mu sequence: {:?}",
+        mus.iter()
+            .map(|m| (m * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 }

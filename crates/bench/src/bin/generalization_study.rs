@@ -22,23 +22,21 @@ use qaoa::{MaxCutProblem, ParameterPredictor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn family_graphs(
-    name: &str,
-    count: usize,
-    nodes: usize,
-    rng: &mut StdRng,
-) -> Vec<Graph> {
+fn family_graphs(name: &str, count: usize, nodes: usize, rng: &mut StdRng) -> Vec<Graph> {
     (0..count)
         .map(|_| loop {
             let g = match name {
                 "ER(0.5)" => generators::erdos_renyi_nonempty(nodes, 0.5, rng),
                 "ER(0.8)" => generators::erdos_renyi_nonempty(nodes, 0.8, rng),
-                "3-regular" => generators::random_regular(nodes, 3, rng)
-                    .expect("even n·d for these sizes"),
-                "BA(m=2)" => generators::barabasi_albert(nodes, 2, rng)
-                    .expect("valid BA parameters"),
-                "WS(k=4)" => generators::watts_strogatz(nodes, 4, 0.3, rng)
-                    .expect("valid WS parameters"),
+                "3-regular" => {
+                    generators::random_regular(nodes, 3, rng).expect("even n·d for these sizes")
+                }
+                "BA(m=2)" => {
+                    generators::barabasi_albert(nodes, 2, rng).expect("valid BA parameters")
+                }
+                "WS(k=4)" => {
+                    generators::watts_strogatz(nodes, 4, 0.3, rng).expect("valid WS parameters")
+                }
                 other => unreachable!("unknown family {other}"),
             };
             if !g.is_empty() {
@@ -66,7 +64,7 @@ fn main() {
         config.nodes + 1
     };
 
-    let pool = engine::Pool::new(config.threads());
+    let pool = bench::cli::pool(&config);
     println!(
         "# Generalization study: GPR trained on ER({:.1}) n={}, evaluated at p={depth}, \
          {per_family} graphs/family, L-BFGS-B, {} threads",

@@ -40,16 +40,17 @@ fn main() {
         let mut truth = Vec::new();
         let mut preds = Vec::new();
         for (gid, _) in test.graphs().iter().enumerate() {
-            let Some(d1) = test.record(gid, 1) else { continue };
+            let Some(d1) = test.record(gid, 1) else {
+                continue;
+            };
             for pt in 2..=config.max_depth {
-                let Some(dt) = test.record(gid, pt) else { continue };
+                let Some(dt) = test.record(gid, pt) else {
+                    continue;
+                };
                 let predicted = predictor
                     .predict(d1.gammas[0], d1.betas[0], pt)
                     .expect("prediction in range");
-                for (p, t) in predicted
-                    .iter()
-                    .zip(dt.gammas.iter().chain(&dt.betas))
-                {
+                for (p, t) in predicted.iter().zip(dt.gammas.iter().chain(&dt.betas)) {
                     preds.push(*p);
                     truth.push(*t);
                 }

@@ -64,8 +64,8 @@ fn main() {
 
             // Two-level: noiseless level 1 is unrealistic on hardware, so
             // level 1 also runs on the noisy objective.
-            let l1 = NoisyQaoa::new(problem.clone(), 1, noise.clone())
-                .expect("within DM register cap");
+            let l1 =
+                NoisyQaoa::new(problem.clone(), 1, noise.clone()).expect("within DM register cap");
             let l1_bounds = qaoa::parameter_bounds(1).expect("valid depth");
             let l1_start = l1_bounds.sample(&mut rng);
             let l1_out = l1
@@ -84,7 +84,10 @@ fn main() {
             // Sanity anchor: the noiseless instance evaluated at the noisy
             // optimum should never be *worse* than the noisy AR.
             let exact = QaoaInstance::new(problem, target_depth).expect("valid depth");
-            let _ = exact.ansatz().expectation(&out.params).expect("valid params");
+            let _ = exact
+                .ansatz()
+                .expectation(&out.params)
+                .expect("valid params");
         }
 
         let nfc = mean(&naive_fc);

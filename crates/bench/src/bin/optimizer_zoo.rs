@@ -34,16 +34,21 @@ fn main() {
         eval_config.naive_starts = n;
     }
 
-    let pool = engine::Pool::new(config.threads());
+    let pool = bench::cli::pool(&config);
     println!(
         "# Optimizer zoo: naive vs two-level on {n_eval} test graphs, depths {:?}, {} threads",
         eval_config.depths,
         pool.threads()
     );
     println!("{}", evaluation::table_header());
-    let rows =
-        engine::compare::compare(graphs, &extended_optimizers(), &predictor, &eval_config, &pool)
-            .expect("comparison");
+    let rows = engine::compare::compare(
+        graphs,
+        &extended_optimizers(),
+        &predictor,
+        &eval_config,
+        &pool,
+    )
+    .expect("comparison");
     let mut reductions = Vec::new();
     let mut spsa_ar_gain = Vec::new();
     for row in &rows {
@@ -65,8 +70,6 @@ fn main() {
     );
     if !spsa_ar_gain.is_empty() {
         let ar = spsa_ar_gain.iter().sum::<f64>() / spsa_ar_gain.len() as f64;
-        println!(
-            "SPSA (fixed budget): ML init improves AR by {ar:+.4} on average at equal cost"
-        );
+        println!("SPSA (fixed budget): ML init improves AR by {ar:+.4} on average at equal cost");
     }
 }

@@ -47,8 +47,7 @@ fn main() {
 
             // Naive: noisy optimization from a random start.
             let ansatz = QaoaAnsatz::new(problem.clone(), target_depth).expect("valid depth");
-            let estimator =
-                ShotEstimator::new(ansatz, shots, StdRng::seed_from_u64(seed));
+            let estimator = ShotEstimator::new(ansatz, shots, StdRng::seed_from_u64(seed));
             let objective = |x: &[f64]| -estimator.estimate(x).expect("valid params");
             let bounds = qaoa::parameter_bounds(target_depth).expect("valid depth");
             let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
@@ -59,7 +58,10 @@ fn main() {
             // Quality judged on the exact expectation at the found point.
             naive_ar.push(
                 problem.approximation_ratio(
-                    estimator.ansatz().expectation(&naive.x).expect("valid params"),
+                    estimator
+                        .ansatz()
+                        .expectation(&naive.x)
+                        .expect("valid params"),
                 ),
             );
             naive_fc.push(naive.n_calls as f64);

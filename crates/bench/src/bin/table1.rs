@@ -33,7 +33,7 @@ fn main() {
         seed: config.seed,
     };
     let optimizers = optimize::all_optimizers();
-    let pool = engine::Pool::new(config.threads());
+    let pool = bench::cli::pool(&config);
     eprintln!(
         "# sweeping {} optimizers x {:?} depths on {} threads...",
         optimizers.len(),

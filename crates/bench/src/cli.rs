@@ -1,0 +1,114 @@
+//! Command-line parsing and engine construction shared by every experiment
+//! binary.
+//!
+//! Flag parsing — including `--threads N` — used to be duplicated across
+//! the bench binaries; it lives here once. Binaries call
+//! [`RunConfig::from_env`](crate::RunConfig::from_env) (which delegates
+//! here) and [`pool`] / [`RunConfig::engine`](crate::RunConfig::engine) for
+//! the worker pool sized by `--threads`.
+
+use crate::RunConfig;
+
+/// Parses `args` (without the program name) on top of the paper preset.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or bad values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<RunConfig, String> {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut config = if args.iter().any(|a| a == "--quick") {
+        RunConfig::quick()
+    } else {
+        RunConfig::paper()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--quick" => {
+                i += 1;
+            }
+            "--nodes" | "--graphs" | "--restarts" | "--max-depth" | "--seed" | "--naive-starts"
+            | "--threads" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{flag} needs a value"))?;
+                let parsed: u64 = value.parse().map_err(|e| format!("{flag} {value}: {e}"))?;
+                match flag {
+                    "--nodes" => config.nodes = parsed as usize,
+                    "--graphs" => config.graphs = parsed as usize,
+                    "--restarts" => config.restarts = parsed as usize,
+                    "--max-depth" => config.max_depth = parsed as usize,
+                    "--naive-starts" => config.naive_starts = Some(parsed as usize),
+                    "--threads" => config.threads = Some((parsed as usize).max(1)),
+                    _ => config.seed = parsed,
+                }
+                i += 2;
+            }
+            "--help" | "-h" => return Err("help requested".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if config.nodes < 2 || config.graphs == 0 || config.restarts == 0 || config.max_depth == 0 {
+        return Err("nodes >= 2, graphs/restarts/max-depth >= 1 required".into());
+    }
+    Ok(config)
+}
+
+/// Parses the real process arguments, exiting with a usage message on
+/// error.
+#[must_use]
+pub fn from_env() -> RunConfig {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N] [--seed N] [--naive-starts N] [--threads N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The worker pool sized by `--threads` (default: all cores) — the one
+/// construction every engine-parallel binary shares.
+#[must_use]
+pub fn pool(config: &RunConfig) -> engine::Pool {
+    engine::Pool::new(config.threads())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn threads_flag_parses_and_clamps() {
+        let c = parse_args(args(&["--threads", "4"])).unwrap();
+        assert_eq!(c.threads, Some(4));
+        assert_eq!(c.threads(), 4);
+        // 0 clamps to 1 rather than erroring.
+        let c = parse_args(args(&["--threads", "0"])).unwrap();
+        assert_eq!(c.threads, Some(1));
+        assert!(parse_args(args(&["--threads"])).is_err());
+    }
+
+    #[test]
+    fn pool_matches_config_threads() {
+        let c = parse_args(args(&["--quick", "--threads", "3"])).unwrap();
+        assert_eq!(pool(&c).threads(), 3);
+    }
+
+    #[test]
+    fn quick_preset_and_overrides() {
+        let c = parse_args(args(&["--quick", "--nodes", "7", "--seed", "9"])).unwrap();
+        assert!(c.quick);
+        assert_eq!(c.nodes, 7);
+        assert_eq!(c.seed, 9);
+        assert!(parse_args(args(&["--bogus"])).is_err());
+    }
+}

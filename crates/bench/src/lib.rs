@@ -17,6 +17,8 @@
 
 use qaoa::datagen::DataGenConfig;
 
+pub mod cli;
+
 /// Scale parameters shared by all experiment binaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
@@ -77,62 +79,14 @@ impl RunConfig {
     ///
     /// Returns a human-readable message for unknown flags or bad values.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        let args: Vec<String> = args.into_iter().collect();
-        let mut config = if args.iter().any(|a| a == "--quick") {
-            Self::quick()
-        } else {
-            Self::paper()
-        };
-        let mut i = 0;
-        while i < args.len() {
-            let flag = args[i].as_str();
-            match flag {
-                "--quick" => {
-                    i += 1;
-                }
-                "--nodes" | "--graphs" | "--restarts" | "--max-depth" | "--seed"
-                | "--naive-starts" | "--threads" => {
-                    let value = args
-                        .get(i + 1)
-                        .ok_or_else(|| format!("{flag} needs a value"))?;
-                    let parsed: u64 = value
-                        .parse()
-                        .map_err(|e| format!("{flag} {value}: {e}"))?;
-                    match flag {
-                        "--nodes" => config.nodes = parsed as usize,
-                        "--graphs" => config.graphs = parsed as usize,
-                        "--restarts" => config.restarts = parsed as usize,
-                        "--max-depth" => config.max_depth = parsed as usize,
-                        "--naive-starts" => config.naive_starts = Some(parsed as usize),
-                        "--threads" => config.threads = Some((parsed as usize).max(1)),
-                        _ => config.seed = parsed,
-                    }
-                    i += 2;
-                }
-                "--help" | "-h" => return Err("help requested".into()),
-                other => return Err(format!("unknown flag {other}")),
-            }
-        }
-        if config.nodes < 2 || config.graphs == 0 || config.restarts == 0 || config.max_depth == 0 {
-            return Err("nodes >= 2, graphs/restarts/max-depth >= 1 required".into());
-        }
-        Ok(config)
+        cli::parse_args(args)
     }
 
     /// Parses the real process arguments, exiting with a usage message on
     /// error.
     #[must_use]
     pub fn from_env() -> Self {
-        match Self::parse(std::env::args().skip(1)) {
-            Ok(c) => c,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                eprintln!(
-                    "usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N] [--seed N] [--naive-starts N] [--threads N]"
-                );
-                std::process::exit(2);
-            }
-        }
+        cli::from_env()
     }
 
     /// The corresponding data-generation configuration.
@@ -186,11 +140,12 @@ impl RunConfig {
     /// Panics if generation fails (binaries have no recovery path).
     #[must_use]
     pub fn corpus(&self) -> qaoa::datagen::ParameterDataset {
-        // v2: engine-generated (per-cell derived seeds, canonical depth-1
-        // solves). The version tag keeps corpora from the old serial
-        // streaming-RNG generator from being loaded as if equivalent.
+        // v3: analytic adjoint gradients (L-BFGS-B consumes exact gradients
+        // instead of finite differences, changing iterates and FC counts).
+        // The version tag keeps corpora from earlier pipelines from being
+        // loaded as if equivalent.
         let cache = std::path::PathBuf::from(format!(
-            "target/qaoa_corpus_v2_n{}_g{}_d{}_r{}_s{}.tsv",
+            "target/qaoa_corpus_v3_n{}_g{}_d{}_r{}_s{}.tsv",
             self.nodes, self.graphs, self.max_depth, self.restarts, self.seed
         ));
         if cache.exists() {

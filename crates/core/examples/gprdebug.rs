@@ -1,18 +1,30 @@
+use ml::{GprModel, Regressor};
 use qaoa::datagen::ParameterDataset;
 use qaoa::features::{two_level_tables, ParamKind};
-use ml::{GprModel, Regressor};
 
 fn main() {
     let ds = ParameterDataset::load("target/qaoa_corpus_n8_g120_d5_r10_s2020.tsv").unwrap();
     let (train, _test) = ds.split_by_graph(0.2);
     let tables = two_level_tables(&train).unwrap();
-    let t = tables.iter().find(|t| t.kind == ParamKind::Gamma && t.stage == 2).unwrap();
+    let t = tables
+        .iter()
+        .find(|t| t.kind == ParamKind::Gamma && t.stage == 2)
+        .unwrap();
     let mut sorted = t.y.clone();
     sorted.sort_by(f64::total_cmp);
-    println!("γ2 train targets sorted: {:?}", sorted.iter().map(|v| (v*100.0).round()/100.0).collect::<Vec<_>>());
+    println!(
+        "γ2 train targets sorted: {:?}",
+        sorted
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     let mut m = GprModel::default();
     m.fit(&t.x, &t.y).unwrap();
     // in-sample fit
     let preds = m.predict_batch(&t.x).unwrap();
-    println!("in-sample mse: {:.4}", ml::metrics::mse(&t.y, &preds).unwrap());
+    println!(
+        "in-sample mse: {:.4}",
+        ml::metrics::mse(&t.y, &preds).unwrap()
+    );
 }

@@ -1,6 +1,6 @@
-use qsim::{gates, Circuit, Complex64, StateVector};
+use qsim::{Circuit, StateVector};
 
-use crate::{MaxCutProblem, QaoaError};
+use crate::{EvalContext, MaxCutProblem, QaoaError};
 
 /// The depth-`p` QAOA circuit for a MaxCut problem, with two equivalent
 /// execution paths.
@@ -10,12 +10,14 @@ use crate::{MaxCutProblem, QaoaError};
 /// `CNOT(u,v) · RZ_v(−γ·w) · CNOT(u,v)`, the paper's `RZ(−γ)` construction)
 /// followed by a mixing layer of `RX(2β)` rotations.
 ///
-/// **Fast diagonal path** ([`QaoaAnsatz::state_fast`]): because the cost
-/// Hamiltonian is diagonal, `e^{−iγC}` is a per-amplitude phase and only the
-/// mixing layer needs gate kernels. This is `O(2ⁿ·(1 + n))` per stage versus
-/// `O(2ⁿ·(|E| + n))` for the gate path and is what the optimization loop
-/// uses. The two paths agree to machine precision (see tests and the
-/// `qsim_paths` bench).
+/// **Fast diagonal path** ([`QaoaAnsatz::expectation_in`] /
+/// [`QaoaAnsatz::state_fast`]): because the cost Hamiltonian is diagonal,
+/// `e^{−iγC}` is a per-amplitude phase and only the mixing layer needs gate
+/// kernels. This is `O(2ⁿ·(1 + n))` per stage versus `O(2ⁿ·(|E| + n))` for
+/// the gate path and is what the optimization loop uses — through a
+/// reusable [`EvalContext`], which also provides the exact adjoint gradient
+/// ([`QaoaAnsatz::expectation_and_grad_in`]). The paths agree to machine
+/// precision (see tests and the `qsim_paths` / `eval_hot_path` benches).
 ///
 /// Parameters are laid out `[γ₁…γ_p, β₁…β_p]`, matching
 /// [`parameter_bounds`](crate::parameter_bounds).
@@ -132,39 +134,78 @@ impl QaoaAnsatz {
         Ok(state)
     }
 
-    /// Produces `|ψ(γ, β)⟩` via the fast diagonal path.
+    /// Produces `|ψ(γ, β)⟩` via the fast diagonal path, as a fresh state.
+    ///
+    /// Allocates one state vector; the phase-separation layer uses the
+    /// fused [`StateVector::apply_phase_from_diag`] kernel (no phase-vector
+    /// materialization). The optimization loop avoids even the state
+    /// allocation via [`QaoaAnsatz::expectation_in`].
     ///
     /// # Errors
     ///
     /// Returns [`QaoaError::ParameterCount`] on a length mismatch.
     pub fn state_fast(&self, params: &[f64]) -> Result<StateVector, QaoaError> {
         let (gammas, betas) = self.split_params(params)?;
-        let n = self.problem.n_qubits();
         let diag = self.problem.cost().diagonal();
-        let mut state = StateVector::plus_state(n);
+        let mut state = StateVector::plus_state(self.problem.n_qubits());
         for (&gamma, &beta) in gammas.iter().zip(betas) {
-            // Phase separation as a pure diagonal multiply.
-            let phases: Vec<Complex64> =
-                diag.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
-            state.apply_diagonal(&phases)?;
-            // Mixing layer.
-            let rx = gates::rx(2.0 * beta);
-            for q in 0..n {
-                state.apply_single(q, &rx)?;
-            }
+            state.apply_phase_from_diag(diag, gamma)?;
+            state.apply_rx_layer(2.0 * beta);
         }
         Ok(state)
     }
 
-    /// The QAOA objective `⟨ψ(γ, β)|C|ψ(γ, β)⟩` via the fast path — the
-    /// quantity each "function call / QC call" of the paper evaluates.
+    /// The QAOA objective `⟨ψ(γ, β)|C|ψ(γ, β)⟩` — the quantity each
+    /// "function call / QC call" of the paper evaluates — computed
+    /// allocation-free in the calling thread's cached [`EvalContext`].
     ///
     /// # Errors
     ///
     /// Returns [`QaoaError::ParameterCount`] on a length mismatch.
     pub fn expectation(&self, params: &[f64]) -> Result<f64, QaoaError> {
-        let state = self.state_fast(params)?;
-        Ok(self.problem.cost().expectation(&state)?)
+        crate::eval::with_thread_context(self.problem.n_qubits(), |ctx| {
+            self.expectation_in(ctx, params)
+        })
+    }
+
+    /// The objective evaluated **in** a caller-supplied [`EvalContext`]:
+    /// the allocation-free hot entry point of the evaluation pipeline. The
+    /// context's buffers are reset in place, so repeated calls are
+    /// bit-identical to fresh-state evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::ParameterCount`] on a length mismatch.
+    pub fn expectation_in(&self, ctx: &mut EvalContext, params: &[f64]) -> Result<f64, QaoaError> {
+        let (gammas, betas) = self.split_params(params)?;
+        Ok(ctx.expectation(self.problem.cost(), gammas, betas))
+    }
+
+    /// The objective **and its exact gradient** by the adjoint method, in
+    /// `O(p·n·2ⁿ)` — roughly the cost of three plain evaluations,
+    /// independent of the parameter count (finite differences need `2p + 1`
+    /// evaluations). Writes `∂⟨C⟩/∂γ_k` into `grad[k]` and `∂⟨C⟩/∂β_k` into
+    /// `grad[p + k]`, returns `⟨C⟩`. Verified against central differences
+    /// (see `tests/tests/gradient.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::ParameterCount`] if `params` or `grad` have the
+    /// wrong length.
+    pub fn expectation_and_grad_in(
+        &self,
+        ctx: &mut EvalContext,
+        params: &[f64],
+        grad: &mut [f64],
+    ) -> Result<f64, QaoaError> {
+        let (gammas, betas) = self.split_params(params)?;
+        if grad.len() != self.n_parameters() {
+            return Err(QaoaError::ParameterCount {
+                expected: self.n_parameters(),
+                actual: grad.len(),
+            });
+        }
+        Ok(ctx.expectation_and_grad(self.problem.cost(), gammas, betas, grad))
     }
 
     /// The objective via the gate-level path (used for cross-validation and

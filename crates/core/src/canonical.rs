@@ -74,7 +74,10 @@ pub fn canonicalize(gammas: &mut [f64], betas: &mut [f64]) {
 /// ```
 #[must_use]
 pub fn canonicalize_packed(params: &[f64]) -> Vec<f64> {
-    assert!(params.len().is_multiple_of(2), "packed parameters must have even length");
+    assert!(
+        params.len().is_multiple_of(2),
+        "packed parameters must have even length"
+    );
     let p = params.len() / 2;
     let mut gammas = params[..p].to_vec();
     let mut betas = params[p..].to_vec();
@@ -103,7 +106,10 @@ pub fn canonicalize_packed(params: &[f64]) -> Vec<f64> {
 /// ```
 #[must_use]
 pub fn display_fold(params: &[f64]) -> Vec<f64> {
-    assert!(params.len().is_multiple_of(2), "packed parameters must have even length");
+    assert!(
+        params.len().is_multiple_of(2),
+        "packed parameters must have even length"
+    );
     let p = params.len() / 2;
     let mut gammas: Vec<f64> = params[..p].iter().map(|g| g.rem_euclid(TWO_PI)).collect();
     let mut betas: Vec<f64> = params[p..].to_vec();
@@ -446,9 +452,7 @@ fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
 #[must_use]
 pub fn is_canonical(params: &[f64]) -> bool {
     let p = params.len() / 2;
-    let gammas_ok = params[..p]
-        .iter()
-        .all(|g| (0.0..TWO_PI).contains(g));
+    let gammas_ok = params[..p].iter().all(|g| (0.0..TWO_PI).contains(g));
     let betas_ok = params[p..].iter().all(|b| (0.0..FRAC_PI_2).contains(b));
     let conj_ok = params.first().is_none_or(|&g1| g1 <= PI);
     gammas_ok && betas_ok && conj_ok

@@ -131,7 +131,9 @@ impl ParameterDataset {
     pub fn generate(config: &DataGenConfig) -> Result<Self, QaoaError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let graphs: Vec<Graph> = (0..config.n_graphs)
-            .map(|_| generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng))
+            .map(|_| {
+                generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng)
+            })
             .collect();
         Self::from_graphs(graphs, config)
     }
@@ -151,7 +153,8 @@ impl ParameterDataset {
             // the next one.
             let mut prev: Option<(Vec<f64>, Vec<f64>)> = None;
             for depth in 1..=config.max_depth {
-                let record = solve_depth(&problem, graph_id, depth, prev.as_ref(), config, &mut rng)?;
+                let record =
+                    solve_depth(&problem, graph_id, depth, prev.as_ref(), config, &mut rng)?;
                 prev = Some((record.gammas.clone(), record.betas.clone()));
                 records.push(record);
             }
@@ -244,7 +247,8 @@ impl ParameterDataset {
     #[must_use]
     pub fn split_by_graph(&self, train_fraction: f64) -> (ParameterDataset, ParameterDataset) {
         let n = self.graphs.len();
-        let k = ((train_fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n.saturating_sub(1).max(1));
+        let k = ((train_fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize)
+            .clamp(1, n.saturating_sub(1).max(1));
         let subset = |range: std::ops::Range<usize>| -> ParameterDataset {
             let graphs: Vec<Graph> = range.clone().map(|i| self.graphs[i].clone()).collect();
             let records: Vec<OptimalRecord> = self
@@ -351,7 +355,9 @@ impl ParameterDataset {
             if graph_id == graphs.len() {
                 let mut g = Graph::new(n_nodes);
                 for pair in fields[8].split(',').filter(|s| !s.is_empty()) {
-                    let (u, v) = pair.split_once('-').ok_or_else(|| parse_err(format!("edge `{pair}`")))?;
+                    let (u, v) = pair
+                        .split_once('-')
+                        .ok_or_else(|| parse_err(format!("edge `{pair}`")))?;
                     let u: usize = u.parse().map_err(|e| parse_err(format!("edge u: {e}")))?;
                     let v: usize = v.parse().map_err(|e| parse_err(format!("edge v: {e}")))?;
                     g.add_edge(u, v)?;
@@ -534,7 +540,7 @@ mod tests {
         let ds = ParameterDataset::generate(&tiny_config()).unwrap();
         assert_eq!(ds.graphs().len(), 3);
         assert_eq!(ds.records().len(), 6); // 3 graphs × 2 depths
-        // Parameter count: 3 × 2·(1+2) = 18.
+                                           // Parameter count: 3 × 2·(1+2) = 18.
         assert_eq!(ds.n_parameters(), 18);
         assert_eq!(ds.records_at_depth(1).len(), 3);
         assert!(ds.record(0, 2).is_some());

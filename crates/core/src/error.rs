@@ -57,7 +57,10 @@ impl fmt::Display for QaoaError {
             QaoaError::InvalidDepth { depth } => write!(f, "invalid QAOA depth {depth}"),
             QaoaError::EmptyGraph => write!(f, "graph has no edges; MaxCut QAOA is undefined"),
             QaoaError::TooLarge { n_nodes, max } => {
-                write!(f, "{n_nodes}-node graph exceeds the {max}-node simulator limit")
+                write!(
+                    f,
+                    "{n_nodes}-node graph exceeds the {max}-node simulator limit"
+                )
             }
             QaoaError::ParameterCount { expected, actual } => {
                 write!(f, "expected {expected} parameters, got {actual}")

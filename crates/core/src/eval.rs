@@ -1,0 +1,339 @@
+//! The allocation-free, gradient-capable evaluation context of the QAOA
+//! hot path.
+//!
+//! Every "function call / QC call" of the paper is one expectation
+//! evaluation, and a corpus sweep runs millions of them. The original fast
+//! path paid two heap allocations per call (a fresh `plus` state plus a
+//! `2^n` phase vector per stage) and `2^n` trigonometric evaluations per
+//! stage. [`EvalContext`] removes all of it:
+//!
+//! * the state (and, for gradients, the adjoint state) live in **reusable
+//!   buffers** reset in place per evaluation,
+//! * the phase-separation layer is applied through a **per-level phase
+//!   table** — `cis(−γ·c)` computed once per distinct cut value (at most
+//!   `|E| + 1` of them) instead of once per basis state
+//!   ([`StateVector::apply_phase_levels`]),
+//! * the mixing layer uses the fused RX kernel
+//!   ([`StateVector::apply_rx_layer`]).
+//!
+//! The same context also computes **exact analytic gradients** by the
+//! adjoint method in `O(p · n · 2^n)` — roughly three forward passes,
+//! independent of the parameter count — where finite differences need
+//! `2p + 1` full evaluations. Because the cost Hamiltonian is diagonal, the
+//! backward pass is a phase conjugation plus per-qubit RX derivatives; no
+//! per-gate unitary differentiation is needed.
+//!
+//! [`with_thread_context`] keeps one context per register width per thread,
+//! so batch workers (the `engine` crate) reuse buffers across jobs. Reuse is
+//! exact: a reset context is byte-for-byte identical to a fresh one, so
+//! results are bit-identical at any worker count and with any job schedule.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use qsim::{Complex64, DiagonalObservable, StateVector};
+
+/// Reusable evaluation state: the work state, the adjoint state (gradients
+/// only) and the per-stage phase table.
+///
+/// Obtain one with [`EvalContext::new`] for exclusive use, or borrow the
+/// calling thread's cached context via [`with_thread_context`]. Pass it to
+/// [`QaoaAnsatz::expectation_in`](crate::QaoaAnsatz::expectation_in) /
+/// [`QaoaAnsatz::expectation_and_grad_in`](crate::QaoaAnsatz::expectation_and_grad_in).
+///
+/// # Example
+///
+/// ```
+/// use graphs::generators;
+/// use qaoa::{EvalContext, MaxCutProblem, QaoaAnsatz};
+/// # fn main() -> Result<(), qaoa::QaoaError> {
+/// let problem = MaxCutProblem::new(&generators::cycle(4))?;
+/// let ansatz = QaoaAnsatz::new(problem, 1)?;
+/// let mut ctx = EvalContext::new(4);
+/// // Repeated evaluations reuse the same buffers...
+/// let a = ansatz.expectation_in(&mut ctx, &[0.4, 0.3])?;
+/// let b = ansatz.expectation_in(&mut ctx, &[0.4, 0.3])?;
+/// // ...and are bit-identical to the allocating wrapper.
+/// assert_eq!(a.to_bits(), b.to_bits());
+/// assert_eq!(a.to_bits(), ansatz.expectation(&[0.4, 0.3])?.to_bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    state: StateVector,
+    /// Costate buffer for the adjoint backward pass. Kept at width 0 (one
+    /// amplitude) until the first gradient call so expectation-only users —
+    /// gradient-free optimizers, plain `expectation` — never pay for a
+    /// second `2^n` buffer.
+    adjoint: StateVector,
+    phase_table: Vec<Complex64>,
+}
+
+impl EvalContext {
+    /// A context sized for `n_qubits`-wide registers. Widths adapt
+    /// automatically on use, so the initial width is just a pre-allocation
+    /// hint.
+    #[must_use]
+    pub fn new(n_qubits: usize) -> Self {
+        Self {
+            state: StateVector::plus_state(n_qubits),
+            adjoint: StateVector::plus_state(0),
+            phase_table: Vec::new(),
+        }
+    }
+
+    /// Current register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.state.n_qubits()
+    }
+
+    /// The work state. After a plain evaluation
+    /// ([`QaoaAnsatz::expectation_in`](crate::QaoaAnsatz::expectation_in))
+    /// this is `|ψ(γ, β)⟩`; after a gradient call the backward pass has
+    /// **unwound** it in place (back to `|+…+⟩` up to rounding), so re-run
+    /// a plain evaluation before reading the state.
+    #[must_use]
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Resizes the work state when the problem width changes (reallocation
+    /// only happens on an actual width switch). The adjoint buffer is
+    /// sized separately, on gradient use.
+    fn ensure_width(&mut self, n_qubits: usize) {
+        if self.state.n_qubits() != n_qubits {
+            self.state = StateVector::plus_state(n_qubits);
+        }
+    }
+
+    /// Fills the phase table with `cis(scale · level)` per distinct level.
+    fn load_phase_table(&mut self, levels: &[f64], scale: f64) {
+        self.phase_table.clear();
+        self.phase_table
+            .extend(levels.iter().map(|&v| Complex64::cis(scale * v)));
+    }
+
+    /// Forward pass: `|ψ(γ, β)⟩` into the work state, allocation-free.
+    pub(crate) fn run_forward(&mut self, cost: &DiagonalObservable, gammas: &[f64], betas: &[f64]) {
+        self.ensure_width(cost.n_qubits());
+        self.state.reset_to_plus();
+        for (&gamma, &beta) in gammas.iter().zip(betas) {
+            self.load_phase_table(cost.levels(), -gamma);
+            self.state
+                .apply_phase_levels(cost.level_of(), &self.phase_table)
+                .expect("context width matches cost");
+            self.state.apply_rx_layer(2.0 * beta);
+        }
+    }
+
+    /// Forward pass plus expectation `⟨ψ|C|ψ⟩`.
+    pub(crate) fn expectation(
+        &mut self,
+        cost: &DiagonalObservable,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> f64 {
+        self.run_forward(cost, gammas, betas);
+        cost.expectation(&self.state)
+            .expect("context width matches cost")
+    }
+
+    /// Expectation **and** its exact gradient by the adjoint method.
+    ///
+    /// Writes `∂⟨C⟩/∂γ_k` into `grad[k]` and `∂⟨C⟩/∂β_k` into
+    /// `grad[p + k]` (the `[γ₁…γ_p, β₁…β_p]` layout) and returns `⟨C⟩`.
+    ///
+    /// Derivation: with `|ψ_k⟩` the state after stage `k` and
+    /// `⟨λ| = ⟨ψ_p| C · U_p ⋯ U_{k+1}` the back-propagated costate,
+    ///
+    /// * `∂⟨C⟩/∂β_k = 2 Σ_q Im ⟨λ|X_q|ψ_k⟩` (from `∂/∂β e^{−iβX} = −iX e^{−iβX}`),
+    /// * `∂⟨C⟩/∂γ_k = 2 Σ_z c_z · Im(λ̄_z ψ_z)` evaluated after undoing the
+    ///   mixing layer (from `∂/∂γ e^{−iγC} = −iC e^{−iγC}`, diagonal).
+    ///
+    /// The backward pass undoes each stage on both states in place —
+    /// `RX(−2β)` then the conjugate phase table — so the whole computation
+    /// costs `O(p·n·2^n)` and allocates nothing.
+    pub(crate) fn expectation_and_grad(
+        &mut self,
+        cost: &DiagonalObservable,
+        gammas: &[f64],
+        betas: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let p = gammas.len();
+        debug_assert_eq!(grad.len(), 2 * p);
+        self.run_forward(cost, gammas, betas);
+        let energy = cost
+            .expectation(&self.state)
+            .expect("context width matches cost");
+
+        // First gradient use (or a width switch): size the lazily-kept
+        // adjoint buffer.
+        if self.adjoint.n_qubits() != self.state.n_qubits() {
+            self.adjoint = StateVector::plus_state(self.state.n_qubits());
+        }
+        // Costate seed: |λ⟩ = C|ψ⟩ (elementwise, C is diagonal).
+        {
+            let diag = cost.diagonal();
+            let psi = self.state.amplitudes();
+            let lambda = self.adjoint.amplitudes_mut();
+            for ((l, &a), &c) in lambda.iter_mut().zip(psi).zip(diag) {
+                *l = a.scale(c);
+            }
+        }
+
+        for k in (0..p).rev() {
+            // β_k gradient at the post-stage states.
+            grad[p + k] = 2.0 * sum_im_lambda_x_psi(&self.adjoint, &self.state);
+            // Undo the mixing layer on both states.
+            self.state.apply_rx_layer(-2.0 * betas[k]);
+            self.adjoint.apply_rx_layer(-2.0 * betas[k]);
+            // γ_k gradient now that ψ is the post-phase state.
+            grad[k] = 2.0 * sum_c_im_lambda_psi(cost, &self.adjoint, &self.state);
+            // Undo the phase layer on both states (conjugate table).
+            self.load_phase_table(cost.levels(), gammas[k]);
+            self.state
+                .apply_phase_levels(cost.level_of(), &self.phase_table)
+                .expect("context width matches cost");
+            self.adjoint
+                .apply_phase_levels(cost.level_of(), &self.phase_table)
+                .expect("context width matches cost");
+        }
+        energy
+    }
+}
+
+/// `Σ_q Im ⟨λ|X_q|ψ⟩`: every qubit's bit-flip pairing, visited pairwise.
+fn sum_im_lambda_x_psi(lambda: &StateVector, psi: &StateVector) -> f64 {
+    let l = lambda.amplitudes();
+    let s = psi.amplitudes();
+    let dim = s.len();
+    let mut total = 0.0;
+    for qubit in 0..psi.n_qubits() {
+        let stride = 1usize << qubit;
+        let mut base = 0;
+        while base < dim {
+            for offset in base..base + stride {
+                let (a, b) = (l[offset], s[offset + stride]);
+                total += a.re * b.im - a.im * b.re;
+                let (a, b) = (l[offset + stride], s[offset]);
+                total += a.re * b.im - a.im * b.re;
+            }
+            base += stride << 1;
+        }
+    }
+    total
+}
+
+/// `Σ_z c_z · Im(λ̄_z ψ_z)`.
+fn sum_c_im_lambda_psi(cost: &DiagonalObservable, lambda: &StateVector, psi: &StateVector) -> f64 {
+    cost.diagonal()
+        .iter()
+        .zip(lambda.amplitudes())
+        .zip(psi.amplitudes())
+        .map(|((&c, l), s)| c * (l.re * s.im - l.im * s.re))
+        .sum()
+}
+
+thread_local! {
+    /// One cached context per register width per thread. Worker threads of
+    /// the batch engine keep their contexts across jobs, which is the
+    /// "per-worker context reuse" of the evaluation pipeline.
+    static CONTEXTS: RefCell<HashMap<usize, EvalContext>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with the calling thread's cached [`EvalContext`] for
+/// `n_qubits`, creating it on first use. This is how the optimization loop
+/// makes every objective evaluation allocation-free without threading a
+/// context through every call signature.
+///
+/// Reentrancy (calling `with_thread_context` from within `f`) panics on the
+/// `RefCell`; evaluation code never needs to nest contexts of the same
+/// thread.
+pub fn with_thread_context<T>(n_qubits: usize, f: impl FnOnce(&mut EvalContext) -> T) -> T {
+    CONTEXTS.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let ctx = map
+            .entry(n_qubits)
+            .or_insert_with(|| EvalContext::new(n_qubits));
+        f(ctx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaxCutProblem, QaoaAnsatz};
+    use graphs::{generators, Graph};
+
+    #[test]
+    fn context_adapts_width() {
+        let mut ctx = EvalContext::new(3);
+        assert_eq!(ctx.n_qubits(), 3);
+        let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
+        let ansatz = QaoaAnsatz::new(problem, 1).unwrap();
+        let e = ansatz.expectation_in(&mut ctx, &[0.2, 0.1]).unwrap();
+        assert_eq!(ctx.n_qubits(), 5);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn thread_context_is_reused() {
+        let problem = MaxCutProblem::new(&generators::cycle(4)).unwrap();
+        let ansatz = QaoaAnsatz::new(problem, 2).unwrap();
+        let params = [0.3, 0.8, 0.2, 0.5];
+        let a = with_thread_context(4, |ctx| ansatz.expectation_in(ctx, &params)).unwrap();
+        let b = with_thread_context(4, |ctx| ansatz.expectation_in(ctx, &params)).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn single_edge_gradient_matches_closed_form() {
+        // One edge at p = 1: ⟨C⟩ = ½(1 + sin4β·sinγ), so
+        // ∂γ = ½ sin4β cosγ and ∂β = 2 cos4β sinγ.
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let ansatz = QaoaAnsatz::new(MaxCutProblem::new(&g).unwrap(), 1).unwrap();
+        let mut ctx = EvalContext::new(2);
+        let mut grad = [0.0; 2];
+        for (gamma, beta) in [(0.7, 0.3), (2.1, 1.0), (4.4, 2.9), (0.0, 0.0)] {
+            let e = ansatz
+                .expectation_and_grad_in(&mut ctx, &[gamma, beta], &mut grad)
+                .unwrap();
+            let expect_e = 0.5 * (1.0 + (4.0 * beta).sin() * gamma.sin());
+            let expect_dg = 0.5 * (4.0 * beta).sin() * gamma.cos();
+            let expect_db = 2.0 * (4.0 * beta).cos() * gamma.sin();
+            assert!((e - expect_e).abs() < 1e-12, "γ={gamma}, β={beta}");
+            assert!(
+                (grad[0] - expect_dg).abs() < 1e-10,
+                "∂γ at γ={gamma}, β={beta}: {} vs {expect_dg}",
+                grad[0]
+            );
+            assert!(
+                (grad[1] - expect_db).abs() < 1e-10,
+                "∂β at γ={gamma}, β={beta}: {} vs {expect_db}",
+                grad[1]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_call_leaves_context_reusable() {
+        // After a backward pass the context must still produce bit-identical
+        // plain evaluations (the backward pass unwinds in place).
+        let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
+        let ansatz = QaoaAnsatz::new(problem, 2).unwrap();
+        let params = [1.2, 0.4, 0.6, 0.9];
+        let mut ctx = EvalContext::new(5);
+        let fresh = ansatz
+            .expectation_in(&mut EvalContext::new(5), &params)
+            .unwrap();
+        let mut grad = [0.0; 4];
+        let _ = ansatz
+            .expectation_and_grad_in(&mut ctx, &params, &mut grad)
+            .unwrap();
+        let after = ansatz.expectation_in(&mut ctx, &params).unwrap();
+        assert_eq!(fresh.to_bits(), after.to_bits());
+    }
+}

@@ -130,7 +130,17 @@ impl ComparisonRow {
 pub fn table_header() -> String {
     format!(
         "{:<12} {:>2}  {:>7} {:>7} {:>8} {:>8}  {:>7} {:>7} {:>8} {:>8}  {:>6}",
-        "Optimizer", "p", "nAR", "sdAR", "nFC(k)", "sdFC(k)", "mAR", "sdAR", "mFC(k)", "sdFC(k)", "red%"
+        "Optimizer",
+        "p",
+        "nAR",
+        "sdAR",
+        "nFC(k)",
+        "sdFC(k)",
+        "mAR",
+        "sdAR",
+        "mFC(k)",
+        "sdFC(k)",
+        "red%"
     )
 }
 

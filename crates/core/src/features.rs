@@ -149,7 +149,14 @@ pub fn hierarchical_tables(
                 }
                 let (g1, b1) = base[r.graph_id];
                 let (gm, bm) = mid[r.graph_id];
-                rows.push(hierarchical_features(g1, b1, gm, bm, intermediate_depth, r.depth));
+                rows.push(hierarchical_features(
+                    g1,
+                    b1,
+                    gm,
+                    bm,
+                    intermediate_depth,
+                    r.depth,
+                ));
                 y.push(match kind {
                     ParamKind::Gamma => r.gammas[stage - 1],
                     ParamKind::Beta => r.betas[stage - 1],

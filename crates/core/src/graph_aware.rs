@@ -52,11 +52,7 @@ pub fn graph_aware_tables(dataset: &ParameterDataset) -> Result<Vec<StageTable>,
                 })
         })
         .collect::<Result<_, _>>()?;
-    let graph_feats: Vec<Vec<f64>> = dataset
-        .graphs()
-        .iter()
-        .map(stats::feature_vector)
-        .collect();
+    let graph_feats: Vec<Vec<f64>> = dataset.graphs().iter().map(stats::feature_vector).collect();
 
     let mut tables = Vec::new();
     for kind in ParamKind::BOTH {
@@ -183,7 +179,11 @@ impl GraphAwarePredictor {
         let features = graph_aware_features(gamma1_p1, beta1_p1, target_depth, graph);
         let mut params = Vec::with_capacity(2 * target_depth);
         for i in 0..target_depth {
-            params.push(self.gamma_models[i].predict(&features)?.clamp(0.0, GAMMA_MAX));
+            params.push(
+                self.gamma_models[i]
+                    .predict(&features)?
+                    .clamp(0.0, GAMMA_MAX),
+            );
         }
         for i in 0..target_depth {
             params.push(self.beta_models[i].predict(&features)?.clamp(0.0, BETA_MAX));
@@ -219,6 +219,7 @@ impl GraphAwarePredictor {
             level1_calls: l1.function_calls,
             intermediate_calls: 0,
             level2_calls: l2.function_calls,
+            gradient_calls: l1.gradient_calls + l2.gradient_calls,
             predicted_init: init,
         })
     }
@@ -308,7 +309,13 @@ mod tests {
         let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let out = predictor
-            .run_two_level(&problem, 2, &Lbfgsb::default(), &Options::default(), &mut rng)
+            .run_two_level(
+                &problem,
+                2,
+                &Lbfgsb::default(),
+                &Options::default(),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(out.params.len(), 4);
         assert!(out.level1_calls > 0 && out.level2_calls > 0);

@@ -1,7 +1,7 @@
-use optimize::{Optimizer, Options, Termination};
+use optimize::{Objective, Optimizer, Options, Termination};
 use rand::Rng;
 
-use crate::{parameter_bounds, MaxCutProblem, QaoaAnsatz, QaoaError};
+use crate::{eval, parameter_bounds, MaxCutProblem, QaoaAnsatz, QaoaError};
 
 /// Outcome of optimizing one QAOA instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -12,8 +12,12 @@ pub struct InstanceOutcome {
     pub expectation: f64,
     /// Approximation ratio `⟨C⟩ / C_max` — the paper's quality metric.
     pub approximation_ratio: f64,
-    /// Total objective evaluations — the paper's cost metric (QC calls).
+    /// Total objective evaluations (`nfev`) — the paper's cost metric
+    /// (QC calls).
     pub function_calls: usize,
+    /// Analytic adjoint-gradient evaluations (`njev`) consumed by
+    /// gradient-based optimizers; 0 for gradient-free methods.
+    pub gradient_calls: usize,
     /// Termination reason of the (best) run.
     pub termination: Termination,
 }
@@ -106,22 +110,21 @@ impl QaoaInstance {
             });
         }
         let bounds = parameter_bounds(self.depth())?;
-        // Negate: the optimizer minimizes, QAOA maximizes ⟨C⟩. Parameter
-        // vectors inside the box always produce finite expectations, so the
-        // expect() below cannot fire.
-        let objective = |x: &[f64]| {
-            -self
-                .ansatz
-                .expectation(x)
-                .expect("in-bounds parameters always evaluate")
+        // Negate: the optimizer minimizes, QAOA maximizes ⟨C⟩. The
+        // objective carries the exact adjoint gradient, so gradient-based
+        // optimizers (L-BFGS-B, SLSQP) skip their finite-difference probes;
+        // evaluations run in the worker thread's cached EvalContext.
+        let objective = NegatedAnsatz {
+            ansatz: &self.ansatz,
         };
-        let result = optimizer.minimize(&objective, initial, &bounds, options)?;
+        let result = optimizer.minimize_objective(&objective, initial, &bounds, options)?;
         let expectation = -result.fx;
         Ok(InstanceOutcome {
             approximation_ratio: self.problem().approximation_ratio(expectation),
             params: result.x,
             expectation,
             function_calls: result.n_calls,
+            gradient_calls: result.n_grad_calls,
             termination: result.termination,
         })
     }
@@ -149,10 +152,12 @@ impl QaoaInstance {
         let bounds = parameter_bounds(self.depth())?;
         let mut best: Option<InstanceOutcome> = None;
         let mut total_calls = 0usize;
+        let mut total_grad_calls = 0usize;
         for _ in 0..n_starts {
             let start = bounds.sample(rng);
             let outcome = self.optimize(optimizer, &start, options)?;
             total_calls += outcome.function_calls;
+            total_grad_calls += outcome.gradient_calls;
             if best
                 .as_ref()
                 .is_none_or(|b| outcome.expectation > b.expectation)
@@ -162,7 +167,37 @@ impl QaoaInstance {
         }
         let mut best = best.expect("n_starts > 0");
         best.function_calls = total_calls;
+        best.gradient_calls = total_grad_calls;
         Ok(best)
+    }
+}
+
+/// The minimized objective `−⟨C⟩` with its exact adjoint gradient, evaluated
+/// in the calling thread's cached [`EvalContext`](crate::EvalContext).
+/// In-bounds parameter vectors always produce finite expectations, so the
+/// `expect`s cannot fire under an optimizer (which only probes inside the
+/// box).
+struct NegatedAnsatz<'a> {
+    ansatz: &'a QaoaAnsatz,
+}
+
+impl Objective for NegatedAnsatz<'_> {
+    fn value(&self, x: &[f64]) -> f64 {
+        -self
+            .ansatz
+            .expectation(x)
+            .expect("in-bounds parameters always evaluate")
+    }
+
+    fn value_and_grad(&self, x: &[f64], grad: &mut [f64]) -> Option<f64> {
+        let e = eval::with_thread_context(self.ansatz.problem().n_qubits(), |ctx| {
+            self.ansatz.expectation_and_grad_in(ctx, x, grad)
+        })
+        .expect("in-bounds parameters always evaluate");
+        for g in grad.iter_mut() {
+            *g = -*g;
+        }
+        Some(-e)
     }
 }
 
@@ -223,7 +258,11 @@ mod tests {
     fn outcome_accessors() {
         let instance = single_edge_instance(2);
         let out = instance
-            .optimize(&NelderMead::default(), &[1.0, 1.0, 0.5, 0.5], &Options::default())
+            .optimize(
+                &NelderMead::default(),
+                &[1.0, 1.0, 0.5, 0.5],
+                &Options::default(),
+            )
             .unwrap();
         assert_eq!(out.gammas().len(), 2);
         assert_eq!(out.betas().len(), 2);

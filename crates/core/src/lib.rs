@@ -45,6 +45,7 @@ mod ansatz;
 pub mod canonical;
 pub mod datagen;
 mod error;
+pub mod eval;
 pub mod evaluation;
 pub mod features;
 pub mod graph_aware;
@@ -52,14 +53,15 @@ mod instance;
 pub mod landscape;
 pub mod noise;
 pub mod noisy;
-pub mod stablehash;
 mod predictor;
 mod problem;
+pub mod stablehash;
 mod twolevel;
 pub mod warmstart;
 
 pub use ansatz::QaoaAnsatz;
 pub use error::QaoaError;
+pub use eval::EvalContext;
 pub use instance::{InstanceOutcome, QaoaInstance};
 pub use predictor::ParameterPredictor;
 pub use problem::MaxCutProblem;

@@ -207,6 +207,9 @@ mod tests {
             )
             .unwrap();
         let f1 = e.ansatz().expectation(&result.x).unwrap();
-        assert!(f1 > f0, "noisy optimization should still improve: {f0} -> {f1}");
+        assert!(
+            f1 > f0,
+            "noisy optimization should still improve: {f0} -> {f1}"
+        );
     }
 }

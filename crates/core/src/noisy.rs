@@ -53,11 +53,7 @@ impl NoisyQaoa {
     /// * [`QaoaError::InvalidDepth`] for `depth == 0`.
     /// * [`QaoaError::TooLarge`] if the graph exceeds the density-matrix
     ///   register cap ([`MAX_DM_QUBITS`]).
-    pub fn new(
-        problem: MaxCutProblem,
-        depth: usize,
-        noise: NoiseModel,
-    ) -> Result<Self, QaoaError> {
+    pub fn new(problem: MaxCutProblem, depth: usize, noise: NoiseModel) -> Result<Self, QaoaError> {
         if problem.n_qubits() > MAX_DM_QUBITS {
             return Err(QaoaError::TooLarge {
                 n_nodes: problem.n_qubits(),
@@ -155,6 +151,7 @@ impl NoisyQaoa {
             params: result.x,
             expectation,
             function_calls: result.n_calls,
+            gradient_calls: result.n_grad_calls,
             termination: result.termination,
         })
     }

@@ -38,6 +38,9 @@ pub struct TwoLevelOutcome {
     pub intermediate_calls: usize,
     /// Function calls spent on level 2 (target depth, ML init).
     pub level2_calls: usize,
+    /// Analytic gradient evaluations (`njev`) across all levels; 0 for
+    /// gradient-free optimizers.
+    pub gradient_calls: usize,
     /// The ML-predicted initial parameters that seeded level 2.
     pub predicted_init: Vec<f64>,
 }
@@ -114,7 +117,8 @@ impl<'a> TwoLevelFlow<'a> {
     ) -> Result<TwoLevelOutcome, QaoaError> {
         // Level 1: cheap p = 1 optimization from random init.
         let level1 = QaoaInstance::new(problem.clone(), 1)?;
-        let l1 = level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
+        let l1 =
+            level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
         self.run_with_level1(problem, target_depth, optimizer, config, &l1)
     }
 
@@ -160,6 +164,7 @@ impl<'a> TwoLevelFlow<'a> {
             level1_calls: level1.function_calls,
             intermediate_calls: 0,
             level2_calls: l2.function_calls,
+            gradient_calls: level1.gradient_calls + l2.gradient_calls,
             predicted_init: init,
         })
     }
@@ -195,7 +200,8 @@ impl<'a> TwoLevelFlow<'a> {
 
         // Level 1.
         let level1 = QaoaInstance::new(problem.clone(), 1)?;
-        let l1 = level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
+        let l1 =
+            level1.optimize_multistart(optimizer, config.level1_starts, rng, &config.options)?;
 
         // Intermediate level at pm, ML-initialized via the two-level model.
         let l1_canon = crate::canonical::canonicalize_packed(&l1.params);
@@ -222,6 +228,7 @@ impl<'a> TwoLevelFlow<'a> {
             level1_calls: l1.function_calls,
             intermediate_calls: mid.function_calls,
             level2_calls: l2.function_calls,
+            gradient_calls: l1.gradient_calls + mid.gradient_calls + l2.gradient_calls,
             predicted_init: init,
         })
     }
@@ -259,7 +266,13 @@ mod tests {
         let problem = MaxCutProblem::new(&generators::cycle(5)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let out = flow
-            .run(&problem, 2, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng)
+            .run(
+                &problem,
+                2,
+                &Lbfgsb::default(),
+                &TwoLevelConfig::default(),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(out.params.len(), 4);
         assert_eq!(out.predicted_init.len(), 4);
@@ -279,7 +292,13 @@ mod tests {
         let problem = MaxCutProblem::new(&generators::cycle(4)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         assert!(matches!(
-            flow.run(&problem, 9, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng),
+            flow.run(
+                &problem,
+                9,
+                &Lbfgsb::default(),
+                &TwoLevelConfig::default(),
+                &mut rng
+            ),
             Err(QaoaError::InvalidDepth { depth: 9 })
         ));
     }
@@ -309,7 +328,13 @@ mod tests {
         );
         // Running the plain entry point with a hierarchical predictor fails.
         assert!(flow
-            .run(&problem, 3, &Lbfgsb::default(), &TwoLevelConfig::default(), &mut rng)
+            .run(
+                &problem,
+                3,
+                &Lbfgsb::default(),
+                &TwoLevelConfig::default(),
+                &mut rng
+            )
             .is_err());
     }
 }

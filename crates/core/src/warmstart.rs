@@ -291,7 +291,8 @@ impl FourierFlow {
             };
             // Generous symmetric coefficient box; the schedule itself is
             // clamped into the paper's domain by `fourier_to_params`.
-            let bounds = optimize::Bounds::uniform(2 * q, -std::f64::consts::PI, std::f64::consts::PI)?;
+            let bounds =
+                optimize::Bounds::uniform(2 * q, -std::f64::consts::PI, std::f64::consts::PI)?;
             let start: Vec<f64> = u.iter().chain(v.iter()).copied().collect();
             let result = optimizer.minimize(&objective, &start, &bounds, &self.options)?;
             calls.push(result.n_calls);
@@ -402,7 +403,11 @@ mod tests {
         assert_eq!(out.calls_per_depth.len(), 3);
         assert!(out.total_calls() > 0);
         assert_eq!(out.params.len(), 6);
-        assert!(out.approximation_ratio > 0.75, "{}", out.approximation_ratio);
+        assert!(
+            out.approximation_ratio > 0.75,
+            "{}",
+            out.approximation_ratio
+        );
         assert!(matches!(
             InterpFlow::default().run(&problem, 0, &Lbfgsb::default(), &mut rng),
             Err(QaoaError::InvalidDepth { .. })
@@ -418,7 +423,11 @@ mod tests {
             .unwrap();
         assert_eq!(out.calls_per_depth.len(), 3);
         assert_eq!(out.params.len(), 6);
-        assert!(out.approximation_ratio > 0.75, "{}", out.approximation_ratio);
+        assert!(
+            out.approximation_ratio > 0.75,
+            "{}",
+            out.approximation_ratio
+        );
         assert!(matches!(
             FourierFlow::default().run(&problem, 0, &NelderMead::default(), &mut rng),
             Err(QaoaError::InvalidDepth { .. })
@@ -435,11 +444,9 @@ mod tests {
     #[test]
     fn deeper_interp_never_much_worse() {
         // AR should not collapse as depth grows (warm starts keep quality).
-        let problem = MaxCutProblem::new(&generators::random_regular(
-            6,
-            3,
-            &mut StdRng::seed_from_u64(10),
-        ).unwrap())
+        let problem = MaxCutProblem::new(
+            &generators::random_regular(6, 3, &mut StdRng::seed_from_u64(10)).unwrap(),
+        )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let shallow = InterpFlow::default()

@@ -89,8 +89,11 @@ impl Default for BatchConfig {
 pub struct JobStats {
     /// Wall-clock time of this job on its worker.
     pub wall: Duration,
-    /// Objective evaluations spent (from `optimize::Counted`).
+    /// Objective evaluations spent (`nfev`, from `optimize::Counted`).
     pub function_calls: usize,
+    /// Analytic adjoint-gradient evaluations spent (`njev`); 0 for
+    /// gradient-free optimizers.
+    pub gradient_calls: usize,
     /// Whether the depth-1 cache served this job.
     pub cache_hit: bool,
 }
@@ -104,8 +107,10 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Worker count used.
     pub threads: usize,
-    /// Sum of all jobs' function calls.
+    /// Sum of all jobs' function calls (`nfev`).
     pub total_function_calls: usize,
+    /// Sum of all jobs' analytic gradient evaluations (`njev`).
+    pub total_gradient_calls: usize,
     /// Depth-1 cache hits within this batch.
     pub cache_hits: usize,
     /// Depth-1 cache misses (solves) within this batch.
@@ -124,13 +129,14 @@ impl BatchReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} jobs on {} threads: wall {:.2?}, busy {:.2?} ({:.2}x), {} fn calls, cache {}/{} hit",
+            "{} jobs on {} threads: wall {:.2?}, busy {:.2?} ({:.2}x), {} fn calls (+{} grad), cache {}/{} hit",
             self.jobs.len(),
             self.threads,
             self.wall,
             self.busy(),
             self.busy().as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
             self.total_function_calls,
+            self.total_gradient_calls,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
         )
@@ -260,6 +266,7 @@ impl Engine {
                 let stats = JobStats {
                     wall: start.elapsed(),
                     function_calls: outcome.function_calls,
+                    gradient_calls: outcome.gradient_calls,
                     cache_hit,
                 };
                 Ok((outcome, stats))
@@ -280,6 +287,7 @@ impl Engine {
             .count();
         let report = BatchReport {
             total_function_calls: job_stats.iter().map(|s| s.function_calls).sum(),
+            total_gradient_calls: job_stats.iter().map(|s| s.gradient_calls).sum(),
             cache_hits,
             cache_misses,
             wall: batch_start.elapsed(),
@@ -327,16 +335,12 @@ impl Engine {
                     self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
                 let problem = MaxCutProblem::new(&graphs[i])?;
                 let flow = TwoLevelFlow::new(predictor);
-                let outcome = flow.run_with_level1(
-                    &problem,
-                    target_depth,
-                    optimizer,
-                    &flow_config,
-                    &level1,
-                )?;
+                let outcome =
+                    flow.run_with_level1(&problem, target_depth, optimizer, &flow_config, &level1)?;
                 let stats = JobStats {
                     wall: start.elapsed(),
                     function_calls: outcome.total_calls(),
+                    gradient_calls: outcome.gradient_calls,
                     cache_hit,
                 };
                 Ok((outcome, stats))
@@ -352,6 +356,7 @@ impl Engine {
         let cache_hits = job_stats.iter().filter(|s| s.cache_hit).count();
         let report = BatchReport {
             total_function_calls: job_stats.iter().map(|s| s.function_calls).sum(),
+            total_gradient_calls: job_stats.iter().map(|s| s.gradient_calls).sum(),
             cache_hits,
             cache_misses: job_stats.len() - cache_hits,
             wall: batch_start.elapsed(),

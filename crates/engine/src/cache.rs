@@ -11,26 +11,35 @@
 //! bit-parity with the serial `evaluation::compare`, whose protocol
 //! re-optimizes level 1 per graph.)
 //!
-//! **Determinism under races:** the engine seeds every depth-1 solve from
-//! the canonical class hash and runs it on the canonical representative
-//! graph, so any two threads that miss concurrently compute *bit-identical*
-//! values — whichever insert wins, every reader sees the same outcome, and
-//! a cached run equals an uncached one exactly.
+//! **Single-flight misses:** concurrent misses on one class are collapsed
+//! to a single solve. The first thread to miss publishes an in-flight slot
+//! (while still holding the shard lock, so publication is race-free) and
+//! computes; latecomers block on the slot's lock and read the finished
+//! value as a hit. This makes the hit/miss counts — not just the cached
+//! values — a pure function of the job queue, identical at any worker
+//! count and under any schedule, and never spends two solves on one class.
+//! (The values were already schedule-independent: the engine seeds every
+//! depth-1 solve from the canonical class hash and runs it on the canonical
+//! representative graph.)
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use qaoa::canonical::CanonicalGraphKey;
 use qaoa::{InstanceOutcome, QaoaError};
 
 const SHARDS: usize = 16;
 
+/// A published cache slot: `None` while its solve is in flight (the solver
+/// holds the lock for the duration), `Some` once finished.
+type Slot = Arc<Mutex<Option<InstanceOutcome>>>;
+
 /// Sharded concurrent map from canonical graph class to its depth-1
-/// optimum.
+/// optimum, with single-flight miss handling.
 #[derive(Debug)]
 pub struct Level1Cache {
-    shards: Vec<Mutex<HashMap<CanonicalGraphKey, InstanceOutcome>>>,
+    shards: Vec<Mutex<HashMap<CanonicalGraphKey, Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -46,40 +55,111 @@ impl Level1Cache {
         }
     }
 
-    fn shard(&self, key: &CanonicalGraphKey) -> &Mutex<HashMap<CanonicalGraphKey, InstanceOutcome>> {
+    fn shard(&self, key: &CanonicalGraphKey) -> &Mutex<HashMap<CanonicalGraphKey, Slot>> {
         &self.shards[(key.hash64() % SHARDS as u64) as usize]
     }
 
     /// Returns the cached depth-1 outcome for `key`, computing and
     /// inserting it via `solve` on a miss. The boolean is `true` on a hit.
     ///
-    /// The lock is **not** held during `solve`; concurrent misses on the
-    /// same class may both compute, which is safe because the engine makes
-    /// the computation a pure function of the key (see module docs).
+    /// Exactly one caller solves each class: the first to miss runs `solve`
+    /// (without holding the shard lock, so other classes proceed
+    /// concurrently); concurrent callers for the same class wait for that
+    /// solve and observe a hit.
     ///
     /// # Errors
     ///
-    /// Propagates `solve` errors (nothing is inserted on error).
+    /// Propagates `solve` errors. Nothing is cached on error; waiting
+    /// callers retry the solve themselves.
     pub fn get_or_solve(
         &self,
         key: &CanonicalGraphKey,
         solve: impl FnOnce() -> Result<InstanceOutcome, QaoaError>,
     ) -> Result<(InstanceOutcome, bool), QaoaError> {
-        if let Some(found) = self
-            .shard(key)
-            .lock()
-            .expect("cache shard lock")
-            .get(key)
-            .cloned()
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((found, true));
+        // Option-wrapped so the retry loop can prove to the borrow checker
+        // that the FnOnce runs at most once (the leader path always
+        // returns).
+        let mut solve = Some(solve);
+        loop {
+            // Fast path: an existing slot (finished or in flight) —
+            // allocation-free.
+            let existing = self
+                .shard(key)
+                .lock()
+                .expect("cache shard lock")
+                .get(key)
+                .cloned();
+            let slot = match existing {
+                Some(slot) => slot,
+                None => {
+                    // Slow path: publish a fresh slot locked by us,
+                    // re-checking under the shard lock (another thread may
+                    // have published one meanwhile). The slot guard is
+                    // acquired *before* the shard lock is released so no
+                    // latecomer can observe an unlocked empty slot.
+                    let fresh: Slot = Arc::new(Mutex::new(None));
+                    let (slot, leader_guard) = {
+                        let mut shard = self.shard(key).lock().expect("cache shard lock");
+                        match shard.get(key) {
+                            Some(raced) => (raced.clone(), None),
+                            None => {
+                                let guard = fresh.try_lock().expect("freshly created slot");
+                                shard.insert(key.clone(), fresh.clone());
+                                // Extend the guard's borrow past the clone.
+                                (fresh.clone(), Some(guard))
+                            }
+                        }
+                    };
+                    if let Some(mut guard) = leader_guard {
+                        // Leader: solve while latecomers block on the slot.
+                        match (solve
+                            .take()
+                            .expect("leader path returns, so solve is intact"))(
+                        ) {
+                            Ok(outcome) => {
+                                self.misses.fetch_add(1, Ordering::Relaxed);
+                                *guard = Some(outcome.clone());
+                                return Ok((outcome, false));
+                            }
+                            Err(e) => {
+                                // Withdraw the slot so future attempts
+                                // re-solve.
+                                self.withdraw(key, &slot);
+                                return Err(e);
+                            }
+                        }
+                    }
+                    slot
+                }
+            };
+
+            // Follower: block until the leader finishes, then read. A
+            // poisoned slot means the leader *panicked* mid-solve; treat it
+            // exactly like a failed solve (the value is still `None`).
+            let finished = match slot.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(outcome) = finished.as_ref() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((outcome.clone(), true));
+            }
+            drop(finished);
+            // The leader failed. On an `Err` it withdraws the slot itself;
+            // after a panic the abandoned slot would wedge the key forever,
+            // so withdraw it here too (idempotent) and retry from scratch.
+            self.withdraw(key, &slot);
         }
-        let outcome = solve()?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes `slot`'s entry for `key`, if — and only if — the map still
+    /// holds that exact slot. A replacement slot published by a newer
+    /// leader must survive, else its in-flight solve would be duplicated.
+    fn withdraw(&self, key: &CanonicalGraphKey, slot: &Slot) {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
-        let stored = shard.entry(key.clone()).or_insert_with(|| outcome.clone());
-        Ok((stored.clone(), false))
+        if shard.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+            shard.remove(key);
+        }
     }
 
     /// Cache hits so far.
@@ -138,6 +218,7 @@ mod tests {
             expectation: tag,
             approximation_ratio: 1.0,
             function_calls: 3,
+            gradient_calls: 0,
             termination: Termination::FtolSatisfied,
         }
     }
@@ -169,7 +250,9 @@ mod tests {
         let kb = graph_key(&b);
         assert_eq!(ka, kb);
         cache.get_or_solve(&ka, || Ok(fake_outcome(2.0))).unwrap();
-        let (found, hit) = cache.get_or_solve(&kb, || panic!("isomorph must hit")).unwrap();
+        let (found, hit) = cache
+            .get_or_solve(&kb, || panic!("isomorph must hit"))
+            .unwrap();
         assert!(hit);
         assert_eq!(found.expectation, 2.0);
     }
@@ -178,9 +261,7 @@ mod tests {
     fn errors_do_not_poison() {
         let cache = Level1Cache::new();
         let key = graph_key(&generators::path(4));
-        let err = cache.get_or_solve(&key, || {
-            Err(QaoaError::InvalidDepth { depth: 0 })
-        });
+        let err = cache.get_or_solve(&key, || Err(QaoaError::InvalidDepth { depth: 0 }));
         assert!(err.is_err());
         assert!(cache.is_empty());
         let (_, hit) = cache.get_or_solve(&key, || Ok(fake_outcome(3.0))).unwrap();
@@ -196,6 +277,85 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_misses_are_single_flight() {
+        // Many threads racing on one cold key: exactly one solve must run;
+        // everyone else waits and records a hit. Repeated rounds widen the
+        // collision window.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for round in 0..50 {
+            let cache = Level1Cache::new();
+            let key = graph_key(&generators::cycle(5 + round % 3));
+            let solves = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        let (out, _) = cache
+                            .get_or_solve(&key, || {
+                                solves.fetch_add(1, Ordering::Relaxed);
+                                Ok(fake_outcome(7.0))
+                            })
+                            .unwrap();
+                        assert_eq!(out.expectation, 7.0);
+                    });
+                }
+            });
+            assert_eq!(solves.load(Ordering::Relaxed), 1, "round {round}");
+            assert_eq!((cache.hits(), cache.misses()), (7, 1), "round {round}");
+        }
+    }
+
+    #[test]
+    fn failed_leader_lets_followers_retry() {
+        // A leader that errors must not poison the key: concurrent or later
+        // callers re-solve and succeed.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Level1Cache::new();
+        let key = graph_key(&generators::path(5));
+        let attempts = AtomicUsize::new(0);
+        let mut failures = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache.get_or_solve(&key, || {
+                            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                                Err(QaoaError::InvalidDepth { depth: 0 })
+                            } else {
+                                Ok(fake_outcome(4.0))
+                            }
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join().expect("no panic") {
+                    Ok((out, _)) => assert_eq!(out.expectation, 4.0),
+                    Err(_) => failures += 1,
+                }
+            }
+        });
+        assert_eq!(failures, 1, "exactly the failing leader errors");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn panicked_leader_does_not_wedge_the_key() {
+        // A leader that *panics* mid-solve poisons and abandons its slot;
+        // later callers must recover (treat it as a failed solve) instead
+        // of panicking on the poisoned lock.
+        let cache = Level1Cache::new();
+        let key = graph_key(&generators::cycle(7));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_solve(&key, || panic!("solver blew up"));
+        }));
+        assert!(unwound.is_err());
+        let (out, hit) = cache.get_or_solve(&key, || Ok(fake_outcome(6.0))).unwrap();
+        assert!(!hit, "abandoned slot must be withdrawn, not served");
+        assert_eq!(out.expectation, 6.0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -77,8 +77,8 @@ pub fn compare(
     }
 
     type JobSamples = (usize, bool, Vec<(f64, usize)>);
-    let results: Vec<Result<JobSamples, QaoaError>> = pool.run_ordered(jobs.len(), |i| {
-        match &jobs[i] {
+    let results: Vec<Result<JobSamples, QaoaError>> =
+        pool.run_ordered(jobs.len(), |i| match &jobs[i] {
             SweepJob::Naive {
                 cell,
                 optimizer,
@@ -114,8 +114,7 @@ pub fn compare(
                 )?;
                 Ok((*cell, true, vec![sample]))
             }
-        }
-    });
+        });
 
     // Reassemble per-cell sample vectors. Jobs come back in submission
     // order, which is graph order within each protocol within each cell —

@@ -71,7 +71,9 @@ pub fn generate(
 ) -> Result<(ParameterDataset, CorpusReport), QaoaError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let graphs: Vec<Graph> = (0..config.n_graphs)
-        .map(|_| generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng))
+        .map(|_| {
+            generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng)
+        })
         .collect();
     from_graphs(graphs, config, engine)
 }

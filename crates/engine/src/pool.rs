@@ -66,13 +66,7 @@ impl Pool {
 
         // Round-robin initial distribution.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| {
-                Mutex::new(
-                    (w..n_jobs)
-                        .step_by(workers)
-                        .collect::<VecDeque<usize>>(),
-                )
-            })
+            .map(|w| Mutex::new((w..n_jobs).step_by(workers).collect::<VecDeque<usize>>()))
             .collect();
 
         let mut collected: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);

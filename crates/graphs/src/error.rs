@@ -46,7 +46,10 @@ impl fmt::Display for GraphError {
                 "no {degree}-regular graph on {n_nodes} nodes exists (need n*d even and d < n)"
             ),
             GraphError::GenerationFailed { attempts } => {
-                write!(f, "random regular graph generation failed after {attempts} attempts")
+                write!(
+                    f,
+                    "random regular graph generation failed after {attempts} attempts"
+                )
             }
         }
     }
@@ -60,10 +63,15 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(GraphError::NodeOutOfRange { node: 9, n_nodes: 4 }
+        assert!(GraphError::NodeOutOfRange {
+            node: 9,
+            n_nodes: 4
+        }
+        .to_string()
+        .contains("node 9"));
+        assert!(GraphError::SelfLoop { node: 2 }
             .to_string()
-            .contains("node 9"));
-        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains("self-loop"));
+            .contains("self-loop"));
         assert!(GraphError::InvalidRegularParams {
             n_nodes: 5,
             degree: 3

@@ -281,10 +281,7 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if m == 0 || m + 1 > n_nodes {
-        return Err(GraphError::InvalidRegularParams {
-            n_nodes,
-            degree: m,
-        });
+        return Err(GraphError::InvalidRegularParams { n_nodes, degree: m });
     }
     // Seed graph: a star K_{1,m} on nodes 0..=m inside the full node set.
     let mut g = Graph::new(n_nodes);
@@ -342,10 +339,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if k == 0 || !k.is_multiple_of(2) || k >= n_nodes {
-        return Err(GraphError::InvalidRegularParams {
-            n_nodes,
-            degree: k,
-        });
+        return Err(GraphError::InvalidRegularParams { n_nodes, degree: k });
     }
     let beta = beta.clamp(0.0, 1.0);
     // Work on a normalized edge set so rewiring preserves the edge count
@@ -406,12 +400,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
 /// assert_eq!(w.n_edges(), g.n_edges());
 /// assert!(w.edges().iter().all(|e| (0.5..=2.0).contains(&e.weight)));
 /// ```
-pub fn with_random_weights<R: Rng + ?Sized>(
-    graph: &Graph,
-    lo: f64,
-    hi: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn with_random_weights<R: Rng + ?Sized>(graph: &Graph, lo: f64, hi: f64, rng: &mut R) -> Graph {
     let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     let mut g = Graph::new(graph.n_nodes());
     for e in graph.edges() {

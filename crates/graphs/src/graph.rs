@@ -137,10 +137,7 @@ impl Graph {
     /// `true` if the unordered pair `(u, v)` is an edge.
     #[must_use]
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        u != v
-            && u < self.n_nodes
-            && v < self.n_nodes
-            && self.index.contains(&self.pair_key(u, v))
+        u != v && u < self.n_nodes && v < self.n_nodes && self.index.contains(&self.pair_key(u, v))
     }
 
     /// Degree of `node`.
@@ -289,7 +286,10 @@ mod tests {
             g.add_edge(0, 5),
             Err(GraphError::NodeOutOfRange { node: 5, .. })
         ));
-        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            g.add_edge(1, 1),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
     }
 
     #[test]

@@ -122,10 +122,7 @@ pub fn degree_variance(graph: &Graph) -> f64 {
         return 0.0;
     }
     let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
-    seq.iter()
-        .map(|&d| (d as f64 - mean).powi(2))
-        .sum::<f64>()
-        / seq.len() as f64
+    seq.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / seq.len() as f64
 }
 
 /// A fixed-length structural feature vector for graph-aware predictors:

@@ -203,7 +203,11 @@ mod tests {
         assert!((trace - sum).abs() < 1e-10);
         assert!(e.residual(&a).unwrap() < 1e-10);
         // VᵀV = I.
-        let vtv = e.eigenvectors().transpose().matmul(e.eigenvectors()).unwrap();
+        let vtv = e
+            .eigenvectors()
+            .transpose()
+            .matmul(e.eigenvectors())
+            .unwrap();
         for i in 0..5 {
             for j in 0..5 {
                 let expect = if i == j { 1.0 } else { 0.0 };

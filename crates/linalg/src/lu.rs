@@ -143,12 +143,8 @@ mod tests {
 
     #[test]
     fn solve_random_system() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 1.0],
-            &[4.0, -6.0, 0.0],
-            &[-2.0, 7.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
         let x = Vector::from(vec![1.0, 2.0, 3.0]);
         let b = a.matvec(&x).unwrap();
         let got = a.lu().unwrap().solve(&b).unwrap();
@@ -167,7 +163,11 @@ mod tests {
     #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
-        let x = a.lu().unwrap().solve(&Vector::from(vec![5.0, 7.0])).unwrap();
+        let x = a
+            .lu()
+            .unwrap()
+            .solve(&Vector::from(vec![5.0, 7.0]))
+            .unwrap();
         assert_eq!(x.as_slice(), &[7.0, 5.0]);
     }
 

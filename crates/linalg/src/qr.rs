@@ -181,13 +181,7 @@ mod tests {
     #[test]
     fn overdetermined_least_squares_residual_orthogonal() {
         // Noisy line fit; residual must be orthogonal to the column space.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = Vector::from(vec![0.1, 0.9, 2.1, 2.9]);
         let x = a.qr().unwrap().solve_least_squares(&b).unwrap();
         let r = &a.matvec(&x).unwrap() - &b;

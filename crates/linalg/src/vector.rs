@@ -39,9 +39,7 @@ impl Vector {
     /// ```
     #[must_use]
     pub fn zeros(n: usize) -> Self {
-        Self {
-            data: vec![0.0; n],
-        }
+        Self { data: vec![0.0; n] }
     }
 
     /// Creates a vector of `n` copies of `value`.

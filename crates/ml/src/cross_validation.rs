@@ -103,7 +103,11 @@ pub fn k_fold(kind: ModelKind, x: &Matrix, y: &[f64], k: usize) -> Result<CvScor
 /// # Errors
 ///
 /// Same conditions as [`k_fold`].
-pub fn compare_models(x: &Matrix, y: &[f64], k: usize) -> Result<Vec<(ModelKind, CvScores)>, MlError> {
+pub fn compare_models(
+    x: &Matrix,
+    y: &[f64],
+    k: usize,
+) -> Result<Vec<(ModelKind, CvScores)>, MlError> {
     let mut out = Vec::with_capacity(ModelKind::ALL.len());
     for kind in ModelKind::ALL {
         out.push((kind, k_fold(kind, x, y, k)?));

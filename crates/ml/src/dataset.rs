@@ -105,7 +105,8 @@ impl Dataset {
     #[must_use]
     pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
         let n = self.len();
-        let k = ((fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n.saturating_sub(1).max(1));
+        let k = ((fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize)
+            .clamp(1, n.saturating_sub(1).max(1));
         (self.take_rows(0, k), self.take_rows(k, n))
     }
 

@@ -81,9 +81,11 @@ mod tests {
         );
         assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
         assert!(MlError::NotFitted.to_string().contains("before fitting"));
-        assert!(MlError::Numerical { context: "cholesky" }
-            .to_string()
-            .contains("cholesky"));
+        assert!(MlError::Numerical {
+            context: "cholesky"
+        }
+        .to_string()
+        .contains("cholesky"));
         assert!(MlError::InvalidHyperparameter {
             name: "length_scale",
             value: -1.0

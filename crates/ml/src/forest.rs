@@ -216,7 +216,10 @@ mod tests {
         let forest_mse = err(&|q: &[f64]| forest.predict(q).unwrap());
         let tree_mse = err(&|q: &[f64]| tree.predict(q).unwrap());
         // The forest should be at worst mildly worse, typically better.
-        assert!(forest_mse <= tree_mse * 2.0, "forest {forest_mse} tree {tree_mse}");
+        assert!(
+            forest_mse <= tree_mse * 2.0,
+            "forest {forest_mse} tree {tree_mse}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl KnnModel {
     /// Creates an unfitted model that will consult `k` neighbours.
     #[must_use]
     pub fn new(k: usize) -> Self {
-        Self { k, x: None, y: Vec::new() }
+        Self {
+            k,
+            x: None,
+            y: Vec::new(),
+        }
     }
 
     /// Number of stored training samples (0 before `fit`).
@@ -76,7 +80,10 @@ impl Regressor for KnnModel {
             });
         }
         if self.k == 0 {
-            return Err(MlError::InvalidHyperparameter { name: "k", value: 0.0 });
+            return Err(MlError::InvalidHyperparameter {
+                name: "k",
+                value: 0.0,
+            });
         }
         self.x = Some(x.clone());
         self.y = y.to_vec();

@@ -100,7 +100,11 @@ impl Regressor for LinearModel {
                 what: "features",
             });
         }
-        Ok(beta[0] + x.iter().zip(&beta[1..]).map(|(xi, bi)| xi * bi).sum::<f64>())
+        Ok(beta[0]
+            + x.iter()
+                .zip(&beta[1..])
+                .map(|(xi, bi)| xi * bi)
+                .sum::<f64>())
     }
 
     fn name(&self) -> &'static str {

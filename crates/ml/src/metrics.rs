@@ -228,7 +228,10 @@ mod tests {
         assert!(adj1 < plain);
         assert!(adj3 < adj1);
         // Degenerate sample size falls back to plain R².
-        assert_eq!(adjusted_r2(&t[..2], &p[..2], 5).unwrap(), r2(&t[..2], &p[..2]).unwrap());
+        assert_eq!(
+            adjusted_r2(&t[..2], &p[..2], 5).unwrap(),
+            r2(&t[..2], &p[..2]).unwrap()
+        );
     }
 
     #[test]

@@ -129,7 +129,13 @@ mod tests {
 
     fn planted() -> (Matrix, Matrix) {
         // Non-collinear features so OLS is identifiable.
-        let x = Matrix::from_fn(10, 2, |i, j| if j == 0 { i as f64 } else { ((i * i) % 7) as f64 });
+        let x = Matrix::from_fn(10, 2, |i, j| {
+            if j == 0 {
+                i as f64
+            } else {
+                ((i * i) % 7) as f64
+            }
+        });
         // y0 = x0 + x1, y1 = x0 - 2 x1 + 3.
         let y = Matrix::from_fn(10, 2, |i, j| {
             let (a, b) = (x.get(i, 0), x.get(i, 1));
@@ -167,10 +173,7 @@ mod tests {
         let m = MultiOutput::new(ModelKind::Linear);
         assert!(matches!(m.predict(&[1.0]), Err(MlError::NotFitted)));
         let (x, _) = planted();
-        assert!(matches!(
-            m.predict_batch(&x),
-            Err(MlError::NotFitted)
-        ));
+        assert!(matches!(m.predict_batch(&x), Err(MlError::NotFitted)));
         let mut m = MultiOutput::new(ModelKind::Linear);
         let bad_y = Matrix::zeros(3, 1);
         assert!(m.fit(&x, &bad_y).is_err());

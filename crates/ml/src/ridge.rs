@@ -131,9 +131,11 @@ impl Regressor for RidgeModel {
         let chol = Cholesky::new(&gram).map_err(|_| MlError::Numerical {
             context: "ridge normal equations",
         })?;
-        let w = chol.solve(&Vector::from(moment)).map_err(|_| MlError::Numerical {
-            context: "ridge solve",
-        })?;
+        let w = chol
+            .solve(&Vector::from(moment))
+            .map_err(|_| MlError::Numerical {
+                context: "ridge solve",
+            })?;
         let w: Vec<f64> = w.iter().copied().collect();
 
         self.intercept = y_mean - w.iter().zip(&x_mean).map(|(wi, mi)| wi * mi).sum::<f64>();

@@ -79,7 +79,10 @@ impl SvrModel {
     /// negative ε.
     pub fn with_params(c: f64, epsilon: f64, length_scale: f64) -> Result<Self, MlError> {
         if !(c.is_finite() && c > 0.0) {
-            return Err(MlError::InvalidHyperparameter { name: "c", value: c });
+            return Err(MlError::InvalidHyperparameter {
+                name: "c",
+                value: c,
+            });
         }
         if !(epsilon.is_finite() && epsilon >= 0.0) {
             return Err(MlError::InvalidHyperparameter {
@@ -108,17 +111,11 @@ impl SvrModel {
 /// `r` is the smooth-part derivative at δ = 0, `eta` the curvature,
 /// `(bi, bj)` the current pair values, `(lo, hi)` the feasible δ interval.
 /// Returns `(δ, ΔW)` for the best candidate.
-fn best_pair_step(
-    r: f64,
-    eta: f64,
-    bi: f64,
-    bj: f64,
-    eps: f64,
-    lo: f64,
-    hi: f64,
-) -> (f64, f64) {
+fn best_pair_step(r: f64, eta: f64, bi: f64, bj: f64, eps: f64, lo: f64, hi: f64) -> (f64, f64) {
     let delta_w = |d: f64| -> f64 {
-        d * r - 0.5 * d * d * eta - eps * ((bi + d).abs() - bi.abs())
+        d * r
+            - 0.5 * d * d * eta
+            - eps * ((bi + d).abs() - bi.abs())
             - eps * ((bj - d).abs() - bj.abs())
     };
     let mut candidates = [0.0_f64; 9];
@@ -292,7 +289,9 @@ mod tests {
     #[test]
     fn dual_feasibility_invariants() {
         // After fitting, Σβ = 0 and |β| ≤ C must hold.
-        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![(i as f64 * 0.7).sin(), i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i as f64 * 0.7).sin(), i as f64])
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = (0..12).map(|i| (i as f64 * 0.5).cos()).collect();
         let c = 2.0;

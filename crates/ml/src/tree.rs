@@ -118,8 +118,7 @@ impl TreeModel {
                 }
                 let left_sse = prefix_sq - prefix_sum * prefix_sum / n_left as f64;
                 let right_sum = total_sum - prefix_sum;
-                let right_sse =
-                    (total_sq - prefix_sq) - right_sum * right_sum / n_right as f64;
+                let right_sse = (total_sq - prefix_sq) - right_sum * right_sum / n_right as f64;
                 let child = left_sse + right_sse;
                 if best.as_ref().is_none_or(|(s, _, _)| child < *s) {
                     best = Some((child, feature, 0.5 * (a + b)));
@@ -129,9 +128,8 @@ impl TreeModel {
 
         match best {
             Some((child_sse, feature, threshold)) if child_sse < sse - 1e-12 => {
-                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                    .iter()
-                    .partition(|&&i| x.get(i, feature) <= threshold);
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
                 Node::Split {
                     feature,
                     threshold,
@@ -180,7 +178,11 @@ impl Regressor for TreeModel {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }

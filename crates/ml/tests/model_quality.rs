@@ -92,7 +92,10 @@ fn multioutput_handles_paper_width() {
     // Scaled targets give scaled predictions.
     for j in 1..12 {
         let ratio = out[j] / out[0];
-        assert!((ratio - (1.0 + 0.1 * j as f64)).abs() < 0.05, "column {j}: {ratio}");
+        assert!(
+            (ratio - (1.0 + 0.1 * j as f64)).abs() < 0.05,
+            "column {j}: {ratio}"
+        );
     }
 }
 

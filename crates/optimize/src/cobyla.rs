@@ -1,5 +1,5 @@
 use crate::{
-    Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
+    Bounds, Counted, FnObjective, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
 };
 
 /// Constrained optimization by linear approximation — the workspace's
@@ -134,11 +134,11 @@ impl Optimizer for Cobyla {
             });
         }
         let n = x0.len();
-        let counted = Counted::new(f);
+        let f = FnObjective(f);
+        let counted = Counted::new(&f);
         let x0 = bounds.project(x0);
 
-        let mean_width: f64 =
-            (0..n).map(|i| bounds.width(i)).sum::<f64>() / n as f64;
+        let mean_width: f64 = (0..n).map(|i| bounds.width(i)).sum::<f64>() / n as f64;
         let mut rho = (self.rho_begin_rel * mean_width).max(self.rho_end * 10.0);
 
         // Initial simplex: x0 plus ρ-steps along each axis (direction chosen
@@ -270,6 +270,7 @@ impl Optimizer for Cobyla {
             x: simplex.swap_remove(best),
             fx: values[best],
             n_calls: counted.count(),
+            n_grad_calls: 0,
             n_iters: iters,
             termination,
         })
@@ -292,7 +293,12 @@ mod tests {
     fn minimizes_quadratic() {
         let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
         let r = Cobyla::default()
-            .minimize(&sphere, &[1.5, -1.0], &b, &Options::default().with_max_iters(2000))
+            .minimize(
+                &sphere,
+                &[1.5, -1.0],
+                &b,
+                &Options::default().with_max_iters(2000),
+            )
             .unwrap();
         assert!(r.fx < 1e-6, "{r}");
     }

@@ -1,14 +1,20 @@
 use std::cell::Cell;
 
-/// Wraps an objective and counts every evaluation.
+use crate::Objective;
+
+/// Wraps an objective and counts every evaluation, SciPy-style: `nfev` for
+/// objective values, `njev` for analytic gradient evaluations.
 ///
 /// The paper's headline metric is the number of optimization-loop iterations
 /// ("function calls" / "QC calls"), so the count must be airtight: every
 /// optimizer in this crate funnels all evaluations — including finite-
-/// difference gradient probes — through one `Counted` instance.
+/// difference gradient probes — through one `Counted` instance. Analytic
+/// gradients (the adjoint method of the QAOA layer) are counted separately
+/// as `njev`, exactly as SciPy reports `nfev`/`njev` when a Jacobian is
+/// supplied.
 ///
-/// Interior mutability (a `Cell`) keeps the public objective type a plain
-/// `&dyn Fn(&[f64]) -> f64`.
+/// Interior mutability (`Cell`s) keeps the public objective type a plain
+/// `&dyn Objective`.
 ///
 /// # Example
 ///
@@ -19,40 +25,61 @@ use std::cell::Cell;
 /// counted.eval(&[2.0]);
 /// counted.eval(&[3.0]);
 /// assert_eq!(counted.count(), 2);
+/// assert_eq!(counted.njev(), 0);
 /// ```
 pub struct Counted<'a> {
-    f: &'a dyn Fn(&[f64]) -> f64,
-    calls: Cell<usize>,
+    f: &'a dyn Objective,
+    nfev: Cell<usize>,
+    njev: Cell<usize>,
 }
 
 impl<'a> Counted<'a> {
-    /// Wraps `f` with a zeroed counter.
+    /// Wraps `f` with zeroed counters.
     #[must_use]
-    pub fn new(f: &'a dyn Fn(&[f64]) -> f64) -> Self {
+    pub fn new(f: &'a dyn Objective) -> Self {
         Self {
             f,
-            calls: Cell::new(0),
+            nfev: Cell::new(0),
+            njev: Cell::new(0),
         }
     }
 
-    /// Evaluates the objective, incrementing the counter.
+    /// Evaluates the objective, incrementing `nfev`.
     #[must_use]
     pub fn eval(&self, x: &[f64]) -> f64 {
-        self.calls.set(self.calls.get() + 1);
-        (self.f)(x)
+        self.nfev.set(self.nfev.get() + 1);
+        self.f.value(x)
     }
 
-    /// Number of evaluations so far.
+    /// Evaluates the analytic value-and-gradient if the objective provides
+    /// one, incrementing `njev` (not `nfev`: the value comes free with the
+    /// gradient, mirroring SciPy's `jac=True` accounting). Returns `None` —
+    /// and counts nothing — for gradient-free objectives.
+    #[must_use]
+    pub fn eval_grad(&self, x: &[f64], grad: &mut [f64]) -> Option<f64> {
+        let fx = self.f.value_and_grad(x, grad)?;
+        self.njev.set(self.njev.get() + 1);
+        Some(fx)
+    }
+
+    /// Number of objective evaluations so far (`nfev`).
     #[must_use]
     pub fn count(&self) -> usize {
-        self.calls.get()
+        self.nfev.get()
+    }
+
+    /// Number of analytic gradient evaluations so far (`njev`).
+    #[must_use]
+    pub fn njev(&self) -> usize {
+        self.njev.get()
     }
 }
 
 impl std::fmt::Debug for Counted<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Counted")
-            .field("calls", &self.calls.get())
+            .field("calls", &self.nfev.get())
+            .field("grad_calls", &self.njev.get())
             .finish()
     }
 }
@@ -70,6 +97,7 @@ mod tests {
             let _ = c.eval(&[i as f64]);
         }
         assert_eq!(c.count(), 17);
+        assert_eq!(c.njev(), 0);
     }
 
     #[test]
@@ -77,6 +105,35 @@ mod tests {
         let f = |x: &[f64]| 2.0 * x[0];
         let c = Counted::new(&f);
         assert_eq!(c.eval(&[21.0]), 42.0);
+    }
+
+    #[test]
+    fn gradient_free_objective_counts_no_njev() {
+        let f = |x: &[f64]| x[0];
+        let c = Counted::new(&f);
+        let mut g = [0.0];
+        assert_eq!(c.eval_grad(&[1.0], &mut g), None);
+        assert_eq!((c.count(), c.njev()), (0, 0));
+    }
+
+    #[test]
+    fn analytic_gradient_counts_njev_only() {
+        struct Quad;
+        impl Objective for Quad {
+            fn value(&self, x: &[f64]) -> f64 {
+                x[0] * x[0]
+            }
+            fn value_and_grad(&self, x: &[f64], grad: &mut [f64]) -> Option<f64> {
+                grad[0] = 2.0 * x[0];
+                Some(self.value(x))
+            }
+        }
+        let q = Quad;
+        let c = Counted::new(&q);
+        let mut g = [0.0];
+        assert_eq!(c.eval_grad(&[3.0], &mut g), Some(9.0));
+        assert_eq!(g[0], 6.0);
+        assert_eq!((c.count(), c.njev()), (0, 1));
     }
 
     #[test]

@@ -34,10 +34,17 @@ impl fmt::Display for OptimizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimizeError::DimensionMismatch { x0, bounds } => {
-                write!(f, "starting point has {x0} coordinates but bounds have {bounds}")
+                write!(
+                    f,
+                    "starting point has {x0} coordinates but bounds have {bounds}"
+                )
             }
             OptimizeError::EmptyProblem => write!(f, "cannot optimize a zero-dimensional problem"),
-            OptimizeError::InvalidBounds { index, lower, upper } => write!(
+            OptimizeError::InvalidBounds {
+                index,
+                lower,
+                upper,
+            } => write!(
                 f,
                 "invalid bound at index {index}: lower {lower} > upper {upper}"
             ),
@@ -59,7 +66,9 @@ mod tests {
         assert!(OptimizeError::DimensionMismatch { x0: 2, bounds: 3 }
             .to_string()
             .contains("2 coordinates"));
-        assert!(OptimizeError::EmptyProblem.to_string().contains("zero-dimensional"));
+        assert!(OptimizeError::EmptyProblem
+            .to_string()
+            .contains("zero-dimensional"));
         assert!(OptimizeError::InvalidBounds {
             index: 1,
             lower: 2.0,

@@ -40,6 +40,20 @@ pub fn forward_difference(
     rel_step: f64,
 ) -> Vec<f64> {
     let mut grad = vec![0.0; x.len()];
+    forward_difference_into(f, x, fx, bounds, rel_step, &mut grad);
+    grad
+}
+
+/// [`forward_difference`] writing into a caller-supplied buffer (used by
+/// [`gradient`] to reuse its allocation on the fallback path).
+fn forward_difference_into(
+    f: &Counted<'_>,
+    x: &[f64],
+    fx: f64,
+    bounds: &Bounds,
+    rel_step: f64,
+    grad: &mut [f64],
+) {
     let mut probe = x.to_vec();
     for i in 0..x.len() {
         let h = step_size(x[i], rel_step);
@@ -54,7 +68,6 @@ pub fn forward_difference(
         grad[i] = sign * (fp - fx) / h;
         probe[i] = x[i];
     }
-    grad
 }
 
 /// Central-difference gradient `(f(x + h eᵢ) − f(x − h eᵢ)) / 2h`, clamping
@@ -64,12 +77,7 @@ pub fn forward_difference(
 /// [`forward_difference`] but twice the price; used by tests and available
 /// to callers that want tighter gradients.
 #[must_use]
-pub fn central_difference(
-    f: &Counted<'_>,
-    x: &[f64],
-    bounds: &Bounds,
-    rel_step: f64,
-) -> Vec<f64> {
+pub fn central_difference(f: &Counted<'_>, x: &[f64], bounds: &Bounds, rel_step: f64) -> Vec<f64> {
     let mut grad = vec![0.0; x.len()];
     let mut probe = x.to_vec();
     for i in 0..x.len() {
@@ -96,12 +104,31 @@ fn step_size(x: f64, rel_step: f64) -> f64 {
     (rel_step * x.abs().max(1.0)).max(f64::EPSILON.sqrt() * 1e-2)
 }
 
+/// The gradient of a [`Counted`] objective at `(x, fx)`: the objective's
+/// analytic gradient when it provides one (one `njev`), otherwise
+/// bound-aware forward differences (`n` counted objective evaluations).
+///
+/// This is the single gradient entry point of the gradient-based
+/// optimizers (`Lbfgsb`, `Slsqp`); it is what makes an
+/// [`Objective`](crate::Objective) with `value_and_grad` cut their `nfev`.
+#[must_use]
+pub fn gradient(f: &Counted<'_>, x: &[f64], fx: f64, bounds: &Bounds, rel_step: f64) -> Vec<f64> {
+    let mut grad = vec![0.0; x.len()];
+    if f.eval_grad(x, &mut grad).is_none() {
+        forward_difference_into(f, x, fx, bounds, rel_step, &mut grad);
+    }
+    grad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn quad(x: &[f64]) -> f64 {
-        x.iter().enumerate().map(|(i, &v)| (i + 1) as f64 * v * v).sum()
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| (i + 1) as f64 * v * v)
+            .sum()
     }
 
     #[test]

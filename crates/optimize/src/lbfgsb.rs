@@ -1,8 +1,8 @@
 use std::collections::VecDeque;
 
 use crate::{
-    forward_difference, Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options,
-    Termination,
+    gradient, Bounds, Counted, FnObjective, Objective, OptimizeError, OptimizeResult, Optimizer,
+    Options, Termination,
 };
 
 /// Projected limited-memory BFGS for box constraints — the workspace's
@@ -19,7 +19,12 @@ use crate::{
 ///
 /// Gradients are forward finite differences (SciPy's default when no
 /// Jacobian is passed), so each outer iteration costs `n + O(line search)`
-/// function calls — all counted.
+/// function calls — all counted. When the objective supplies an analytic
+/// gradient (via [`Optimizer::minimize_objective`] and
+/// [`Objective::value_and_grad`]), the finite-difference probes disappear:
+/// each outer iteration costs `O(line search)` function calls plus one
+/// gradient call, reported separately as
+/// [`OptimizeResult::n_grad_calls`].
 ///
 /// # Example
 ///
@@ -118,6 +123,16 @@ impl Optimizer for Lbfgsb {
         bounds: &Bounds,
         options: &Options,
     ) -> Result<OptimizeResult, OptimizeError> {
+        self.minimize_objective(&FnObjective(f), x0, bounds, options)
+    }
+
+    fn minimize_objective(
+        &self,
+        f: &dyn Objective,
+        x0: &[f64],
+        bounds: &Bounds,
+        options: &Options,
+    ) -> Result<OptimizeResult, OptimizeError> {
         if x0.is_empty() {
             return Err(OptimizeError::EmptyProblem);
         }
@@ -133,7 +148,7 @@ impl Optimizer for Lbfgsb {
         if !fx.is_finite() {
             return Err(OptimizeError::NonFiniteObjective { value: fx });
         }
-        let mut grad = forward_difference(&counted, &x, fx, bounds, options.fd_step);
+        let mut grad = gradient(&counted, &x, fx, bounds, options.fd_step);
         let mut pairs: VecDeque<Pair> = VecDeque::with_capacity(self.memory);
 
         let mut termination = Termination::MaxIterations;
@@ -205,7 +220,11 @@ impl Optimizer for Lbfgsb {
                                 break;
                             }
                             let wide = trial_at(expand);
-                            if wide.iter().zip(&x_new).all(|(w, xi)| (w - xi).abs() < 1e-16) {
+                            if wide
+                                .iter()
+                                .zip(&x_new)
+                                .all(|(w, xi)| (w - xi).abs() < 1e-16)
+                            {
                                 break;
                             }
                             let fw = counted.eval(&wide);
@@ -230,7 +249,7 @@ impl Optimizer for Lbfgsb {
                 break;
             }
 
-            let grad_new = forward_difference(&counted, &x_new, f_new, bounds, options.fd_step);
+            let grad_new = gradient(&counted, &x_new, f_new, bounds, options.fd_step);
             // Curvature update with the standard positivity guard.
             let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
             let y: Vec<f64> = grad_new.iter().zip(&grad).map(|(a, b)| a - b).collect();
@@ -239,7 +258,11 @@ impl Optimizer for Lbfgsb {
                 if pairs.len() == self.memory {
                     pairs.pop_front();
                 }
-                pairs.push_back(Pair { s, y, rho: 1.0 / sy });
+                pairs.push_back(Pair {
+                    s,
+                    y,
+                    rho: 1.0 / sy,
+                });
             }
 
             let converged = options.f_converged(fx, f_new);
@@ -256,6 +279,7 @@ impl Optimizer for Lbfgsb {
             x,
             fx,
             n_calls: counted.count(),
+            n_grad_calls: counted.njev(),
             n_iters: iters,
             termination,
         })
@@ -290,7 +314,12 @@ mod tests {
         let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
         let r = Lbfgsb::default()
-            .minimize(&f, &[-1.2, 1.0], &b, &Options::default().with_max_iters(500))
+            .minimize(
+                &f,
+                &[-1.2, 1.0],
+                &b,
+                &Options::default().with_max_iters(500),
+            )
             .unwrap();
         assert!((r.x[0] - 1.0).abs() < 1e-3, "{r}");
         assert!((r.x[1] - 1.0).abs() < 1e-3, "{r}");
@@ -319,6 +348,35 @@ mod tests {
     }
 
     #[test]
+    fn analytic_gradient_cuts_nfev() {
+        struct Sphere;
+        impl Objective for Sphere {
+            fn value(&self, x: &[f64]) -> f64 {
+                x.iter().map(|v| v * v).sum()
+            }
+            fn value_and_grad(&self, x: &[f64], grad: &mut [f64]) -> Option<f64> {
+                for (g, v) in grad.iter_mut().zip(x) {
+                    *g = 2.0 * v;
+                }
+                Some(self.value(x))
+            }
+        }
+        let b = Bounds::uniform(4, -5.0, 5.0).unwrap();
+        let x0 = [3.0, -2.0, 1.0, 4.0];
+        let opts = Options::default();
+        let fd = Lbfgsb::default().minimize(&sphere, &x0, &b, &opts).unwrap();
+        let an = Lbfgsb::default()
+            .minimize_objective(&Sphere, &x0, &b, &opts)
+            .unwrap();
+        assert!(an.fx < 1e-9, "{an}");
+        assert!((an.fx - fd.fx).abs() < 1e-8);
+        assert!(an.n_grad_calls > 0);
+        assert_eq!(fd.n_grad_calls, 0);
+        // No finite-difference probes: strictly fewer objective evaluations.
+        assert!(an.n_calls < fd.n_calls, "{} vs {}", an.n_calls, fd.n_calls);
+    }
+
+    #[test]
     fn trapped_objective_terminates() {
         // Constant function: gradient is zero immediately.
         let f = |_: &[f64]| 1.0;
@@ -333,7 +391,10 @@ mod tests {
     #[test]
     fn call_cap_enforced() {
         let b = Bounds::uniform(6, -5.0, 5.0).unwrap();
-        let opts = Options::default().with_max_calls(20).with_gtol(0.0).with_ftol(0.0);
+        let opts = Options::default()
+            .with_max_calls(20)
+            .with_gtol(0.0)
+            .with_ftol(0.0);
         let f = |x: &[f64]| sphere(x) + (x[0] * 10.0).sin() * 0.01;
         let r = Lbfgsb::default()
             .minimize(&f, &[4.0; 6], &b, &opts)

@@ -38,6 +38,7 @@ mod error;
 mod gradient;
 mod lbfgsb;
 mod nelder_mead;
+mod objective;
 mod options;
 mod powell;
 mod result;
@@ -48,9 +49,12 @@ pub use bounds::Bounds;
 pub use cobyla::Cobyla;
 pub use counted::Counted;
 pub use error::OptimizeError;
-pub use gradient::{central_difference, forward_difference};
+pub use gradient::{central_difference, forward_difference, gradient};
+pub use objective::Objective;
+
 pub use lbfgsb::Lbfgsb;
 pub use nelder_mead::NelderMead;
+pub(crate) use objective::FnObjective;
 pub use options::Options;
 pub use powell::Powell;
 pub use result::{OptimizeResult, Termination};
@@ -81,6 +85,26 @@ pub trait Optimizer {
         bounds: &Bounds,
         options: &Options,
     ) -> Result<OptimizeResult, OptimizeError>;
+
+    /// Minimizes a gradient-capable [`Objective`]. Gradient-based
+    /// optimizers (`Lbfgsb`, `Slsqp`) consume the analytic gradient when
+    /// [`Objective::value_and_grad`] provides one — counted as
+    /// [`OptimizeResult::n_grad_calls`] — and fall back to finite
+    /// differences otherwise. The default implementation (all gradient-free
+    /// methods) evaluates values only.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Optimizer::minimize`].
+    fn minimize_objective(
+        &self,
+        f: &dyn Objective,
+        x0: &[f64],
+        bounds: &Bounds,
+        options: &Options,
+    ) -> Result<OptimizeResult, OptimizeError> {
+        self.minimize(&|x: &[f64]| f.value(x), x0, bounds, options)
+    }
 
     /// Short, stable identifier used in benchmark tables (e.g. `"L-BFGS-B"`).
     fn name(&self) -> &'static str;

@@ -1,5 +1,5 @@
 use crate::{
-    Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
+    Bounds, Counted, FnObjective, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
 };
 
 /// The Nelder–Mead downhill-simplex method, one of the paper's two
@@ -94,7 +94,11 @@ fn centroid(simplex: &[Vec<f64>], exclude: usize) -> Vec<f64> {
 
 fn blend(a: &[f64], b: &[f64], t: f64, bounds: &Bounds) -> Vec<f64> {
     // a + t (a - b), clamped into the box.
-    let raw: Vec<f64> = a.iter().zip(b).map(|(&ai, &bi)| ai + t * (ai - bi)).collect();
+    let raw: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&ai, &bi)| ai + t * (ai - bi))
+        .collect();
     bounds.project(&raw)
 }
 
@@ -115,7 +119,8 @@ impl Optimizer for NelderMead {
                 bounds: bounds.dim(),
             });
         }
-        let counted = Counted::new(f);
+        let f = FnObjective(f);
+        let counted = Counted::new(&f);
         let x0 = bounds.project(x0);
 
         let mut simplex = self.initial_simplex(&x0, bounds);
@@ -143,7 +148,9 @@ impl Optimizer for NelderMead {
                 .iter()
                 .flat_map(|v| v.iter().zip(&simplex[best]).map(|(a, b)| (a - b).abs()))
                 .fold(0.0_f64, f64::max);
-            if f_spread <= options.ftol * (1.0 + values[best].abs()) && x_spread <= options.ftol.sqrt() {
+            if f_spread <= options.ftol * (1.0 + values[best].abs())
+                && x_spread <= options.ftol.sqrt()
+            {
                 termination = Termination::FtolSatisfied;
                 break;
             }
@@ -215,6 +222,7 @@ impl Optimizer for NelderMead {
             x: simplex.swap_remove(best),
             fx: values[best],
             n_calls: counted.count(),
+            n_grad_calls: 0,
             n_iters: iters,
             termination,
         })

@@ -1,4 +1,6 @@
-use crate::{Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options, Termination};
+use crate::{
+    Bounds, Counted, FnObjective, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
+};
 
 /// Powell's conjugate-direction method (derivative-free).
 ///
@@ -131,7 +133,8 @@ impl Optimizer for Powell {
                 bounds: bounds.dim(),
             });
         }
-        let counted = Counted::new(f);
+        let f = FnObjective(f);
+        let counted = Counted::new(&f);
         let n = x0.len();
         let mut x = bounds.project(x0);
         let mut fx = counted.eval(&x);
@@ -207,7 +210,8 @@ impl Optimizer for Powell {
                 let f_extrap = counted.eval(&extrap);
                 if f_extrap < f_start {
                     // Numerical-Recipes acceptance test.
-                    let t = 2.0 * (f_start - 2.0 * fx + f_extrap)
+                    let t = 2.0
+                        * (f_start - 2.0 * fx + f_extrap)
                         * (f_start - fx - biggest_drop).powi(2)
                         - biggest_drop * (f_start - f_extrap).powi(2);
                     if t < 0.0 {
@@ -235,6 +239,7 @@ impl Optimizer for Powell {
             x,
             fx,
             n_calls: counted.count(),
+            n_grad_calls: 0,
             n_iters: iters,
             termination,
         })
@@ -265,11 +270,12 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
         let opts = Options::default().with_max_iters(500);
-        let r = Powell::default().minimize(&rosen, &[-1.2, 1.0], &b, &opts).unwrap();
+        let r = Powell::default()
+            .minimize(&rosen, &[-1.2, 1.0], &b, &opts)
+            .unwrap();
         assert!((r.x[0] - 1.0).abs() < 1e-4, "{r}");
         assert!((r.x[1] - 1.0).abs() < 1e-4, "{r}");
     }
@@ -314,7 +320,9 @@ mod tests {
     fn max_calls_cap_respected() {
         let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
         let opts = Options::default().with_max_calls(15);
-        let r = Powell::default().minimize(&sphere, &[4.0, 4.0], &b, &opts).unwrap();
+        let r = Powell::default()
+            .minimize(&sphere, &[4.0, 4.0], &b, &opts)
+            .unwrap();
         // The cap is checked before each direction sweep entry; one line
         // search adds at most line_max_iters+2 calls past the cap.
         assert!(r.n_calls <= 15 + 102 + 2);

@@ -48,15 +48,22 @@ impl fmt::Display for Termination {
 /// Outcome of a single local-optimization run.
 ///
 /// `n_calls` is the paper's cost metric (loop iterations / QC calls): the
-/// total number of objective evaluations, gradient probes included.
+/// total number of objective evaluations, finite-difference gradient probes
+/// included. When the objective supplies an analytic gradient
+/// (see [`Objective`](crate::Objective)), gradient evaluations are counted
+/// separately in `n_grad_calls` — SciPy's `nfev`/`njev` split.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeResult {
     /// The best point found.
     pub x: Vec<f64>,
     /// Objective value at `x`.
     pub fx: f64,
-    /// Total objective evaluations consumed.
+    /// Total objective evaluations consumed (`nfev`).
     pub n_calls: usize,
+    /// Analytic gradient evaluations consumed (`njev`; 0 when gradients
+    /// were estimated by finite differences, whose probes count in
+    /// `n_calls` instead).
+    pub n_grad_calls: usize,
     /// Outer iterations performed.
     pub n_iters: usize,
     /// Why the run stopped.
@@ -77,7 +84,11 @@ impl fmt::Display for OptimizeResult {
             f,
             "f = {:.6e} after {} calls / {} iters ({})",
             self.fx, self.n_calls, self.n_iters, self.termination
-        )
+        )?;
+        if self.n_grad_calls > 0 {
+            write!(f, " [{} grad calls]", self.n_grad_calls)?;
+        }
+        Ok(())
     }
 }
 
@@ -101,12 +112,19 @@ mod tests {
             x: vec![1.0],
             fx: 0.5,
             n_calls: 10,
+            n_grad_calls: 0,
             n_iters: 3,
             termination: Termination::FtolSatisfied,
         };
         let s = r.to_string();
         assert!(s.contains("10 calls"));
         assert!(s.contains("ftol satisfied"));
+        assert!(!s.contains("grad calls"));
         assert!(r.converged());
+        let with_grad = OptimizeResult {
+            n_grad_calls: 4,
+            ..r
+        };
+        assert!(with_grad.to_string().contains("[4 grad calls]"));
     }
 }

@@ -1,6 +1,6 @@
 use crate::{
-    forward_difference, Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options,
-    Termination,
+    gradient, Bounds, Counted, FnObjective, Objective, OptimizeError, OptimizeResult, Optimizer,
+    Options, Termination,
 };
 
 /// Sequential quadratic programming for box constraints — the workspace's
@@ -226,6 +226,16 @@ impl Optimizer for Slsqp {
         bounds: &Bounds,
         options: &Options,
     ) -> Result<OptimizeResult, OptimizeError> {
+        self.minimize_objective(&FnObjective(f), x0, bounds, options)
+    }
+
+    fn minimize_objective(
+        &self,
+        f: &dyn Objective,
+        x0: &[f64],
+        bounds: &Bounds,
+        options: &Options,
+    ) -> Result<OptimizeResult, OptimizeError> {
         if x0.is_empty() {
             return Err(OptimizeError::EmptyProblem);
         }
@@ -242,7 +252,7 @@ impl Optimizer for Slsqp {
         if !fx.is_finite() {
             return Err(OptimizeError::NonFiniteObjective { value: fx });
         }
-        let mut grad = forward_difference(&counted, &x, fx, bounds, options.fd_step);
+        let mut grad = gradient(&counted, &x, fx, bounds, options.fd_step);
         let mut b_mat = SymMatrix::identity(n);
 
         let mut termination = Termination::MaxIterations;
@@ -297,7 +307,7 @@ impl Optimizer for Slsqp {
                 break;
             }
 
-            let grad_new = forward_difference(&counted, &x_new, f_new, bounds, options.fd_step);
+            let grad_new = gradient(&counted, &x_new, f_new, bounds, options.fd_step);
 
             // Damped BFGS (Powell): keep B positive definite even when the
             // curvature condition fails.
@@ -339,6 +349,7 @@ impl Optimizer for Slsqp {
             x,
             fx,
             n_calls: counted.count(),
+            n_grad_calls: counted.njev(),
             n_iters: iters,
             termination,
         })
@@ -385,7 +396,12 @@ mod tests {
         let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let b = Bounds::uniform(2, -5.0, 5.0).unwrap();
         let r = Slsqp::default()
-            .minimize(&f, &[-1.0, 2.0], &b, &Options::default().with_max_iters(500))
+            .minimize(
+                &f,
+                &[-1.0, 2.0],
+                &b,
+                &Options::default().with_max_iters(500),
+            )
             .unwrap();
         assert!((r.x[0] - 1.0).abs() < 1e-3, "{r}");
     }

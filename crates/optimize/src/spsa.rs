@@ -1,7 +1,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Bounds, Counted, OptimizeError, OptimizeResult, Optimizer, Options, Termination};
+use crate::{
+    Bounds, Counted, FnObjective, OptimizeError, OptimizeResult, Optimizer, Options, Termination,
+};
 
 /// Simultaneous Perturbation Stochastic Approximation (Spall, 1992).
 ///
@@ -94,7 +96,8 @@ impl Optimizer for Spsa {
                 bounds: bounds.dim(),
             });
         }
-        let counted = Counted::new(f);
+        let f = FnObjective(f);
+        let counted = Counted::new(&f);
         let mut x = bounds.project(x0);
         let f0 = counted.eval(&x);
         if !f0.is_finite() {
@@ -102,7 +105,9 @@ impl Optimizer for Spsa {
         }
 
         let n = x.len();
-        let min_width = (0..n).map(|i| bounds.width(i)).fold(f64::INFINITY, f64::min);
+        let min_width = (0..n)
+            .map(|i| bounds.width(i))
+            .fold(f64::INFINITY, f64::min);
         let c_scale = (self.c * min_width).max(1e-6);
 
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -125,10 +130,18 @@ impl Optimizer for Spsa {
             let delta: Vec<f64> = (0..n)
                 .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
                 .collect();
-            let x_plus: Vec<f64> =
-                bounds.project(&x.iter().zip(&delta).map(|(&xi, &d)| xi + ck * d).collect::<Vec<_>>());
-            let x_minus: Vec<f64> =
-                bounds.project(&x.iter().zip(&delta).map(|(&xi, &d)| xi - ck * d).collect::<Vec<_>>());
+            let x_plus: Vec<f64> = bounds.project(
+                &x.iter()
+                    .zip(&delta)
+                    .map(|(&xi, &d)| xi + ck * d)
+                    .collect::<Vec<_>>(),
+            );
+            let x_minus: Vec<f64> = bounds.project(
+                &x.iter()
+                    .zip(&delta)
+                    .map(|(&xi, &d)| xi - ck * d)
+                    .collect::<Vec<_>>(),
+            );
             let f_plus = counted.eval(&x_plus);
             let f_minus = counted.eval(&x_minus);
             if !f_plus.is_finite() || !f_minus.is_finite() {
@@ -181,6 +194,7 @@ impl Optimizer for Spsa {
             x: best_x,
             fx: best_f,
             n_calls: counted.count(),
+            n_grad_calls: 0,
             n_iters: iters,
             termination,
         })
@@ -213,8 +227,12 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
         let opts = Options::default().with_max_iters(200);
-        let r1 = Spsa::default().minimize(&sphere, &[1.0, 1.0], &b, &opts).unwrap();
-        let r2 = Spsa::default().minimize(&sphere, &[1.0, 1.0], &b, &opts).unwrap();
+        let r1 = Spsa::default()
+            .minimize(&sphere, &[1.0, 1.0], &b, &opts)
+            .unwrap();
+        let r2 = Spsa::default()
+            .minimize(&sphere, &[1.0, 1.0], &b, &opts)
+            .unwrap();
         assert_eq!(r1.x, r2.x);
         assert_eq!(r1.n_calls, r2.n_calls);
     }
@@ -223,7 +241,9 @@ mod tests {
     fn different_seeds_diverge() {
         let b = Bounds::uniform(2, -2.0, 2.0).unwrap();
         let opts = Options::default().with_max_iters(50);
-        let r1 = Spsa::default().minimize(&sphere, &[1.0, 1.0], &b, &opts).unwrap();
+        let r1 = Spsa::default()
+            .minimize(&sphere, &[1.0, 1.0], &b, &opts)
+            .unwrap();
         let r2 = Spsa::default()
             .with_seed(99)
             .minimize(&sphere, &[1.0, 1.0], &b, &opts)
@@ -236,7 +256,9 @@ mod tests {
         let f = |x: &[f64]| (x[0] - 5.0).powi(2) + (x[1] - 5.0).powi(2);
         let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
         let opts = Options::default().with_max_iters(500);
-        let r = Spsa::default().minimize(&f, &[0.5, 0.5], &b, &opts).unwrap();
+        let r = Spsa::default()
+            .minimize(&f, &[0.5, 0.5], &b, &opts)
+            .unwrap();
         assert!(b.contains(&r.x));
         assert!(r.x[0] > 0.8 && r.x[1] > 0.8, "{r}");
     }
@@ -256,7 +278,9 @@ mod tests {
     fn max_calls_cap_respected() {
         let b = Bounds::uniform(2, -1.0, 1.0).unwrap();
         let opts = Options::default().with_max_calls(9).with_max_iters(1000);
-        let r = Spsa::default().minimize(&sphere, &[0.5; 2], &b, &opts).unwrap();
+        let r = Spsa::default()
+            .minimize(&sphere, &[0.5; 2], &b, &opts)
+            .unwrap();
         assert_eq!(r.termination, Termination::MaxCalls);
         assert!(r.n_calls <= 11);
     }

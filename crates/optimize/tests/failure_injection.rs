@@ -34,7 +34,11 @@ fn nan_wall_mid_run_terminates_gracefully() {
             "{} returned non-finite best value",
             optimizer.name()
         );
-        assert!(bounds.contains(&result.x), "{} left the box", optimizer.name());
+        assert!(
+            bounds.contains(&result.x),
+            "{} left the box",
+            optimizer.name()
+        );
     }
 }
 
@@ -69,7 +73,10 @@ fn call_budget_starvation_respected() {
     // With max_calls = 5 no optimizer may consume wildly more than the
     // budget plus one iteration's overhead.
     let bounds = Bounds::uniform(4, -5.0, 5.0).expect("valid bounds");
-    let options = Options::default().with_max_calls(5).with_ftol(0.0).with_gtol(0.0);
+    let options = Options::default()
+        .with_max_calls(5)
+        .with_ftol(0.0)
+        .with_gtol(0.0);
     for optimizer in all_optimizers() {
         let counter = Cell::new(0usize);
         let f = |x: &[f64]| {
@@ -86,7 +93,12 @@ fn call_budget_starvation_respected() {
             optimizer.name(),
             counter.get()
         );
-        assert_eq!(result.n_calls, counter.get(), "{} miscounted", optimizer.name());
+        assert_eq!(
+            result.n_calls,
+            counter.get(),
+            "{} miscounted",
+            optimizer.name()
+        );
     }
 }
 
@@ -140,7 +152,10 @@ fn max_iterations_reported() {
     // A slowly-improving valley with a 2-iteration cap must report the cap.
     let f = |x: &[f64]| (x[0] - 0.9).powi(2) * 1e-3 + x[1].abs();
     let bounds = Bounds::uniform(2, -1.0, 1.0).expect("valid bounds");
-    let options = Options::default().with_max_iters(2).with_ftol(0.0).with_gtol(0.0);
+    let options = Options::default()
+        .with_max_iters(2)
+        .with_ftol(0.0)
+        .with_gtol(0.0);
     for optimizer in all_optimizers() {
         let result = optimizer
             .minimize(&f, &[-0.9, 0.8], &bounds, &options)
@@ -153,6 +168,11 @@ fn max_iterations_reported() {
         );
         // Termination may be MaxIterations or an early convergence signal,
         // but never MaxCalls (no call cap set here).
-        assert_ne!(result.termination, Termination::MaxCalls, "{}", optimizer.name());
+        assert_ne!(
+            result.termination,
+            Termination::MaxCalls,
+            "{}",
+            optimizer.name()
+        );
     }
 }

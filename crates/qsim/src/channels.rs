@@ -332,7 +332,12 @@ mod tests {
         assert!(!KrausChannel::depolarizing(0.3).unwrap().is_identity());
         // p = 0 depolarizing has 4 ops but 3 are zero; not flagged identity
         // by the cheap check, which is fine — it is still a no-op channel.
-        assert!(KrausChannel::depolarizing(0.0).unwrap().completeness_deviation() < 1e-15);
+        assert!(
+            KrausChannel::depolarizing(0.0)
+                .unwrap()
+                .completeness_deviation()
+                < 1e-15
+        );
     }
 
     #[test]

@@ -259,9 +259,18 @@ impl Circuit {
         let mut inv = Circuit::new(self.n_qubits);
         for op in self.ops.iter().rev() {
             let gate = match *op {
-                Gate::Rx { qubit, theta } => Gate::Rx { qubit, theta: -theta },
-                Gate::Ry { qubit, theta } => Gate::Ry { qubit, theta: -theta },
-                Gate::Rz { qubit, theta } => Gate::Rz { qubit, theta: -theta },
+                Gate::Rx { qubit, theta } => Gate::Rx {
+                    qubit,
+                    theta: -theta,
+                },
+                Gate::Ry { qubit, theta } => Gate::Ry {
+                    qubit,
+                    theta: -theta,
+                },
+                Gate::Rz { qubit, theta } => Gate::Rz {
+                    qubit,
+                    theta: -theta,
+                },
                 ref other => other.clone(),
             };
             inv.ops.push(gate);
@@ -386,7 +395,13 @@ mod tests {
     #[test]
     fn inverse_undoes_circuit() {
         let mut c = Circuit::new(3);
-        c.h(0).rx(1, 0.7).cnot(0, 2).rz(2, -1.3).cz(1, 2).swap(0, 1).ry(0, 2.2);
+        c.h(0)
+            .rx(1, 0.7)
+            .cnot(0, 2)
+            .rz(2, -1.3)
+            .cz(1, 2)
+            .swap(0, 1)
+            .ry(0, 2.2);
         let forward = c.run(StateVector::zero_state(3)).unwrap();
         let restored = c.inverse().run(forward).unwrap();
         assert!((restored.probability(0) - 1.0).abs() < EPS);

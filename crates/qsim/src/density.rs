@@ -198,7 +198,9 @@ impl DensityMatrix {
         let mut dev = 0.0_f64;
         for r in 0..self.dim {
             for c in (r..self.dim).skip(1) {
-                dev = dev.max((self.elems[r * self.dim + c] - self.elems[c * self.dim + r].conj()).abs());
+                dev = dev.max(
+                    (self.elems[r * self.dim + c] - self.elems[c * self.dim + r].conj()).abs(),
+                );
             }
         }
         dev

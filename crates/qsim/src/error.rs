@@ -48,7 +48,10 @@ impl fmt::Display for QsimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QsimError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             QsimError::DuplicateQubit { qubit } => {
                 write!(f, "two-qubit gate applied twice to qubit {qubit}")

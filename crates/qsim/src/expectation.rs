@@ -22,6 +22,10 @@ use crate::{QsimError, StateVector};
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiagonalObservable {
     diag: Vec<f64>,
+    /// The distinct diagonal values, in first-appearance order.
+    levels: Vec<f64>,
+    /// Per-basis-index position into `levels`: `diag[i] == levels[level_of[i]]`.
+    level_of: Vec<u32>,
 }
 
 impl DiagonalObservable {
@@ -38,14 +42,34 @@ impl DiagonalObservable {
                 actual: diag.len(),
             });
         }
-        Ok(Self { diag })
+        Ok(Self::from_diag(diag))
     }
 
     /// Builds the diagonal by evaluating `f` on every basis index.
     #[must_use]
     pub fn from_fn<F: FnMut(usize) -> f64>(n_qubits: usize, f: F) -> Self {
+        Self::from_diag((0..1usize << n_qubits).map(f).collect())
+    }
+
+    /// Computes the level decomposition (distinct values + per-index table)
+    /// used by the fast phase kernels. Values are keyed by their exact bit
+    /// pattern, so the decomposition is a pure function of the diagonal.
+    fn from_diag(diag: Vec<f64>) -> Self {
+        let mut index_of = std::collections::HashMap::new();
+        let mut levels = Vec::new();
+        let mut level_of = Vec::with_capacity(diag.len());
+        for &value in &diag {
+            let next = levels.len() as u32;
+            let l = *index_of.entry(value.to_bits()).or_insert_with(|| {
+                levels.push(value);
+                next
+            });
+            level_of.push(l);
+        }
         Self {
-            diag: (0..1usize << n_qubits).map(f).collect(),
+            diag,
+            levels,
+            level_of,
         }
     }
 
@@ -53,6 +77,23 @@ impl DiagonalObservable {
     #[must_use]
     pub fn diagonal(&self) -> &[f64] {
         &self.diag
+    }
+
+    /// The distinct diagonal values, in first-appearance order. A MaxCut
+    /// cost diagonal has at most `|E| + 1` levels (unweighted), which is
+    /// what makes per-level phase tables (`cis(−γ·level)` computed once per
+    /// level instead of once per basis state) the fast path for
+    /// [`StateVector::apply_phase_levels`].
+    #[must_use]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Per-basis-index position into [`DiagonalObservable::levels`]:
+    /// `diagonal()[i] == levels()[level_of()[i] as usize]`.
+    #[must_use]
+    pub fn level_of(&self) -> &[u32] {
+        &self.level_of
     }
 
     /// Number of qubits the observable acts on.
@@ -209,6 +250,18 @@ mod tests {
     }
 
     #[test]
+    fn level_decomposition_roundtrips() {
+        let d = DiagonalObservable::from_fn(3, |z| (z % 3) as f64);
+        assert_eq!(d.levels(), &[0.0, 1.0, 2.0]);
+        for (i, &l) in d.level_of().iter().enumerate() {
+            assert_eq!(d.diagonal()[i], d.levels()[l as usize]);
+        }
+        // Signed zeros are distinct bit patterns and must not collapse.
+        let signed = DiagonalObservable::new(vec![0.0, -0.0]).unwrap();
+        assert_eq!(signed.levels().len(), 2);
+    }
+
+    #[test]
     fn z_string_eigenvalues() {
         let z01 = PauliZString::new(&[0, 1]);
         assert_eq!(z01.eigenvalue(0b00), 1.0);
@@ -252,10 +305,6 @@ mod tests {
             let zz = PauliZString::new(&[a, b]);
             assert!((zz.expectation(&ghz).unwrap() - 1.0).abs() < EPS);
         }
-        assert!(PauliZString::new(&[1])
-            .expectation(&ghz)
-            .unwrap()
-            .abs()
-            < EPS);
+        assert!(PauliZString::new(&[1]).expectation(&ghz).unwrap().abs() < EPS);
     }
 }

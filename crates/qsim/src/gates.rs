@@ -36,7 +36,10 @@ fn c(re: f64, im: f64) -> Complex64 {
 /// The 2×2 identity.
 #[must_use]
 pub fn identity() -> Gate2 {
-    [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, Complex64::ONE]]
+    [
+        [Complex64::ONE, Complex64::ZERO],
+        [Complex64::ZERO, Complex64::ONE],
+    ]
 }
 
 /// Hadamard gate.
@@ -49,19 +52,28 @@ pub fn h() -> Gate2 {
 /// Pauli-X (NOT) gate.
 #[must_use]
 pub fn x() -> Gate2 {
-    [[Complex64::ZERO, Complex64::ONE], [Complex64::ONE, Complex64::ZERO]]
+    [
+        [Complex64::ZERO, Complex64::ONE],
+        [Complex64::ONE, Complex64::ZERO],
+    ]
 }
 
 /// Pauli-Y gate.
 #[must_use]
 pub fn y() -> Gate2 {
-    [[Complex64::ZERO, c(0.0, -1.0)], [c(0.0, 1.0), Complex64::ZERO]]
+    [
+        [Complex64::ZERO, c(0.0, -1.0)],
+        [c(0.0, 1.0), Complex64::ZERO],
+    ]
 }
 
 /// Pauli-Z gate.
 #[must_use]
 pub fn z() -> Gate2 {
-    [[Complex64::ONE, Complex64::ZERO], [Complex64::ZERO, c(-1.0, 0.0)]]
+    [
+        [Complex64::ONE, Complex64::ZERO],
+        [Complex64::ZERO, c(-1.0, 0.0)],
+    ]
 }
 
 /// `RX(θ) = exp(-i θ X / 2)`, the QAOA mixing rotation.

@@ -66,6 +66,16 @@ impl StateVector {
         }
     }
 
+    /// Resets this state to the uniform superposition `|+…+⟩` **in place**,
+    /// reusing the existing amplitude buffer. This is the allocation-free
+    /// entry point of the QAOA evaluation hot path (see `qaoa::EvalContext`):
+    /// byte-for-byte equivalent to a fresh [`StateVector::plus_state`] of the
+    /// same width.
+    pub fn reset_to_plus(&mut self) {
+        let amp = Complex64::new(1.0 / (self.dim() as f64).sqrt(), 0.0);
+        self.amps.fill(amp);
+    }
+
     /// Creates a basis state `|index⟩`.
     ///
     /// # Panics
@@ -156,11 +166,7 @@ impl StateVector {
     /// The 2-norm of the state (1 for a physical state).
     #[must_use]
     pub fn norm(&self) -> f64 {
-        self.amps
-            .iter()
-            .map(|a| a.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Rescales to unit norm. No-op on the zero vector.
@@ -289,6 +295,87 @@ impl StateVector {
         }
         Ok(())
     }
+
+    /// Applies the diagonal unitary `e^{−iγ·diag}` **fused**: amplitude `i`
+    /// is multiplied by `cis(−gamma · diag[i])` directly, without
+    /// materializing a `2^n` phase vector first. This is the QAOA
+    /// phase-separation layer computed straight from the cut-value table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if `diag.len() != dim()`.
+    pub fn apply_phase_from_diag(&mut self, diag: &[f64], gamma: f64) -> Result<(), QsimError> {
+        if diag.len() != self.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                actual: diag.len(),
+            });
+        }
+        for (a, &c) in self.amps.iter_mut().zip(diag) {
+            *a *= Complex64::cis(-gamma * c);
+        }
+        Ok(())
+    }
+
+    /// Applies a diagonal unitary given as a small table of **distinct**
+    /// phases plus a per-amplitude index into it: amplitude `i` is
+    /// multiplied by `table[level_of[i]]`.
+    ///
+    /// Diagonal cost Hamiltonians take few distinct values (a MaxCut
+    /// diagonal has at most `|E| + 1` levels on an unweighted graph), so
+    /// precomputing `table[l] = cis(−γ · level_l)` turns the `2^n`
+    /// trigonometric evaluations of [`StateVector::apply_phase_from_diag`]
+    /// into `O(levels)` — the dominant saving of the evaluation hot path.
+    /// See [`DiagonalObservable::levels`](crate::DiagonalObservable::levels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::DimensionMismatch`] if `level_of.len() != dim()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `level_of` is out of `table`'s range.
+    pub fn apply_phase_levels(
+        &mut self,
+        level_of: &[u32],
+        table: &[Complex64],
+    ) -> Result<(), QsimError> {
+        if level_of.len() != self.dim() {
+            return Err(QsimError::DimensionMismatch {
+                expected: self.dim(),
+                actual: level_of.len(),
+            });
+        }
+        for (a, &l) in self.amps.iter_mut().zip(level_of) {
+            *a *= table[l as usize];
+        }
+        Ok(())
+    }
+
+    /// Applies `RX(θ)` to **every** qubit — the QAOA mixing layer — with a
+    /// kernel specialized to the RX structure
+    /// `[[cos, −i·sin], [−i·sin, cos]]` (half the multiplies of the generic
+    /// [`StateVector::apply_single`] path, no gate-matrix indirection).
+    pub fn apply_rx_layer(&mut self, theta: f64) {
+        let (s, co) = (theta / 2.0).sin_cos();
+        let dim = self.dim();
+        for qubit in 0..self.n_qubits {
+            let stride = 1usize << qubit;
+            let mut base = 0;
+            while base < dim {
+                for offset in base..base + stride {
+                    let i0 = offset;
+                    let i1 = offset + stride;
+                    let a0 = self.amps[i0];
+                    let a1 = self.amps[i1];
+                    // c·a0 − i·s·a1 and c·a1 − i·s·a0, expanded.
+                    self.amps[i0] = Complex64::new(co * a0.re + s * a1.im, co * a0.im - s * a1.re);
+                    self.amps[i1] = Complex64::new(co * a1.re + s * a0.im, co * a1.im - s * a0.re);
+                }
+                base += stride << 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +468,83 @@ mod tests {
             assert!((b - a).abs() < EPS);
         }
         assert!(s.apply_diagonal(&phases[..2]).is_err());
+    }
+
+    #[test]
+    fn reset_to_plus_matches_fresh_plus_state() {
+        let mut s = StateVector::zero_state(4);
+        s.apply_single(2, &gates::x()).unwrap();
+        s.apply_single(0, &gates::h()).unwrap();
+        s.reset_to_plus();
+        let fresh = StateVector::plus_state(4);
+        // Bit-for-bit equality, not just closeness: the hot path relies on
+        // buffer reuse being indistinguishable from fresh allocation.
+        assert_eq!(s, fresh);
+    }
+
+    #[test]
+    fn fused_phase_matches_materialized_diagonal() {
+        let diag: Vec<f64> = (0..8).map(|z| (z % 3) as f64 * 1.5).collect();
+        let gamma = 0.7;
+        let mut fused = StateVector::plus_state(3);
+        fused.apply_phase_from_diag(&diag, gamma).unwrap();
+        let phases: Vec<Complex64> = diag.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
+        let mut materialized = StateVector::plus_state(3);
+        materialized.apply_diagonal(&phases).unwrap();
+        assert_eq!(fused, materialized);
+        assert!(fused.apply_phase_from_diag(&diag[..4], gamma).is_err());
+    }
+
+    #[test]
+    fn leveled_phase_matches_fused_phase() {
+        // diag takes 3 distinct values; the leveled path must agree exactly.
+        let diag: Vec<f64> = (0..8).map(|z| (z % 3) as f64 * 1.5).collect();
+        let gamma = 1.1;
+        let level_of: Vec<u32> = (0..8).map(|z| (z % 3) as u32).collect();
+        let table: Vec<Complex64> = (0..3)
+            .map(|l| Complex64::cis(-gamma * l as f64 * 1.5))
+            .collect();
+        let mut leveled = StateVector::plus_state(3);
+        leveled.apply_phase_levels(&level_of, &table).unwrap();
+        let mut fused = StateVector::plus_state(3);
+        fused.apply_phase_from_diag(&diag, gamma).unwrap();
+        assert_eq!(leveled, fused);
+        assert!(leveled.apply_phase_levels(&level_of[..4], &table).is_err());
+    }
+
+    #[test]
+    fn rx_layer_matches_per_qubit_gates() {
+        let theta = 0.83;
+        let rx = gates::rx(theta);
+        // Start from a non-trivial state so every matrix entry matters.
+        let mut reference = StateVector::plus_state(4);
+        reference
+            .apply_phase_from_diag(&(0..16).map(|z| z as f64).collect::<Vec<_>>(), 0.3)
+            .unwrap();
+        let mut layered = reference.clone();
+        for q in 0..4 {
+            reference.apply_single(q, &rx).unwrap();
+        }
+        layered.apply_rx_layer(theta);
+        for (a, b) in reference.amplitudes().iter().zip(layered.amplitudes()) {
+            assert!((a.re - b.re).abs() < 1e-15 && (a.im - b.im).abs() < 1e-15);
+        }
+        assert!((layered.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rx_layer_is_exactly_invertible() {
+        // The adjoint gradient's backward pass relies on RX(−θ) undoing
+        // RX(θ) to machine precision.
+        let mut s = StateVector::plus_state(3);
+        s.apply_phase_from_diag(&(0..8).map(|z| z as f64).collect::<Vec<_>>(), 0.9)
+            .unwrap();
+        let before = s.clone();
+        s.apply_rx_layer(0.37);
+        s.apply_rx_layer(-0.37);
+        for (a, b) in s.amplitudes().iter().zip(before.amplitudes()) {
+            assert!((a.re - b.re).abs() < 1e-15 && (a.im - b.im).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -77,8 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let reduction = 100.0 * (mean(&naive_fc) - mean(&ml_fc)) / mean(&naive_fc);
     println!("\n           {:>10} {:>10}", "naive", "two-level");
-    println!("mean FC    {:>10.1} {:>10.1}", mean(&naive_fc), mean(&ml_fc));
-    println!("mean AR    {:>10.4} {:>10.4}", mean(&naive_ar), mean(&ml_ar));
+    println!(
+        "mean FC    {:>10.1} {:>10.1}",
+        mean(&naive_fc),
+        mean(&ml_fc)
+    );
+    println!(
+        "mean AR    {:>10.4} {:>10.4}",
+        mean(&naive_ar),
+        mean(&ml_ar)
+    );
     println!("\nfunction-call reduction: {reduction:.1}% (paper reports 44.9% on average)");
     Ok(())
 }

@@ -24,12 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // First find good noiseless parameters.
     let instance = QaoaInstance::new(problem.clone(), depth)?;
-    let clean = instance.optimize_multistart(
-        &NelderMead::default(),
-        5,
-        &mut rng,
-        &Options::default(),
-    )?;
+    let clean =
+        instance.optimize_multistart(&NelderMead::default(), 5, &mut rng, &Options::default())?;
     println!(
         "noiseless optimum: AR = {:.4} ({} calls)\n",
         clean.approximation_ratio, clean.function_calls

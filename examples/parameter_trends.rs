@@ -44,13 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let folded = canonical::display_fold_chain(
-        &chain.iter().map(|(params, _)| params.clone()).collect::<Vec<_>>(),
+        &chain
+            .iter()
+            .map(|(params, _)| params.clone())
+            .collect::<Vec<_>>(),
     );
 
     println!("\nWithin-depth trend (Fig. 2): optimal parameters per stage at p = 4");
     println!("{:>5} {:>10} {:>10}", "stage", "gamma_i", "beta_i");
     for i in 0..4 {
-        println!("{:>5} {:>10.4} {:>10.4}", i + 1, folded[3][i], folded[3][4 + i]);
+        println!(
+            "{:>5} {:>10.4} {:>10.4}",
+            i + 1,
+            folded[3][i],
+            folded[3][4 + i]
+        );
     }
     println!("(expect gamma_i increasing, beta_i decreasing)");
 

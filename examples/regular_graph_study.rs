@@ -15,7 +15,11 @@ use qaoa::{MaxCutProblem, QaoaInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn family(name: &str, make: impl Fn(&mut StdRng) -> Graph, rng: &mut StdRng) -> (String, Vec<Graph>) {
+fn family(
+    name: &str,
+    make: impl Fn(&mut StdRng) -> Graph,
+    rng: &mut StdRng,
+) -> (String, Vec<Graph>) {
     (name.to_string(), (0..3).map(|_| make(rng)).collect())
 }
 
@@ -27,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             |r| generators::random_regular(8, 3, r).expect("valid regular params"),
             &mut rng,
         ),
-        family("ER(8, 0.5)", |r| generators::erdos_renyi_nonempty(8, 0.5, r), &mut rng),
+        family(
+            "ER(8, 0.5)",
+            |r| generators::erdos_renyi_nonempty(8, 0.5, r),
+            &mut rng,
+        ),
         family("complete K6", |_| generators::complete(6), &mut rng),
     ];
 
@@ -50,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ars.push(out.approximation_ratio);
                 fcs.push(out.function_calls as f64);
             }
-            println!("{:<12} {:>3} {:>9.4} {:>10.1}", name, p, mean(&ars), mean(&fcs));
+            println!(
+                "{:<12} {:>3} {:>9.4} {:>10.1}",
+                name,
+                p,
+                mean(&ars),
+                mean(&fcs)
+            );
         }
     }
     println!("\nReading: AR climbs toward 1 with depth in every family while the loop cost");

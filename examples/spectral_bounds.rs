@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("cycle(8)", generators::cycle(8)),
         ("complete(8)", generators::complete(8)),
         ("3-regular", generators::random_regular(8, 3, &mut rng)?),
-        ("ER(0.5)", generators::erdos_renyi_nonempty(8, 0.5, &mut rng)),
+        (
+            "ER(0.5)",
+            generators::erdos_renyi_nonempty(8, 0.5, &mut rng),
+        ),
         ("BA(m=2)", generators::barabasi_albert(8, 2, &mut rng)?),
         ("barbell(4)", generators::barbell(4)),
         ("wheel(8)", generators::wheel(8)),
@@ -37,12 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let problem = MaxCutProblem::new(&graph)?;
         let instance = QaoaInstance::new(problem, 2)?;
-        let out = instance.optimize_multistart(
-            &Lbfgsb::default(),
-            5,
-            &mut rng,
-            &Options::default(),
-        )?;
+        let out =
+            instance.optimize_multistart(&Lbfgsb::default(), 5, &mut rng, &Options::default())?;
 
         println!(
             "{:<12} {:>6} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.4}",

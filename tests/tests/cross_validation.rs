@@ -25,7 +25,9 @@ fn gate_level_and_fast_paths_agree_on_random_ensemble() {
                 })
                 .collect();
             let fast = ansatz.expectation(&params).expect("valid params");
-            let gate = ansatz.expectation_gate_level(&params).expect("valid params");
+            let gate = ansatz
+                .expectation_gate_level(&params)
+                .expect("valid params");
             assert!(
                 (fast - gate).abs() < 1e-9,
                 "paths diverge at p={p}: {fast} vs {gate}"
@@ -86,7 +88,11 @@ fn bipartite_graphs_reach_ar_one_quickly() {
     let out = instance
         .optimize_multistart(&Lbfgsb::default(), 10, &mut rng, &Options::default())
         .expect("optimization");
-    assert!(out.approximation_ratio > 0.95, "AR = {}", out.approximation_ratio);
+    assert!(
+        out.approximation_ratio > 0.95,
+        "AR = {}",
+        out.approximation_ratio
+    );
 }
 
 #[test]
@@ -115,8 +121,9 @@ fn expectation_bounded_by_exact_optimum_everywhere() {
 fn single_triangle_p1_analytic_bound() {
     // The odd 3-cycle cannot be cut fully: C_max = 2 of 3 edges. QAOA p=1
     // reaches a known ⟨C⟩ well below 2 but above the random-guess 1.5.
-    let problem = MaxCutProblem::new(&Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).expect("triangle"))
-        .expect("non-empty graph");
+    let problem =
+        MaxCutProblem::new(&Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).expect("triangle"))
+            .expect("non-empty graph");
     let instance = QaoaInstance::new(problem, 1).expect("valid depth");
     let mut rng = StdRng::seed_from_u64(13);
     let out = instance

@@ -128,7 +128,9 @@ fn noisy_two_level_pipeline_end_to_end() {
         .expect("noisy level 1");
 
     let canon = qaoa::canonical::canonicalize_packed(&l1_out.params);
-    let init = predictor.predict(canon[0], canon[1], 3).expect("prediction");
+    let init = predictor
+        .predict(canon[0], canon[1], 3)
+        .expect("prediction");
 
     let l2 = NoisyQaoa::new(problem, 3, noise).expect("small register");
     let pre_ar = l2.approximation_ratio(&init).expect("valid params");
@@ -149,7 +151,10 @@ fn density_matrix_agrees_with_statevector_on_qaoa_circuit() {
     let params = [0.9, 0.3, 0.45, 0.15];
 
     let instance = QaoaInstance::new(problem.clone(), 2).expect("valid depth");
-    let fast = instance.ansatz().expectation(&params).expect("valid params");
+    let fast = instance
+        .ansatz()
+        .expectation(&params)
+        .expect("valid params");
 
     let clean = NoisyQaoa::new(problem, 2, NoiseModel::noiseless()).expect("small register");
     let dm = clean.expectation(&params).expect("valid params");
@@ -207,7 +212,11 @@ fn extension_models_predict_qaoa_parameters() {
         let init = predictor.predict(1.0, 0.5, 3).expect("prediction");
         assert_eq!(init.len(), 6);
         for (i, v) in init.iter().enumerate() {
-            let max = if i < 3 { qaoa::GAMMA_MAX } else { qaoa::BETA_MAX };
+            let max = if i < 3 {
+                qaoa::GAMMA_MAX
+            } else {
+                qaoa::BETA_MAX
+            };
             assert!((0.0..=max).contains(v), "{kind}: param {i} = {v}");
         }
     }

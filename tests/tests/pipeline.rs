@@ -85,7 +85,10 @@ fn predictions_are_better_starts_than_random() {
         let predicted = predictor
             .predict(d1.gammas[0], d1.betas[0], depth)
             .expect("prediction");
-        let e_pred = instance.ansatz().expectation(&predicted).expect("valid params");
+        let e_pred = instance
+            .ansatz()
+            .expectation(&predicted)
+            .expect("valid params");
         // Average several random starts for a fair comparison.
         let random_mean: f64 = (0..5)
             .map(|_| {
@@ -129,12 +132,17 @@ fn all_four_optimizers_complete_the_two_level_flow() {
     let (train, _) = corpus.split_by_graph(0.5);
     let predictor = ParameterPredictor::train(ModelKind::Tree, &train).expect("training");
     let flow = TwoLevelFlow::new(&predictor);
-    let problem =
-        MaxCutProblem::new(&graphs::generators::cycle(6)).expect("non-empty graph");
+    let problem = MaxCutProblem::new(&graphs::generators::cycle(6)).expect("non-empty graph");
     let mut rng = StdRng::seed_from_u64(8);
     for optimizer in optimize::all_optimizers() {
         let out = flow
-            .run(&problem, 2, optimizer.as_ref(), &TwoLevelConfig::default(), &mut rng)
+            .run(
+                &problem,
+                2,
+                optimizer.as_ref(),
+                &TwoLevelConfig::default(),
+                &mut rng,
+            )
             .unwrap_or_else(|e| panic!("{} failed: {e}", optimizer.name()));
         assert!(out.total_calls() > 0, "{}", optimizer.name());
         assert!(

@@ -278,9 +278,7 @@ mod tests {
         c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let mut group = c.benchmark_group("grp");
         group.sample_size(2);
-        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
-            b.iter(|| n * n)
-        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
         group.bench_function(BenchmarkId::from_parameter(7), |b| {
             b.iter_batched(|| 7u64, |n| n + 1, BatchSize::SmallInput)
         });

@@ -14,8 +14,8 @@ pub trait Deserialize<'de>: Sized {}
 
 #[cfg(test)]
 mod tests {
-    use crate as serde;
     use super::{Deserialize, Serialize};
+    use crate as serde;
 
     #[derive(Serialize, Deserialize)]
     struct WithAttrs {
