@@ -1,0 +1,58 @@
+//! `qaoa-serve` — the engine's job-server front end.
+//!
+//! Reads `QW1 JOB ...` lines from stdin, executes them on the parallel
+//! engine with deterministic seeding, and streams `QW1 OUTCOME ...` lines
+//! back on stdout **in submission order** (plus one `QW1 REPORT ...` line
+//! per batch). A `QW1 RUN -` line flushes the pending batch; end of input
+//! flushes implicitly. Malformed lines answer `QW1 ERR ...` without
+//! killing the loop. See the README's "Job server & persistent cache"
+//! section for the wire grammar.
+//!
+//! With `--cache-file PATH`, the depth-1 optimum cache is pre-warmed from
+//! `PATH` at startup and saved back (merged) at shutdown, so repeated
+//! server sessions — and the corpus/Table-I drivers sharing the file —
+//! never re-solve a known canonical graph class.
+//!
+//! Run:
+//! `printf 'QW1 JOB 1 3 5 0-1,1-2,2-3,3-4,4-0\n' | cargo run --release -p bench --bin qaoa-serve -- --threads 4`
+
+use engine::BatchConfig;
+use optimize::Lbfgsb;
+
+use bench::RunConfig;
+
+fn main() {
+    let config = RunConfig::from_env();
+    let engine = config.engine();
+    let batch_config = BatchConfig {
+        master_seed: config.seed,
+        options: Default::default(),
+        use_cache: true,
+    };
+    eprintln!(
+        "# qaoa-serve: {} threads, master seed {}; reading QW1 lines from stdin",
+        engine.threads(),
+        config.seed
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let summary = match engine::server::serve(
+        stdin.lock(),
+        stdout.lock(),
+        &engine,
+        &Lbfgsb::default(),
+        &batch_config,
+    ) {
+        Ok(summary) => summary,
+        Err(e) => {
+            // Transport death (closed pipe etc.) — still try to keep the
+            // cache entries computed so far.
+            config.persist_cache(&engine);
+            eprintln!("error: transport failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    config.persist_cache(&engine);
+    eprintln!("# qaoa-serve: {summary}");
+}

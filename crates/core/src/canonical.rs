@@ -229,6 +229,52 @@ impl CanonicalGraphKey {
         self.edges.len()
     }
 
+    /// The canonically relabeled edge list `(u, v, weight bits)` with
+    /// `u < v`, sorted — the key's full identity, exposed so callers (wire
+    /// codecs, on-disk caches) can encode it stably.
+    #[must_use]
+    pub fn edges(&self) -> &[(u32, u32, u64)] {
+        &self.edges
+    }
+
+    /// Reassembles a key from its parts (the inverse of
+    /// [`CanonicalGraphKey::edges`]), validating the structural invariants
+    /// every [`graph_key`]-produced key satisfies: endpoints in range and
+    /// distinct with `u < v`, the list strictly sorted (so no duplicate
+    /// edges), and finite weights.
+    ///
+    /// Soundness survives decoding untrusted input: two equal keys have
+    /// identical edge lists and therefore describe literally the same
+    /// labeled graph, so a cache keyed on decoded keys still never
+    /// conflates distinct problems. A forged *non-canonical* edge list
+    /// merely fails to match any [`graph_key`] output (a wasted cache
+    /// entry, not a wrong answer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn from_parts(n_nodes: usize, edges: Vec<(u32, u32, u64)>) -> Result<Self, String> {
+        for (i, &(u, v, bits)) in edges.iter().enumerate() {
+            if u >= v {
+                return Err(format!(
+                    "edge {i}: endpoints must satisfy u < v, got {u}-{v}"
+                ));
+            }
+            if v as usize >= n_nodes {
+                return Err(format!(
+                    "edge {i}: endpoint {v} out of range for {n_nodes} nodes"
+                ));
+            }
+            if !f64::from_bits(bits).is_finite() {
+                return Err(format!("edge {i}: non-finite weight"));
+            }
+            if i > 0 && edges[i - 1] >= (u, v, bits) {
+                return Err(format!("edge {i}: list must be strictly sorted"));
+            }
+        }
+        Ok(Self { n_nodes, edges })
+    }
+
     /// Rebuilds the canonical representative graph of this key.
     ///
     /// # Panics
@@ -666,6 +712,23 @@ mod graph_key_tests {
         assert_eq!(graph_key(&lone).n_edges(), 0);
         assert_eq!(permutations(&[0, 1, 2]).len(), 6);
         assert_eq!(permutations(&[]).len(), 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let key = graph_key(&generators::cycle(6));
+        let rebuilt = CanonicalGraphKey::from_parts(key.n_nodes(), key.edges().to_vec()).unwrap();
+        assert_eq!(rebuilt, key);
+        assert_eq!(rebuilt.hash64(), key.hash64());
+        // Each invariant is enforced.
+        let w = 1.0f64.to_bits();
+        assert!(CanonicalGraphKey::from_parts(3, vec![(1, 1, w)]).is_err());
+        assert!(CanonicalGraphKey::from_parts(3, vec![(1, 0, w)]).is_err());
+        assert!(CanonicalGraphKey::from_parts(3, vec![(0, 3, w)]).is_err());
+        assert!(CanonicalGraphKey::from_parts(3, vec![(0, 1, w), (0, 1, w)]).is_err());
+        assert!(CanonicalGraphKey::from_parts(3, vec![(1, 2, w), (0, 1, w)]).is_err());
+        assert!(CanonicalGraphKey::from_parts(3, vec![(0, 1, f64::NAN.to_bits())]).is_err());
+        assert!(CanonicalGraphKey::from_parts(0, vec![]).is_ok());
     }
 }
 

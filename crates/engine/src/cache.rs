@@ -162,6 +162,53 @@ impl Level1Cache {
         }
     }
 
+    /// Inserts a finished outcome for `key` without touching the hit/miss
+    /// counters — the pre-warming path used by cache persistence
+    /// ([`crate::persist`]). An existing entry (finished or in flight) is
+    /// kept: by the determinism contract every solve of one class produces
+    /// the same bits, so whichever value is already there is the right one.
+    /// Returns `true` when the entry was actually inserted.
+    pub fn insert(&self, key: CanonicalGraphKey, outcome: InstanceOutcome) -> bool {
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        if shard.contains_key(&key) {
+            return false;
+        }
+        shard.insert(key, Arc::new(Mutex::new(Some(outcome))));
+        true
+    }
+
+    /// A snapshot of every *finished* entry, sorted by key for
+    /// deterministic iteration.
+    ///
+    /// Slots whose lock is held at the moment of the scan are skipped
+    /// rather than waited on. The holder is usually a leader mid-solve
+    /// (arbitrarily long — blocking here is not an option, and waiting
+    /// would also invert the shard→slot lock order the leader's error path
+    /// uses, risking deadlock), but a concurrent *hit* also holds the lock
+    /// for the microseconds it takes to clone the value — so a snapshot
+    /// taken while a batch is executing may miss a few finished entries.
+    /// Take snapshots between batches (as the drivers do) for an exact
+    /// view; a mid-batch snapshot is merely conservative, never wrong.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(CanonicalGraphKey, InstanceOutcome)> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            for (key, slot) in shard.lock().expect("cache shard lock").iter() {
+                // A poisoned (panicked-leader) slot still holds `None`.
+                let finished = match slot.try_lock() {
+                    Ok(guard) => guard.clone(),
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().clone(),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                };
+                if let Some(outcome) = finished {
+                    entries.push((key.clone(), outcome));
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> usize {
@@ -267,6 +314,63 @@ mod tests {
         let (_, hit) = cache.get_or_solve(&key, || Ok(fake_outcome(3.0))).unwrap();
         assert!(!hit);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_prewarms_without_counting() {
+        let cache = Level1Cache::new();
+        let key = graph_key(&generators::cycle(8));
+        assert!(cache.insert(key.clone(), fake_outcome(5.0)));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 1));
+        // The pre-warmed entry serves lookups as a hit, no solve.
+        let (out, hit) = cache
+            .get_or_solve(&key, || panic!("pre-warmed key must not solve"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(out.expectation, 5.0);
+        // A second insert keeps the existing value.
+        assert!(!cache.insert(key.clone(), fake_outcome(9.0)));
+        let (out, _) = cache.get_or_solve(&key, || Ok(fake_outcome(9.0))).unwrap();
+        assert_eq!(out.expectation, 5.0);
+    }
+
+    #[test]
+    fn snapshot_sees_finished_entries_only() {
+        let cache = Level1Cache::new();
+        let ka = graph_key(&generators::cycle(5));
+        let kb = graph_key(&generators::path(5));
+        cache.get_or_solve(&ka, || Ok(fake_outcome(1.0))).unwrap();
+        cache.insert(kb.clone(), fake_outcome(2.0));
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Deterministic (sorted) order, values intact.
+        let mut keys: Vec<_> = snap.iter().map(|(k, _)| k.clone()).collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort();
+            s
+        };
+        assert_eq!(keys, sorted);
+        keys.sort();
+        assert!(keys.contains(&ka) && keys.contains(&kb));
+        // An in-flight slot is skipped, not waited on.
+        let kc = graph_key(&generators::star(5));
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cache
+                    .get_or_solve(&kc, || {
+                        barrier.wait(); // solve in flight...
+                        barrier.wait(); // ...until the snapshot is taken
+                        Ok(fake_outcome(3.0))
+                    })
+                    .unwrap();
+            });
+            barrier.wait();
+            assert_eq!(cache.snapshot().len(), 2);
+            barrier.wait();
+        });
+        assert_eq!(cache.snapshot().len(), 3);
     }
 
     #[test]

@@ -17,7 +17,14 @@
 //! * [`Engine`] / [`Job`] / [`BatchReport`] — the batch front door with
 //!   per-job wall-clock and function-call accounting,
 //! * [`corpus`] — the parallel §III-A corpus generator,
-//! * [`compare`] — the parallel naive-vs-ML comparison sweep.
+//! * [`compare`] — the parallel naive-vs-ML comparison sweep,
+//! * [`wire`] — the versioned line-delimited text codec for jobs, outcomes,
+//!   canonical keys, corpus records, and batch reports,
+//! * [`persist`] — save/load/merge of the depth-1 cache across processes
+//!   (corrupt or stale files are discarded, never fatal),
+//! * [`server`] — the job-server request loop behind the `qaoa-serve`
+//!   binary: `JOB` lines in, `OUTCOME`/`REPORT` lines out, in submission
+//!   order.
 //!
 //! # Quickstart
 //!
@@ -56,13 +63,19 @@ pub mod batch;
 pub mod cache;
 pub mod compare;
 pub mod corpus;
+pub mod persist;
 pub mod pool;
 pub mod seed;
+pub mod server;
+pub mod wire;
 
 pub use batch::{BatchConfig, BatchReport, Engine, Job, JobStats};
 pub use cache::Level1Cache;
 pub use corpus::CorpusReport;
+pub use persist::LoadStatus;
 pub use pool::Pool;
+pub use server::ServeSummary;
+pub use wire::WireError;
 
 #[cfg(test)]
 mod tests {

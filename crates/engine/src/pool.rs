@@ -11,8 +11,19 @@
 //! lock traffic is noise), and each worker accumulates `(index, result)`
 //! pairs locally before a final ordered merge.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+
+/// Locks tolerating poisoning: the queues hold plain job indices and the
+/// panic slot holds plain data, so a panic between `lock()` and drop can
+/// never leave either in a torn state — `into_inner` is sound, and it
+/// keeps sibling workers alive (and the original panic visible) when one
+/// job panics.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A fixed-width worker pool.
 #[derive(Debug, Clone)]
@@ -53,7 +64,11 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `job` (via `std::thread::scope`).
+    /// A panicking job does not take its siblings down: the panic is caught
+    /// on the worker, the remaining workers finish their queues, and the
+    /// payload of the lowest-indexed panicked job is then re-raised on the
+    /// caller via `resume_unwind` — so the *original* panic surfaces, never
+    /// a downstream poisoned-lock panic.
     pub fn run_ordered<T, F>(&self, n_jobs: usize, job: F) -> Vec<T>
     where
         T: Send,
@@ -68,6 +83,8 @@ impl Pool {
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| Mutex::new((w..n_jobs).step_by(workers).collect::<VecDeque<usize>>()))
             .collect();
+        // The lowest-indexed job panic seen so far, to re-raise at the end.
+        let first_panic: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
 
         let mut collected: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
@@ -75,6 +92,7 @@ impl Pool {
             for w in 0..workers {
                 let queues = &queues;
                 let job = &job;
+                let first_panic = &first_panic;
                 handles.push(scope.spawn(move || {
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
@@ -82,19 +100,29 @@ impl Pool {
                         // before the steal scan below: holding the own lock
                         // while acquiring another worker's would let two
                         // drained workers deadlock on each other's queues.
-                        let own = queues[w].lock().expect("queue lock").pop_back();
+                        let own = lock_unpoisoned(&queues[w]).pop_back();
                         // Steal (FIFO front) scanning from the next worker
                         // onward, taking one lock at a time.
                         let next = own.or_else(|| {
                             (1..workers).find_map(|offset| {
-                                queues[(w + offset) % workers]
-                                    .lock()
-                                    .expect("queue lock")
-                                    .pop_front()
+                                lock_unpoisoned(&queues[(w + offset) % workers]).pop_front()
                             })
                         });
                         match next {
-                            Some(index) => local.push((index, job(index))),
+                            Some(index) => {
+                                match catch_unwind(AssertUnwindSafe(|| job(index))) {
+                                    Ok(value) => local.push((index, value)),
+                                    Err(payload) => {
+                                        let mut slot = lock_unpoisoned(first_panic);
+                                        if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+                                            *slot = Some((index, payload));
+                                        }
+                                        // This worker's batch is lost either
+                                        // way; stop taking work.
+                                        break;
+                                    }
+                                }
+                            }
                             None => break,
                         }
                     }
@@ -102,9 +130,15 @@ impl Pool {
                 }));
             }
             for handle in handles {
-                collected.push(handle.join().expect("worker panicked"));
+                // Workers never unwind themselves: job panics are caught
+                // above, so a join failure is a harness bug.
+                collected.push(handle.join().expect("pool worker must not panic"));
             }
         });
+
+        if let Some((_, payload)) = lock_unpoisoned(&first_panic).take() {
+            resume_unwind(payload);
+        }
 
         // Ordered merge.
         let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
@@ -175,6 +209,65 @@ mod tests {
     fn more_threads_than_jobs() {
         let pool = Pool::new(16);
         assert_eq!(pool.run_ordered(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn job_panic_propagates_the_original_payload() {
+        // Regression test: a panicking job used to poison its queue mutex,
+        // killing sibling workers on `expect("queue lock")` — the caller
+        // saw the *mask* panic instead of the original one.
+        let pool = Pool::new(4);
+        let ran = AtomicUsize::new(0);
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(32, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 5 {
+                    panic!("job five exploded");
+                }
+                i
+            })
+        }));
+        let payload = unwound.expect_err("the job panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .expect("original payload type survives");
+        assert!(
+            message.contains("job five exploded"),
+            "caller must see the job's panic, not a poisoned-lock panic: {message}"
+        );
+        // Sibling workers survived the poison and kept draining: far more
+        // than the panicking worker's share ran.
+        assert!(ran.load(Ordering::Relaxed) > 8);
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_when_every_job_panics() {
+        // With every job panicking, each worker records its first pop; the
+        // propagated payload must be the lowest *ran* index — and with
+        // 2 workers over 2 jobs, job 0 always runs, so the winner is
+        // deterministic.
+        let pool = Pool::new(2);
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(2, |i| -> usize { panic!("boom {i}") })
+        }));
+        let payload = unwound.expect_err("must propagate");
+        let message = payload.downcast_ref::<String>().expect("String payload");
+        assert_eq!(message, "boom 0");
+    }
+
+    #[test]
+    fn pool_is_reusable_after_a_panicked_batch() {
+        let pool = Pool::new(3);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(9, |i| {
+                if i == 0 {
+                    panic!("first batch dies");
+                }
+                i
+            })
+        }));
+        // The next batch on the same pool runs clean.
+        assert_eq!(pool.run_ordered(4, |i| i * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

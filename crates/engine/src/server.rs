@@ -1,0 +1,271 @@
+//! The job-server front end: a line-delimited request loop over
+//! [`crate::wire`].
+//!
+//! The server reads messages from any `BufRead` (stdin in the `qaoa-serve`
+//! binary), accumulates `JOB` lines, and executes the pending batch on the
+//! engine whenever a `RUN` sentinel — or end of input — arrives. Outcomes
+//! stream back **in submission order**, one `OUTCOME` line per job,
+//! followed by one `REPORT` line per batch; the output is flushed after
+//! every batch so interactive clients see results as soon as they exist.
+//!
+//! Error containment: a malformed line answers with an `ERR` line and the
+//! loop continues — one bad client line must not kill a server multiplexing
+//! many. [`crate::wire::decode_job`] validates executability at decode
+//! time (depth/restarts ≥ 1, non-empty graph), so batch execution itself
+//! only fails on conditions a well-formed job cannot trigger; such a
+//! failure answers with one `ERR` line for the whole batch.
+//!
+//! Determinism: outcomes are a pure function of `(job lines, master seed)`
+//! — the engine derives every per-job RNG from stable keys, and depth-1
+//! jobs go through the (optionally pre-warmed, see [`crate::persist`])
+//! isomorphism cache, which never changes values, only cost.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use optimize::Optimizer;
+
+use crate::batch::{BatchConfig, Engine, Job};
+use crate::wire;
+
+/// Accounting for one [`serve`] session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs executed successfully.
+    pub jobs: usize,
+    /// Batches flushed (RUN sentinels plus the implicit EOF flush).
+    pub batches: usize,
+    /// `ERR` lines emitted (malformed input or failed batches).
+    pub errors: usize,
+    /// Depth-1 cache hits across all batches.
+    pub cache_hits: usize,
+    /// Depth-1 cache misses (solves) across all batches.
+    pub cache_misses: usize,
+}
+
+impl fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs in {} batches ({} errors, depth-1 cache {}/{} hit)",
+            self.jobs,
+            self.batches,
+            self.errors,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+/// Runs the request loop until `input` is exhausted. Blank lines and
+/// `#`-prefixed comment lines are ignored.
+///
+/// # Errors
+///
+/// Only transport failures (reading `input`, writing `output`) abort the
+/// loop; every protocol-level problem is answered in-band with an `ERR`
+/// line.
+pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    engine: &Engine,
+    optimizer: &(dyn Optimizer + Sync),
+    config: &BatchConfig,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    let mut pending: Vec<Job> = Vec::new();
+
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match wire::message_type(line) {
+            Ok("JOB") => match wire::decode_job(line) {
+                Ok(job) => pending.push(job),
+                Err(e) => reject(&mut output, &mut summary, &e.to_string())?,
+            },
+            Ok("RUN") => {
+                flush_batch(
+                    &mut output,
+                    engine,
+                    optimizer,
+                    config,
+                    &mut pending,
+                    &mut summary,
+                )?;
+            }
+            Ok(other) => reject(
+                &mut output,
+                &mut summary,
+                &format!("unexpected {other} message (the server accepts JOB and RUN)"),
+            )?,
+            Err(e) => reject(&mut output, &mut summary, &e.to_string())?,
+        }
+    }
+    // EOF flushes the final batch, so `printf JOB... | qaoa-serve` works
+    // without an explicit RUN.
+    if !pending.is_empty() {
+        flush_batch(
+            &mut output,
+            engine,
+            optimizer,
+            config,
+            &mut pending,
+            &mut summary,
+        )?;
+    }
+    Ok(summary)
+}
+
+fn reject<W: Write>(
+    output: &mut W,
+    summary: &mut ServeSummary,
+    message: &str,
+) -> std::io::Result<()> {
+    summary.errors += 1;
+    writeln!(output, "{}", wire::encode_err(message))?;
+    output.flush()
+}
+
+fn flush_batch<W: Write>(
+    output: &mut W,
+    engine: &Engine,
+    optimizer: &(dyn Optimizer + Sync),
+    config: &BatchConfig,
+    pending: &mut Vec<Job>,
+    summary: &mut ServeSummary,
+) -> std::io::Result<()> {
+    summary.batches += 1;
+    if pending.is_empty() {
+        writeln!(output, "{}", wire::encode_report(&empty_report(engine)))?;
+        return output.flush();
+    }
+    let jobs = std::mem::take(pending);
+    match engine.run_batch(optimizer, &jobs, config) {
+        Ok((outcomes, report)) => {
+            for outcome in &outcomes {
+                writeln!(output, "{}", wire::encode_outcome(outcome))?;
+            }
+            summary.jobs += outcomes.len();
+            summary.cache_hits += report.cache_hits;
+            summary.cache_misses += report.cache_misses;
+            writeln!(output, "{}", wire::encode_report(&report))?;
+        }
+        Err(e) => {
+            summary.errors += 1;
+            writeln!(
+                output,
+                "{}",
+                wire::encode_err(&format!("batch of {} jobs failed: {e}", jobs.len()))
+            )?;
+        }
+    }
+    output.flush()
+}
+
+fn empty_report(engine: &Engine) -> crate::batch::BatchReport {
+    crate::batch::BatchReport {
+        jobs: Vec::new(),
+        wall: std::time::Duration::ZERO,
+        threads: engine.threads(),
+        total_function_calls: 0,
+        total_gradient_calls: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimize::Lbfgsb;
+
+    fn run_session(input: &str, engine: &Engine) -> (String, ServeSummary) {
+        let mut out = Vec::new();
+        let summary = serve(
+            std::io::Cursor::new(input),
+            &mut out,
+            engine,
+            &Lbfgsb::default(),
+            &BatchConfig::default(),
+        )
+        .expect("transport never fails in-memory");
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn two_jobs_two_outcomes_in_order() {
+        let input = "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0\nQW1 JOB 2 2 4 0-1,1-2,2-3,3-0\n";
+        let engine = Engine::new(2);
+        let (out, summary) = run_session(input, &engine);
+        let outcomes: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 OUTCOME"))
+            .collect();
+        assert_eq!(outcomes.len(), 2);
+        // Submission order: job 1 has depth 1 (2 params), job 2 depth 2 (4).
+        assert_eq!(wire::decode_outcome(outcomes[0]).unwrap().params.len(), 2);
+        assert_eq!(wire::decode_outcome(outcomes[1]).unwrap().params.len(), 4);
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("QW1 REPORT")).count(),
+            1
+        );
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn run_sentinel_splits_batches_and_outcomes_are_deterministic() {
+        let job = "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0";
+        let batched = format!("{job}\nQW1 RUN -\n{job}\n");
+        let engine = Engine::new(2);
+        let (out, summary) = run_session(&batched, &engine);
+        assert_eq!(summary.batches, 2);
+        assert_eq!(summary.jobs, 2);
+        // Same job twice: bit-identical outcome lines, and the second batch
+        // served it from the cache warmed by the first.
+        let outcomes: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 OUTCOME"))
+            .collect();
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.cache_misses, 1);
+    }
+
+    #[test]
+    fn bad_lines_answer_err_and_the_loop_survives() {
+        let input = "\
+not even wire\n\
+QW1 JOB 0 2 3 0-1\n\
+QW1 KEY 3 0-1\n\
+# a comment\n\
+\n\
+QW1 JOB 1 2 3 0-1,1-2\n";
+        let engine = Engine::new(1);
+        let (out, summary) = run_session(input, &engine);
+        assert_eq!(summary.errors, 3);
+        assert_eq!(summary.jobs, 1, "the good job still ran");
+        assert_eq!(out.lines().filter(|l| l.starts_with("QW1 ERR")).count(), 3);
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("QW1 OUTCOME")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_run_emits_an_empty_report() {
+        let engine = Engine::new(1);
+        let (out, summary) = run_session("QW1 RUN -\n", &engine);
+        assert_eq!(summary.batches, 1);
+        assert_eq!(summary.jobs, 0);
+        let report_line = out
+            .lines()
+            .find(|l| l.starts_with("QW1 REPORT"))
+            .expect("report line");
+        assert!(wire::decode_report(report_line).unwrap().jobs.is_empty());
+    }
+}

@@ -1,0 +1,647 @@
+//! Versioned, line-delimited wire format for engine jobs and results.
+//!
+//! One message per line, every line self-identifying:
+//!
+//! ```text
+//! line     := "QW1" SP type SP payload
+//! type     := "KEY" | "RECORD" | "JOB" | "OUTCOME" | "REPORT" | "ENTRY"
+//!           | "RUN" | "ERR"
+//! KEY      := n_nodes SP edges               — qaoa::canonical::CanonicalGraphKey
+//! RECORD   := graph_id SP depth SP f64 SP f64 SP fc SP floats SP floats
+//!                                            — qaoa::datagen::OptimalRecord
+//! JOB      := depth SP restarts SP n_nodes SP edges
+//!                                            — engine::Job
+//! OUTCOME  := floats SP f64 SP f64 SP fc SP gc SP term
+//!                                            — qaoa::InstanceOutcome
+//! REPORT   := threads SP wall_ns SP fc SP gc SP hits SP misses SP jobstats
+//!                                            — engine::BatchReport
+//! ENTRY    := KEY-payload SP OUTCOME-payload — one persisted cache entry
+//! RUN      := "-"                            — server flush sentinel
+//! ERR      := free text                      — server-side failure notice
+//! edges    := "-" | edge ("," edge)*   edge := u "-" v [":" hex64]
+//! floats   := "-" | hex64 ("," hex64)*
+//! f64      := hex64 (IEEE-754 bits, 16 lowercase hex digits)
+//! jobstats := "-" | stat ("," stat)*   stat := wall_ns ":" fc ":" gc ":" ("h"|"m")
+//! ```
+//!
+//! Floats travel as the hex of their IEEE-754 bit pattern, so every
+//! round-trip is **bit-exact** — the property that lets a persisted cache
+//! preserve the engine's serial == parallel parity guarantee. An omitted
+//! edge weight (`u-v` with no `:hex64`) decodes as 1.0, which keeps
+//! hand-written job lines readable (see the README's serve example).
+//!
+//! The vendored `serde` stand-ins are no-op markers (no real
+//! serialization), so the codec is hand-rolled here against the stable
+//! accessors the data types expose ([`CanonicalGraphKey::edges`],
+//! [`Termination::as_token`], public fields elsewhere). Bump [`MAGIC`]
+//! whenever any payload changes shape; decoders reject other versions,
+//! which the persistence layer ([`crate::persist`]) turns into
+//! "discard and regenerate".
+
+use std::fmt;
+use std::time::Duration;
+
+use graphs::Graph;
+use optimize::Termination;
+use qaoa::canonical::CanonicalGraphKey;
+use qaoa::datagen::OptimalRecord;
+use qaoa::InstanceOutcome;
+
+use crate::batch::{BatchReport, Job, JobStats};
+
+/// Version tag prefixing every wire line.
+pub const MAGIC: &str = "QW1";
+
+/// A malformed or version-mismatched wire line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description of the first problem found.
+    pub message: String,
+}
+
+impl WireError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --- scalar helpers --------------------------------------------------------
+
+fn fmt_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64(s: &str) -> Result<f64, WireError> {
+    let bits = u64::from_str_radix(s, 16)
+        .map_err(|e| WireError::new(format!("bad f64 bits `{s}`: {e}")))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn parse_int<T: std::str::FromStr<Err = std::num::ParseIntError>>(
+    s: &str,
+    what: &str,
+) -> Result<T, WireError> {
+    s.parse()
+        .map_err(|e| WireError::new(format!("bad {what} `{s}`: {e}")))
+}
+
+fn fmt_floats(v: &[f64]) -> String {
+    if v.is_empty() {
+        return "-".into();
+    }
+    v.iter().map(|&x| fmt_f64(x)).collect::<Vec<_>>().join(",")
+}
+
+fn parse_floats(s: &str) -> Result<Vec<f64>, WireError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(parse_f64).collect()
+}
+
+fn fmt_edges(edges: impl Iterator<Item = (u32, u32, u64)>) -> String {
+    let parts: Vec<String> = edges
+        .map(|(u, v, bits)| format!("{u}-{v}:{bits:016x}"))
+        .collect();
+    if parts.is_empty() {
+        "-".into()
+    } else {
+        parts.join(",")
+    }
+}
+
+fn parse_edges(s: &str) -> Result<Vec<(u32, u32, u64)>, WireError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|part| {
+            let (endpoints, bits) = match part.split_once(':') {
+                Some((e, w)) => (
+                    e,
+                    u64::from_str_radix(w, 16)
+                        .map_err(|e| WireError::new(format!("bad weight in `{part}`: {e}")))?,
+                ),
+                // Unweighted shorthand for hand-written job lines.
+                None => (part, 1.0f64.to_bits()),
+            };
+            let (u, v) = endpoints
+                .split_once('-')
+                .ok_or_else(|| WireError::new(format!("bad edge `{part}` (expected u-v)")))?;
+            Ok((
+                parse_int::<u32>(u, "edge endpoint")?,
+                parse_int::<u32>(v, "edge endpoint")?,
+                bits,
+            ))
+        })
+        .collect()
+}
+
+/// Strips the magic and the expected type token, returning the payload
+/// fields.
+fn payload<'a>(line: &'a str, expected: &str) -> Result<Vec<&'a str>, WireError> {
+    let mut fields = line.split_whitespace();
+    match fields.next() {
+        Some(MAGIC) => {}
+        Some(other) => {
+            return Err(WireError::new(format!(
+                "unsupported wire version `{other}` (this codec speaks {MAGIC})"
+            )))
+        }
+        None => return Err(WireError::new("empty line")),
+    }
+    match fields.next() {
+        Some(t) if t == expected => {}
+        Some(other) => {
+            return Err(WireError::new(format!(
+                "expected {expected} message, got {other}"
+            )))
+        }
+        None => return Err(WireError::new("missing message type")),
+    }
+    Ok(fields.collect())
+}
+
+fn expect_fields<'a>(
+    fields: Vec<&'a str>,
+    n: usize,
+    what: &str,
+) -> Result<Vec<&'a str>, WireError> {
+    if fields.len() == n {
+        Ok(fields)
+    } else {
+        Err(WireError::new(format!(
+            "{what} payload needs {n} fields, got {}",
+            fields.len()
+        )))
+    }
+}
+
+/// The message type token of a line, for dispatch without full decoding.
+///
+/// # Errors
+///
+/// Rejects lines whose version tag is not [`MAGIC`].
+pub fn message_type(line: &str) -> Result<&str, WireError> {
+    let mut fields = line.split_whitespace();
+    match fields.next() {
+        Some(MAGIC) => {}
+        Some(other) => {
+            return Err(WireError::new(format!(
+                "unsupported wire version `{other}` (this codec speaks {MAGIC})"
+            )))
+        }
+        None => return Err(WireError::new("empty line")),
+    }
+    fields
+        .next()
+        .ok_or_else(|| WireError::new("missing message type"))
+}
+
+// --- KEY -------------------------------------------------------------------
+
+/// Encodes a canonical graph key as one `KEY` line.
+#[must_use]
+pub fn encode_key(key: &CanonicalGraphKey) -> String {
+    format!("{MAGIC} KEY {}", key_payload(key))
+}
+
+fn key_payload(key: &CanonicalGraphKey) -> String {
+    format!(
+        "{} {}",
+        key.n_nodes(),
+        fmt_edges(key.edges().iter().copied())
+    )
+}
+
+/// Decodes a `KEY` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines and edge lists violating the canonical-key
+/// invariants (see [`CanonicalGraphKey::from_parts`]).
+pub fn decode_key(line: &str) -> Result<CanonicalGraphKey, WireError> {
+    let fields = expect_fields(payload(line, "KEY")?, 2, "KEY")?;
+    key_from_fields(&fields)
+}
+
+fn key_from_fields(fields: &[&str]) -> Result<CanonicalGraphKey, WireError> {
+    let n_nodes: usize = parse_int(fields[0], "n_nodes")?;
+    let edges = parse_edges(fields[1])?;
+    CanonicalGraphKey::from_parts(n_nodes, edges).map_err(WireError::new)
+}
+
+// --- RECORD ----------------------------------------------------------------
+
+/// Encodes a corpus record as one `RECORD` line.
+#[must_use]
+pub fn encode_record(record: &OptimalRecord) -> String {
+    format!(
+        "{MAGIC} RECORD {} {} {} {} {} {} {}",
+        record.graph_id,
+        record.depth,
+        fmt_f64(record.expectation),
+        fmt_f64(record.approximation_ratio),
+        record.function_calls,
+        fmt_floats(&record.gammas),
+        fmt_floats(&record.betas),
+    )
+}
+
+/// Decodes a `RECORD` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines.
+pub fn decode_record(line: &str) -> Result<OptimalRecord, WireError> {
+    let f = expect_fields(payload(line, "RECORD")?, 7, "RECORD")?;
+    Ok(OptimalRecord {
+        graph_id: parse_int(f[0], "graph_id")?,
+        depth: parse_int(f[1], "depth")?,
+        expectation: parse_f64(f[2])?,
+        approximation_ratio: parse_f64(f[3])?,
+        function_calls: parse_int(f[4], "function_calls")?,
+        gammas: parse_floats(f[5])?,
+        betas: parse_floats(f[6])?,
+    })
+}
+
+// --- JOB -------------------------------------------------------------------
+
+/// Encodes a batch job as one `JOB` line.
+#[must_use]
+pub fn encode_job(job: &Job) -> String {
+    format!(
+        "{MAGIC} JOB {} {} {} {}",
+        job.depth,
+        job.restarts,
+        job.graph.n_nodes(),
+        fmt_edges(
+            job.graph
+                .edges()
+                .iter()
+                .map(|e| (e.u as u32, e.v as u32, e.weight.to_bits()))
+        ),
+    )
+}
+
+/// Decodes a `JOB` line, validating it is *executable*: depth and restarts
+/// at least 1, at least 2 nodes and 1 edge (the QAOA objective needs a
+/// non-empty graph). Catching these at decode time lets the server answer
+/// per line instead of failing a whole batch mid-run.
+///
+/// # Errors
+///
+/// Rejects malformed or non-executable jobs.
+pub fn decode_job(line: &str) -> Result<Job, WireError> {
+    let f = expect_fields(payload(line, "JOB")?, 4, "JOB")?;
+    let depth: usize = parse_int(f[0], "depth")?;
+    let restarts: usize = parse_int(f[1], "restarts")?;
+    let n_nodes: usize = parse_int(f[2], "n_nodes")?;
+    let edges = parse_edges(f[3])?;
+    if depth == 0 || restarts == 0 {
+        return Err(WireError::new("JOB needs depth >= 1 and restarts >= 1"));
+    }
+    if n_nodes < 2 || edges.is_empty() {
+        return Err(WireError::new("JOB needs >= 2 nodes and >= 1 edge"));
+    }
+    let mut graph = Graph::new(n_nodes);
+    let mut seen = std::collections::HashSet::new();
+    for (u, v, bits) in edges {
+        let weight = f64::from_bits(bits);
+        if !weight.is_finite() {
+            return Err(WireError::new(format!("edge {u}-{v}: non-finite weight")));
+        }
+        // `Graph::add_weighted_edge` keeps the first occurrence of a
+        // duplicate pair and drops the rest without erroring; a job that
+        // names an edge twice must be rejected here, not answered with a
+        // confidently wrong outcome for a different graph.
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(WireError::new(format!("edge {u}-{v}: duplicate edge")));
+        }
+        graph
+            .add_weighted_edge(u as usize, v as usize, weight)
+            .map_err(|e| WireError::new(format!("edge {u}-{v}: {e}")))?;
+    }
+    Ok(Job::new(graph, depth, restarts))
+}
+
+// --- OUTCOME ---------------------------------------------------------------
+
+/// Encodes an instance outcome as one `OUTCOME` line.
+#[must_use]
+pub fn encode_outcome(outcome: &InstanceOutcome) -> String {
+    format!(
+        "{MAGIC} OUTCOME {} {} {} {} {} {}",
+        fmt_floats(&outcome.params),
+        fmt_f64(outcome.expectation),
+        fmt_f64(outcome.approximation_ratio),
+        outcome.function_calls,
+        outcome.gradient_calls,
+        outcome.termination.as_token(),
+    )
+}
+
+/// Decodes an `OUTCOME` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines and unknown termination tokens.
+pub fn decode_outcome(line: &str) -> Result<InstanceOutcome, WireError> {
+    let f = expect_fields(payload(line, "OUTCOME")?, 6, "OUTCOME")?;
+    outcome_from_fields(&f)
+}
+
+fn outcome_from_fields(f: &[&str]) -> Result<InstanceOutcome, WireError> {
+    Ok(InstanceOutcome {
+        params: parse_floats(f[0])?,
+        expectation: parse_f64(f[1])?,
+        approximation_ratio: parse_f64(f[2])?,
+        function_calls: parse_int(f[3], "function_calls")?,
+        gradient_calls: parse_int(f[4], "gradient_calls")?,
+        termination: Termination::from_token(f[5])
+            .ok_or_else(|| WireError::new(format!("unknown termination `{}`", f[5])))?,
+    })
+}
+
+// --- REPORT ----------------------------------------------------------------
+
+/// Encodes a batch report as one `REPORT` line.
+#[must_use]
+pub fn encode_report(report: &BatchReport) -> String {
+    let stats: Vec<String> = report
+        .jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{}:{}:{}:{}",
+                j.wall.as_nanos(),
+                j.function_calls,
+                j.gradient_calls,
+                if j.cache_hit { 'h' } else { 'm' },
+            )
+        })
+        .collect();
+    format!(
+        "{MAGIC} REPORT {} {} {} {} {} {} {}",
+        report.threads,
+        report.wall.as_nanos(),
+        report.total_function_calls,
+        report.total_gradient_calls,
+        report.cache_hits,
+        report.cache_misses,
+        if stats.is_empty() {
+            "-".into()
+        } else {
+            stats.join(",")
+        },
+    )
+}
+
+/// Decodes a `REPORT` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines.
+pub fn decode_report(line: &str) -> Result<BatchReport, WireError> {
+    let f = expect_fields(payload(line, "REPORT")?, 7, "REPORT")?;
+    let jobs = if f[6] == "-" {
+        Vec::new()
+    } else {
+        f[6].split(',')
+            .map(|stat| {
+                let parts: Vec<&str> = stat.split(':').collect();
+                if parts.len() != 4 {
+                    return Err(WireError::new(format!("bad job stat `{stat}`")));
+                }
+                Ok(JobStats {
+                    wall: Duration::from_nanos(parse_int(parts[0], "job wall")?),
+                    function_calls: parse_int(parts[1], "job fc")?,
+                    gradient_calls: parse_int(parts[2], "job gc")?,
+                    cache_hit: match parts[3] {
+                        "h" => true,
+                        "m" => false,
+                        other => return Err(WireError::new(format!("bad cache flag `{other}`"))),
+                    },
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    Ok(BatchReport {
+        threads: parse_int(f[0], "threads")?,
+        wall: Duration::from_nanos(parse_int(f[1], "wall")?),
+        total_function_calls: parse_int(f[2], "total fc")?,
+        total_gradient_calls: parse_int(f[3], "total gc")?,
+        cache_hits: parse_int(f[4], "cache hits")?,
+        cache_misses: parse_int(f[5], "cache misses")?,
+        jobs,
+    })
+}
+
+// --- RUN / ERR -------------------------------------------------------------
+
+/// The server's batch-flush sentinel line.
+#[must_use]
+pub fn encode_run() -> String {
+    format!("{MAGIC} RUN -")
+}
+
+/// Encodes a server-side failure notice. Newlines in `message` are
+/// flattened so the line stays one line.
+#[must_use]
+pub fn encode_err(message: &str) -> String {
+    format!("{MAGIC} ERR {}", message.replace(['\n', '\r'], " "))
+}
+
+// --- cache entries ---------------------------------------------------------
+
+/// Encodes one persisted cache entry — a canonical class and its finished
+/// depth-1 optimum — as one `ENTRY`-typed line (`KEY` payload ++ `OUTCOME`
+/// payload).
+#[must_use]
+pub fn encode_entry(key: &CanonicalGraphKey, outcome: &InstanceOutcome) -> String {
+    let outcome_line = encode_outcome(outcome);
+    let outcome_payload = outcome_line
+        .strip_prefix(&format!("{MAGIC} OUTCOME "))
+        .expect("encode_outcome emits its own prefix");
+    format!("{MAGIC} ENTRY {} {outcome_payload}", key_payload(key))
+}
+
+/// Decodes an `ENTRY` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines.
+pub fn decode_entry(line: &str) -> Result<(CanonicalGraphKey, InstanceOutcome), WireError> {
+    let f = expect_fields(payload(line, "ENTRY")?, 8, "ENTRY")?;
+    let key = key_from_fields(&f[..2])?;
+    let outcome = outcome_from_fields(&f[2..])?;
+    Ok((key, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators;
+    use qaoa::canonical::graph_key;
+
+    fn sample_outcome() -> InstanceOutcome {
+        InstanceOutcome {
+            params: vec![0.25, -1.5e-300, std::f64::consts::PI],
+            expectation: 3.75,
+            approximation_ratio: 0.9375,
+            function_calls: 42,
+            gradient_calls: 7,
+            termination: Termination::GtolSatisfied,
+        }
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let key = graph_key(&generators::cycle(6));
+        let line = encode_key(&key);
+        assert!(line.starts_with("QW1 KEY "));
+        assert_eq!(decode_key(&line).unwrap(), key);
+    }
+
+    #[test]
+    fn outcome_round_trip_is_bit_exact() {
+        let outcome = sample_outcome();
+        let back = decode_outcome(&encode_outcome(&outcome)).unwrap();
+        assert_eq!(back.params.len(), outcome.params.len());
+        for (a, b) in outcome.params.iter().zip(&back.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.expectation.to_bits(), outcome.expectation.to_bits());
+        assert_eq!(back.termination, outcome.termination);
+    }
+
+    #[test]
+    fn job_round_trip_and_unweighted_shorthand() {
+        let job = Job::new(generators::cycle(5), 2, 3);
+        let line = encode_job(&job);
+        let back = decode_job(&line).unwrap();
+        assert_eq!(back.depth, 2);
+        assert_eq!(back.restarts, 3);
+        assert_eq!(back.graph, job.graph);
+        // Hand-written form: weights default to 1.0.
+        let short = decode_job("QW1 JOB 1 2 3 0-1,1-2").unwrap();
+        assert_eq!(short.graph.edges()[0].weight, 1.0);
+        // Re-encoding writes explicit weights; the round trip still holds.
+        let reencoded = encode_job(&short);
+        assert!(reencoded.contains(':'));
+        assert_eq!(decode_job(&reencoded).unwrap().graph, short.graph);
+    }
+
+    #[test]
+    fn job_decode_rejects_non_executable() {
+        assert!(decode_job("QW1 JOB 0 2 3 0-1").is_err());
+        assert!(decode_job("QW1 JOB 1 0 3 0-1").is_err());
+        assert!(decode_job("QW1 JOB 1 2 3 -").is_err());
+        assert!(decode_job("QW1 JOB 1 2 1 0-1").is_err());
+        assert!(decode_job("QW1 JOB 1 2 3 0-9").is_err());
+        assert!(decode_job(&format!("QW1 JOB 1 2 3 0-1:{:016x}", f64::NAN.to_bits())).is_err());
+        // Duplicate edges (in either orientation, any weights) are rejected
+        // rather than silently collapsed to the first occurrence.
+        assert!(decode_job("QW1 JOB 1 2 3 0-1,0-1,1-2").is_err());
+        let dup = format!(
+            "QW1 JOB 1 2 3 0-1:{:016x},1-0:{:016x}",
+            2.0f64.to_bits(),
+            3.0f64.to_bits()
+        );
+        assert!(decode_job(&dup).is_err());
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let record = OptimalRecord {
+            graph_id: 12,
+            depth: 3,
+            gammas: vec![1.0, 2.0, 3.0],
+            betas: vec![0.1, 0.2, 0.3],
+            expectation: 5.5,
+            approximation_ratio: 0.99,
+            function_calls: 321,
+        };
+        let back = decode_record(&encode_record(&record)).unwrap();
+        assert_eq!(back.graph_id, 12);
+        assert_eq!(back.gammas, record.gammas);
+        assert_eq!(back.betas, record.betas);
+        assert_eq!(back.function_calls, 321);
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let report = BatchReport {
+            jobs: vec![
+                JobStats {
+                    wall: Duration::from_nanos(1234),
+                    function_calls: 10,
+                    gradient_calls: 2,
+                    cache_hit: true,
+                },
+                JobStats {
+                    wall: Duration::from_micros(9),
+                    function_calls: 20,
+                    gradient_calls: 0,
+                    cache_hit: false,
+                },
+            ],
+            wall: Duration::from_millis(3),
+            threads: 4,
+            total_function_calls: 30,
+            total_gradient_calls: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+        };
+        let back = decode_report(&encode_report(&report)).unwrap();
+        assert_eq!(back.threads, 4);
+        assert_eq!(back.wall, report.wall);
+        assert_eq!(back.jobs.len(), 2);
+        assert!(back.jobs[0].cache_hit);
+        assert_eq!(back.jobs[1].function_calls, 20);
+        // Empty report encodes the "-" placeholder.
+        let empty = BatchReport {
+            jobs: vec![],
+            wall: Duration::ZERO,
+            threads: 1,
+            total_function_calls: 0,
+            total_gradient_calls: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert!(decode_report(&encode_report(&empty))
+            .unwrap()
+            .jobs
+            .is_empty());
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let key = graph_key(&generators::path(4));
+        let outcome = sample_outcome();
+        let (k, o) = decode_entry(&encode_entry(&key, &outcome)).unwrap();
+        assert_eq!(k, key);
+        assert_eq!(o.expectation.to_bits(), outcome.expectation.to_bits());
+    }
+
+    #[test]
+    fn version_and_type_mismatches_are_rejected() {
+        assert!(decode_key("QW2 KEY 3 0-1").is_err());
+        assert!(decode_key("QW1 JOB 1 2 3 0-1").is_err());
+        assert!(decode_key("").is_err());
+        assert!(message_type("QW1 RUN -").unwrap() == "RUN");
+        assert!(message_type("QW9 RUN -").is_err());
+        assert!(encode_err("multi\nline").lines().count() == 1);
+    }
+}

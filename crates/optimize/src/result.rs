@@ -31,6 +31,37 @@ impl Termination {
     }
 }
 
+impl Termination {
+    /// A stable, space-free token naming this variant, identical across
+    /// processes and releases — the form used by on-disk caches and wire
+    /// encodings. Round-trips through [`Termination::from_token`].
+    #[must_use]
+    pub fn as_token(self) -> &'static str {
+        match self {
+            Termination::FtolSatisfied => "ftol",
+            Termination::GtolSatisfied => "gtol",
+            Termination::StepSizeZero => "step-zero",
+            Termination::MaxIterations => "max-iter",
+            Termination::MaxCalls => "max-calls",
+            Termination::NonFinite => "non-finite",
+        }
+    }
+
+    /// Inverse of [`Termination::as_token`]; `None` for unknown tokens.
+    #[must_use]
+    pub fn from_token(token: &str) -> Option<Self> {
+        Some(match token {
+            "ftol" => Termination::FtolSatisfied,
+            "gtol" => Termination::GtolSatisfied,
+            "step-zero" => Termination::StepSizeZero,
+            "max-iter" => Termination::MaxIterations,
+            "max-calls" => Termination::MaxCalls,
+            "non-finite" => Termination::NonFinite,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for Termination {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -126,5 +157,23 @@ mod tests {
             ..r
         };
         assert!(with_grad.to_string().contains("[4 grad calls]"));
+    }
+
+    #[test]
+    fn termination_tokens_round_trip() {
+        let all = [
+            Termination::FtolSatisfied,
+            Termination::GtolSatisfied,
+            Termination::StepSizeZero,
+            Termination::MaxIterations,
+            Termination::MaxCalls,
+            Termination::NonFinite,
+        ];
+        for t in all {
+            let token = t.as_token();
+            assert!(!token.contains(' '), "tokens must be space-free: {token}");
+            assert_eq!(Termination::from_token(token), Some(t));
+        }
+        assert_eq!(Termination::from_token("bogus"), None);
     }
 }

@@ -1,0 +1,305 @@
+//! Integration tests for the wire codec, cache persistence, and the job
+//! server: encode→decode identity (property-tested), cold-write/warm-read
+//! cache files, corrupt/stale fallback, and end-to-end serve sessions.
+
+use engine::persist::{self, LoadStatus};
+use engine::{wire, BatchConfig, Engine, Job, Level1Cache};
+use graphs::generators;
+use optimize::{Lbfgsb, Termination};
+use proptest::prelude::*;
+use qaoa::canonical::graph_key;
+use qaoa::datagen::OptimalRecord;
+use qaoa::InstanceOutcome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qwire_it_{}_{tag}.cache", std::process::id()))
+}
+
+fn termination_from(index: usize) -> Termination {
+    [
+        Termination::FtolSatisfied,
+        Termination::GtolSatisfied,
+        Termination::StepSizeZero,
+        Termination::MaxIterations,
+        Termination::MaxCalls,
+        Termination::NonFinite,
+    ][index % 6]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Canonical keys survive the wire bit-for-bit, hash included.
+    #[test]
+    fn key_encode_decode_identity(seed in 0u64..10_000, n in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_nonempty(n, 0.5, &mut rng);
+        let key = graph_key(&g);
+        let decoded = wire::decode_key(&wire::encode_key(&key)).expect("round trip");
+        prop_assert_eq!(&decoded, &key);
+        prop_assert_eq!(decoded.hash64(), key.hash64());
+    }
+
+    /// Corpus records survive the wire with bit-exact floats.
+    #[test]
+    fn record_encode_decode_identity(
+        graph_id in 0usize..1000,
+        depth in 1usize..7,
+        fc in 0usize..100_000,
+        values in proptest::collection::vec(-1.0e3f64..1.0e3, 2..14),
+    ) {
+        let p = values.len() / 2;
+        let record = OptimalRecord {
+            graph_id,
+            depth,
+            gammas: values[..p].to_vec(),
+            betas: values[p..2 * p].to_vec(),
+            expectation: values[0] * 1.0e-17,
+            approximation_ratio: values[p] / 1.0e3,
+            function_calls: fc,
+        };
+        let back = wire::decode_record(&wire::encode_record(&record)).expect("round trip");
+        prop_assert_eq!(back.graph_id, record.graph_id);
+        prop_assert_eq!(back.depth, record.depth);
+        prop_assert_eq!(back.function_calls, record.function_calls);
+        prop_assert_eq!(back.gammas.len(), record.gammas.len());
+        for (a, b) in record.gammas.iter().zip(&back.gammas) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in record.betas.iter().zip(&back.betas) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back.expectation.to_bits(), record.expectation.to_bits());
+        prop_assert_eq!(
+            back.approximation_ratio.to_bits(),
+            record.approximation_ratio.to_bits()
+        );
+    }
+
+    /// Instance outcomes survive the wire — every termination variant, and
+    /// float payloads from raw bit patterns (subnormals, infinities, NaN
+    /// included: the codec moves bits, not decimal renderings).
+    #[test]
+    fn outcome_encode_decode_identity(
+        bits in proptest::collection::vec(0u64..u64::MAX, 2..10),
+        fc in 0usize..100_000,
+        gc in 0usize..10_000,
+        term in 0usize..6,
+    ) {
+        let outcome = InstanceOutcome {
+            params: bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            expectation: f64::from_bits(bits[0].rotate_left(17)),
+            approximation_ratio: f64::from_bits(bits[1].rotate_left(31)),
+            function_calls: fc,
+            gradient_calls: gc,
+            termination: termination_from(term),
+        };
+        let back = wire::decode_outcome(&wire::encode_outcome(&outcome)).expect("round trip");
+        prop_assert_eq!(back.params.len(), outcome.params.len());
+        for (a, b) in outcome.params.iter().zip(&back.params) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(back.expectation.to_bits(), outcome.expectation.to_bits());
+        prop_assert_eq!(
+            back.approximation_ratio.to_bits(),
+            outcome.approximation_ratio.to_bits()
+        );
+        prop_assert_eq!(back.function_calls, outcome.function_calls);
+        prop_assert_eq!(back.gradient_calls, outcome.gradient_calls);
+        prop_assert_eq!(back.termination, outcome.termination);
+    }
+
+    /// Jobs survive the wire with their full weighted graph.
+    #[test]
+    fn job_encode_decode_identity(
+        seed in 0u64..10_000,
+        n in 2usize..8,
+        depth in 1usize..5,
+        restarts in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut graph = generators::erdos_renyi_nonempty(n, 0.6, &mut rng);
+        // Reweight some edges so weights actually travel.
+        let reweighted: Vec<(usize, usize, f64)> = graph
+            .edges()
+            .iter()
+            .map(|e| (e.u, e.v, rng.gen_range(0.25..4.0)))
+            .collect();
+        let mut g = graphs::Graph::new(n);
+        for (u, v, w) in reweighted {
+            g.add_weighted_edge(u, v, w).unwrap();
+        }
+        graph = g;
+        let job = Job::new(graph, depth, restarts);
+        let back = wire::decode_job(&wire::encode_job(&job)).expect("round trip");
+        prop_assert_eq!(back.depth, job.depth);
+        prop_assert_eq!(back.restarts, job.restarts);
+        prop_assert_eq!(&back.graph, &job.graph);
+    }
+}
+
+/// The acceptance scenario: a cold run writes the cache file; a warm run —
+/// at one worker *and* at four — serves every depth-1 solve from it, with
+/// schedule-independent hit counts and bit-identical outcomes.
+#[test]
+fn cold_run_writes_warm_run_hits_without_solving() {
+    let path = temp_path("warm");
+    std::fs::remove_file(&path).ok();
+    let mut rng = StdRng::seed_from_u64(33);
+    let jobs: Vec<Job> = (0..6)
+        .map(|_| Job::new(generators::erdos_renyi_nonempty(5, 0.5, &mut rng), 1, 2))
+        .collect();
+    let config = BatchConfig::default();
+    let optimizer = Lbfgsb::default();
+
+    // Cold: all classes solved here, then persisted.
+    let cold = Engine::new(2);
+    assert_eq!(
+        persist::load_into(cold.cache(), &path, config.master_seed),
+        LoadStatus::Missing
+    );
+    let (cold_outcomes, cold_report) = cold.run_batch(&optimizer, &jobs, &config).unwrap();
+    assert!(cold_report.cache_misses > 0, "cold run must actually solve");
+    let classes = cold.cache().len();
+    persist::save_merge(cold.cache(), &path, config.master_seed).unwrap();
+
+    let mut warm_hit_counts = Vec::new();
+    for threads in [1, 4] {
+        let warm = Engine::new(threads);
+        assert_eq!(
+            persist::load_into(warm.cache(), &path, config.master_seed),
+            LoadStatus::Loaded(classes)
+        );
+        let (outcomes, report) = warm.run_batch(&optimizer, &jobs, &config).unwrap();
+        assert_eq!(
+            report.cache_misses, 0,
+            "warm run at {threads} threads must not solve depth 1"
+        );
+        assert_eq!(report.cache_hits, jobs.len());
+        assert_eq!(warm.cache().misses(), 0);
+        warm_hit_counts.push(report.cache_hits);
+        for (a, b) in cold_outcomes.iter().zip(&outcomes) {
+            assert_eq!(a.params, b.params, "warm outcome must be bit-identical");
+            assert_eq!(a.expectation.to_bits(), b.expectation.to_bits());
+            assert_eq!(a.function_calls, b.function_calls);
+        }
+    }
+    assert_eq!(
+        warm_hit_counts[0], warm_hit_counts[1],
+        "hits are schedule-independent"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corrupt, truncated, and version/seed-stale cache files are discarded —
+/// the run proceeds cold and the next save regenerates a loadable file.
+#[test]
+fn corrupt_or_stale_cache_file_regenerates() {
+    let path = temp_path("fallback");
+    let key = graph_key(&generators::cycle(5));
+    let entry = InstanceOutcome {
+        params: vec![0.1, 0.2],
+        expectation: 1.0,
+        approximation_ratio: 1.0,
+        function_calls: 3,
+        gradient_calls: 0,
+        termination: Termination::FtolSatisfied,
+    };
+    let good = {
+        let cache = Level1Cache::new();
+        cache.insert(key.clone(), entry.clone());
+        let tmp = temp_path("fallback_good");
+        persist::save_merge(&cache, &tmp, 2020).unwrap();
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        std::fs::remove_file(&tmp).ok();
+        text
+    };
+    let cases: Vec<(&str, String)> = vec![
+        (
+            "binary garbage",
+            "\u{1}\u{2}\u{3} not text protocol\n".into(),
+        ),
+        ("truncated mid-entry", good[..good.len() - 10].into()),
+        ("stale version", good.replacen("QCACHE1", "QCACHE0", 1)),
+        ("foreign seed", good.replacen("seed=2020", "seed=999", 1)),
+        ("wrong wire version", good.replace("QW1 ENTRY", "QW9 ENTRY")),
+    ];
+    for (what, text) in cases {
+        std::fs::write(&path, text).unwrap();
+        let cache = Level1Cache::new();
+        let status = persist::load_into(&cache, &path, 2020);
+        assert!(
+            matches!(status, LoadStatus::Discarded(_)),
+            "{what}: expected Discarded, got {status:?}"
+        );
+        assert!(cache.is_empty(), "{what}: nothing may leak into the cache");
+        // Regeneration: save over the bad file, reload cleanly.
+        cache.insert(key.clone(), entry.clone());
+        persist::save_merge(&cache, &path, 2020).unwrap();
+        let reload = Level1Cache::new();
+        assert_eq!(
+            persist::load_into(&reload, &path, 2020),
+            LoadStatus::Loaded(1)
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// End-to-end serve session: two piped jobs yield two ordered outcomes and
+/// a report, and a second session warmed from the first's cache file
+/// re-serves the same bits without solving.
+#[test]
+fn serve_session_round_trips_jobs_and_reuses_the_cache_file() {
+    let path = temp_path("serve");
+    std::fs::remove_file(&path).ok();
+    let input = "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0\nQW1 JOB 1 2 5 1-3,3-0,0-4,4-2,2-1\n";
+    let config = BatchConfig::default();
+    let optimizer = Lbfgsb::default();
+
+    let run_session = |warm_from: Option<&std::path::Path>| {
+        let engine = Engine::new(2);
+        if let Some(p) = warm_from {
+            assert!(matches!(
+                persist::load_into(engine.cache(), p, config.master_seed),
+                LoadStatus::Loaded(_)
+            ));
+        }
+        let mut out = Vec::new();
+        let summary = engine::server::serve(
+            std::io::Cursor::new(input),
+            &mut out,
+            &engine,
+            &optimizer,
+            &config,
+        )
+        .unwrap();
+        persist::save_merge(engine.cache(), &path, config.master_seed).unwrap();
+        (String::from_utf8(out).unwrap(), summary)
+    };
+
+    let (cold_out, cold_summary) = run_session(None);
+    let outcomes: Vec<&str> = cold_out
+        .lines()
+        .filter(|l| l.starts_with("QW1 OUTCOME"))
+        .collect();
+    assert_eq!(outcomes.len(), 2);
+    // The two jobs are relabelings of one 5-cycle: one solve, one hit, and
+    // identical outcome lines.
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(cold_summary.cache_misses, 1);
+    assert_eq!(cold_summary.cache_hits, 1);
+
+    let (warm_out, warm_summary) = run_session(Some(&path));
+    assert_eq!(warm_summary.cache_misses, 0, "warm session must not solve");
+    assert_eq!(warm_summary.cache_hits, 2);
+    // Outcome lines are bit-identical warm or cold (the REPORT line differs
+    // only in wall time and hit/miss accounting).
+    let warm_outcomes: Vec<&str> = warm_out
+        .lines()
+        .filter(|l| l.starts_with("QW1 OUTCOME"))
+        .collect();
+    assert_eq!(warm_outcomes, outcomes);
+    std::fs::remove_file(&path).ok();
+}
