@@ -11,7 +11,7 @@
 //! With `--cache-file PATH`, the depth-1 optimum cache is pre-warmed from
 //! `PATH` at startup and saved back (merged) at shutdown, so repeated
 //! server sessions — and the corpus/Table-I drivers sharing the file —
-//! never re-solve a known canonical graph class.
+//! never re-solve a known `(canonical graph class, restarts)` pair.
 //!
 //! Run:
 //! `printf 'QW1 JOB 1 3 5 0-1,1-2,2-3,3-4,4-0\n' | cargo run --release -p bench --bin qaoa-serve -- --threads 4`

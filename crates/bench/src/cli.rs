@@ -26,7 +26,9 @@ usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
   --naive-starts N   naive-protocol starts      (default: --restarts)
   --threads N        engine worker count        (default: all cores)
   --cache-file PATH  persistent depth-1 optimum cache shared across runs
-                     and processes (corrupt/stale files regenerate)
+                     and processes (corrupt/stale files regenerate). Note:
+                     also disables the whole-corpus TSV cache, so depth >= 2
+                     cells re-solve every run; only depth-1 is persisted
   --help, -h         print this help and exit";
 
 /// What the argument list asked for: a run, or just the usage text.
@@ -72,10 +74,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
         }
         // The remaining flags take a value. Each gets an explicit arm — a
         // catch-all here once silently routed `--seed` (and would have
-        // routed any future flag) into the wrong field.
-        let value = || {
-            args.get(i + 1)
-                .ok_or_else(|| format!("{flag} needs a value"))
+        // routed any future flag) into the wrong field. A following token
+        // that is itself a flag is a missing value, not a value (else
+        // `--cache-file --quick` would create a file named `--quick`).
+        let value = || match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(v.as_str()),
+            _ => Err(format!("{flag} needs a value")),
         };
         match flag {
             "--nodes" => config.nodes = parse_count(flag, value()?)?,
@@ -214,5 +218,23 @@ mod tests {
         assert_eq!(c.cache_file, Some(PathBuf::from("/tmp/l1.cache")));
         assert!(parse_args(args(&["--cache-file"])).is_err());
         assert_eq!(run(&["--quick"]).cache_file, None);
+    }
+
+    #[test]
+    fn value_flags_reject_a_following_flag_as_their_value() {
+        // `--cache-file --quick` once silently created a file named
+        // `--quick`; `--nodes --seed` failed with a confusing parse error.
+        assert_eq!(
+            parse_args(args(&["--cache-file", "--quick"])),
+            Err("--cache-file needs a value".into())
+        );
+        assert_eq!(
+            parse_args(args(&["--nodes", "--seed"])),
+            Err("--nodes needs a value".into())
+        );
+        assert_eq!(
+            parse_args(args(&["--quick", "--threads", "--graphs", "4"])),
+            Err("--threads needs a value".into())
+        );
     }
 }

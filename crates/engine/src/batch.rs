@@ -8,9 +8,12 @@
 //!
 //! Depth-1 jobs are routed through the engine's isomorphism
 //! [`Level1Cache`]: the solve runs on the canonical representative graph
-//! with an RNG seeded from the canonical class hash, so isomorphic jobs
-//! produce bit-identical outcomes and hit each other's cache entries —
-//! at any worker count, in any schedule.
+//! with an RNG seeded from the canonical class hash and the restarts
+//! count, so isomorphic jobs with equal restarts produce bit-identical
+//! outcomes and hit each other's cache entries — at any worker count, in
+//! any schedule. The cache key carries the restarts count
+//! ([`Level1Key`](crate::cache::Level1Key)), so jobs that differ only in
+//! restarts never serve each other's bits.
 
 use std::time::{Duration, Instant};
 
@@ -24,7 +27,7 @@ use qaoa::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::Level1Cache;
+use crate::cache::{Level1Cache, Level1Key};
 use crate::pool::Pool;
 use crate::seed;
 
@@ -189,9 +192,12 @@ impl Engine {
 
     /// Solves the depth-1 instance of `graph`'s canonical class, through
     /// the cache. The solve operates on the **canonical representative**
-    /// with an RNG seeded from the class hash, making the result a pure
-    /// function of `(master_seed, class, restarts)` — identical for every
-    /// isomorphic graph and every schedule. Returns `(outcome, was_hit)`.
+    /// with an RNG seeded from the class hash and the restarts count,
+    /// making the result a pure function of
+    /// `(master_seed, class, restarts)` — identical for every isomorphic
+    /// graph and every schedule. The cache entry is keyed on
+    /// `(class, restarts)` to match, so differing restart counts never
+    /// conflate. Returns `(outcome, was_hit)`.
     ///
     /// # Errors
     ///
@@ -203,15 +209,15 @@ impl Engine {
         restarts: usize,
         config: &BatchConfig,
     ) -> Result<(InstanceOutcome, bool), QaoaError> {
-        let key = graph_key(graph);
+        let key = Level1Key::new(graph_key(graph), restarts);
         let solve = || {
-            let representative = key.to_graph();
+            let representative = key.class.to_graph();
             let problem = MaxCutProblem::new(&representative)?;
             let instance = QaoaInstance::new(problem, 1)?;
             let mut rng = StdRng::seed_from_u64(seed::derive2(
                 config.master_seed,
                 "level1",
-                key.hash64(),
+                key.class.hash64(),
                 restarts as u64,
             ));
             instance.optimize_multistart(optimizer, restarts, &mut rng, &config.options)

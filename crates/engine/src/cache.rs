@@ -1,15 +1,20 @@
-//! Concurrent depth-1 optimum cache keyed by canonical graph class.
+//! Concurrent depth-1 optimum cache keyed by canonical graph class and
+//! restart count.
 //!
 //! The paper's pipelines re-optimize the cheap `p = 1` instance for every
 //! graph, but QAOA landscapes are invariant under graph isomorphism — all
 //! graphs in one canonical class (see [`qaoa::canonical::graph_key`]) share
-//! their depth-1 optimum. This cache memoizes that optimum per class, so
-//! the cached paths — corpus generation ([`crate::corpus`]), depth-1 batch
-//! jobs, and [`Engine::run_two_level_batch`](crate::Engine::run_two_level_batch)
-//! — never solve the same class twice. (The Table-I sweep in
-//! [`crate::compare`] deliberately bypasses the cache: its contract is
-//! bit-parity with the serial `evaluation::compare`, whose protocol
-//! re-optimizes level 1 per graph.)
+//! their depth-1 optimum. This cache memoizes that optimum per
+//! [`Level1Key`] — the canonical class *plus* the multistart restarts
+//! count, since the best-of-`restarts` optimum also depends on how many
+//! starts the solve draws — so the cached paths — corpus generation
+//! ([`crate::corpus`]), depth-1 batch jobs, and
+//! [`Engine::run_two_level_batch`](crate::Engine::run_two_level_batch)
+//! — never solve the same `(class, restarts)` pair twice, and jobs with
+//! different restart counts never serve each other's bits. (The Table-I
+//! sweep in [`crate::compare`] deliberately bypasses the cache: its
+//! contract is bit-parity with the serial `evaluation::compare`, whose
+//! protocol re-optimizes level 1 per graph.)
 //!
 //! **Single-flight misses:** concurrent misses on one class are collapsed
 //! to a single solve. The first thread to miss publishes an in-flight slot
@@ -31,15 +36,41 @@ use qaoa::{InstanceOutcome, QaoaError};
 
 const SHARDS: usize = 16;
 
+/// The cache key: a canonical graph class together with the multistart
+/// restarts count its depth-1 optimum was (or will be) computed with.
+///
+/// A cached optimum is a pure function of `(master seed, class, restarts)`
+/// — the engine seeds the solve RNG from the class hash *and* the restarts
+/// count — so two jobs over isomorphic graphs share an entry only when
+/// their restart counts also agree. Keeping `restarts` in the key (rather
+/// than scoping a whole cache to one value) lets one cache — in memory or
+/// persisted via [`crate::persist`] — serve a job server or a sequence of
+/// runs that mix restart counts, without ever conflating their results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Level1Key {
+    /// Canonical isomorphism class of the problem graph.
+    pub class: CanonicalGraphKey,
+    /// Random multistart count of the solve.
+    pub restarts: usize,
+}
+
+impl Level1Key {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(class: CanonicalGraphKey, restarts: usize) -> Self {
+        Self { class, restarts }
+    }
+}
+
 /// A published cache slot: `None` while its solve is in flight (the solver
 /// holds the lock for the duration), `Some` once finished.
 type Slot = Arc<Mutex<Option<InstanceOutcome>>>;
 
-/// Sharded concurrent map from canonical graph class to its depth-1
-/// optimum, with single-flight miss handling.
+/// Sharded concurrent map from `(canonical graph class, restarts)` to the
+/// depth-1 optimum, with single-flight miss handling.
 #[derive(Debug)]
 pub struct Level1Cache {
-    shards: Vec<Mutex<HashMap<CanonicalGraphKey, Slot>>>,
+    shards: Vec<Mutex<HashMap<Level1Key, Slot>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -55,16 +86,17 @@ impl Level1Cache {
         }
     }
 
-    fn shard(&self, key: &CanonicalGraphKey) -> &Mutex<HashMap<CanonicalGraphKey, Slot>> {
-        &self.shards[(key.hash64() % SHARDS as u64) as usize]
+    fn shard(&self, key: &Level1Key) -> &Mutex<HashMap<Level1Key, Slot>> {
+        let h = key.class.hash64().wrapping_add(key.restarts as u64);
+        &self.shards[(h % SHARDS as u64) as usize]
     }
 
     /// Returns the cached depth-1 outcome for `key`, computing and
     /// inserting it via `solve` on a miss. The boolean is `true` on a hit.
     ///
-    /// Exactly one caller solves each class: the first to miss runs `solve`
-    /// (without holding the shard lock, so other classes proceed
-    /// concurrently); concurrent callers for the same class wait for that
+    /// Exactly one caller solves each key: the first to miss runs `solve`
+    /// (without holding the shard lock, so other keys proceed
+    /// concurrently); concurrent callers for the same key wait for that
     /// solve and observe a hit.
     ///
     /// # Errors
@@ -73,7 +105,7 @@ impl Level1Cache {
     /// callers retry the solve themselves.
     pub fn get_or_solve(
         &self,
-        key: &CanonicalGraphKey,
+        key: &Level1Key,
         solve: impl FnOnce() -> Result<InstanceOutcome, QaoaError>,
     ) -> Result<(InstanceOutcome, bool), QaoaError> {
         // Option-wrapped so the retry loop can prove to the borrow checker
@@ -155,7 +187,7 @@ impl Level1Cache {
     /// Removes `slot`'s entry for `key`, if — and only if — the map still
     /// holds that exact slot. A replacement slot published by a newer
     /// leader must survive, else its in-flight solve would be duplicated.
-    fn withdraw(&self, key: &CanonicalGraphKey, slot: &Slot) {
+    fn withdraw(&self, key: &Level1Key, slot: &Slot) {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         if shard.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
             shard.remove(key);
@@ -165,10 +197,10 @@ impl Level1Cache {
     /// Inserts a finished outcome for `key` without touching the hit/miss
     /// counters — the pre-warming path used by cache persistence
     /// ([`crate::persist`]). An existing entry (finished or in flight) is
-    /// kept: by the determinism contract every solve of one class produces
+    /// kept: by the determinism contract every solve of one key produces
     /// the same bits, so whichever value is already there is the right one.
     /// Returns `true` when the entry was actually inserted.
-    pub fn insert(&self, key: CanonicalGraphKey, outcome: InstanceOutcome) -> bool {
+    pub fn insert(&self, key: Level1Key, outcome: InstanceOutcome) -> bool {
         let mut shard = self.shard(&key).lock().expect("cache shard lock");
         if shard.contains_key(&key) {
             return false;
@@ -190,7 +222,7 @@ impl Level1Cache {
     /// Take snapshots between batches (as the drivers do) for an exact
     /// view; a mid-batch snapshot is merely conservative, never wrong.
     #[must_use]
-    pub fn snapshot(&self) -> Vec<(CanonicalGraphKey, InstanceOutcome)> {
+    pub fn snapshot(&self) -> Vec<(Level1Key, InstanceOutcome)> {
         let mut entries = Vec::new();
         for shard in &self.shards {
             for (key, slot) in shard.lock().expect("cache shard lock").iter() {
@@ -221,7 +253,7 @@ impl Level1Cache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct canonical classes held.
+    /// Number of distinct `(class, restarts)` entries held.
     #[must_use]
     pub fn len(&self) -> usize {
         self.shards
@@ -230,7 +262,7 @@ impl Level1Cache {
             .sum()
     }
 
-    /// `true` when no class has been cached yet.
+    /// `true` when nothing has been cached yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -270,10 +302,15 @@ mod tests {
         }
     }
 
+    /// Cache key for `g` at the tests' default restarts count.
+    fn k(g: &graphs::Graph) -> Level1Key {
+        Level1Key::new(graph_key(g), 2)
+    }
+
     #[test]
     fn miss_then_hit() {
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::cycle(5));
+        let key = k(&generators::cycle(5));
         let (first, hit) = cache.get_or_solve(&key, || Ok(fake_outcome(1.0))).unwrap();
         assert!(!hit);
         assert_eq!(first.expectation, 1.0);
@@ -293,8 +330,8 @@ mod tests {
         // Same cycle with relabeled vertices.
         let b = graphs::Graph::from_edges(6, &[(2, 4), (4, 0), (0, 5), (5, 1), (1, 3), (3, 2)])
             .unwrap();
-        let ka = graph_key(&a);
-        let kb = graph_key(&b);
+        let ka = k(&a);
+        let kb = k(&b);
         assert_eq!(ka, kb);
         cache.get_or_solve(&ka, || Ok(fake_outcome(2.0))).unwrap();
         let (found, hit) = cache
@@ -305,9 +342,28 @@ mod tests {
     }
 
     #[test]
+    fn same_class_different_restarts_are_distinct_entries() {
+        let g = generators::cycle(6);
+        let k2 = Level1Key::new(graph_key(&g), 2);
+        let k3 = Level1Key::new(graph_key(&g), 3);
+        assert_ne!(k2, k3);
+        let cache = Level1Cache::new();
+        cache.get_or_solve(&k2, || Ok(fake_outcome(2.0))).unwrap();
+        // Same class, different restarts: a different key — must solve.
+        let (out, hit) = cache.get_or_solve(&k3, || Ok(fake_outcome(3.0))).unwrap();
+        assert!(!hit, "restart counts must not conflate");
+        assert_eq!(out.expectation, 3.0);
+        assert_eq!(cache.len(), 2);
+        // Each restart count keeps serving its own bits.
+        let (out, hit) = cache.get_or_solve(&k2, || panic!("cached")).unwrap();
+        assert!(hit);
+        assert_eq!(out.expectation, 2.0);
+    }
+
+    #[test]
     fn errors_do_not_poison() {
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::path(4));
+        let key = k(&generators::path(4));
         let err = cache.get_or_solve(&key, || Err(QaoaError::InvalidDepth { depth: 0 }));
         assert!(err.is_err());
         assert!(cache.is_empty());
@@ -319,7 +375,7 @@ mod tests {
     #[test]
     fn insert_prewarms_without_counting() {
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::cycle(8));
+        let key = k(&generators::cycle(8));
         assert!(cache.insert(key.clone(), fake_outcome(5.0)));
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 1));
         // The pre-warmed entry serves lookups as a hit, no solve.
@@ -337,8 +393,8 @@ mod tests {
     #[test]
     fn snapshot_sees_finished_entries_only() {
         let cache = Level1Cache::new();
-        let ka = graph_key(&generators::cycle(5));
-        let kb = graph_key(&generators::path(5));
+        let ka = k(&generators::cycle(5));
+        let kb = k(&generators::path(5));
         cache.get_or_solve(&ka, || Ok(fake_outcome(1.0))).unwrap();
         cache.insert(kb.clone(), fake_outcome(2.0));
         let snap = cache.snapshot();
@@ -354,7 +410,7 @@ mod tests {
         keys.sort();
         assert!(keys.contains(&ka) && keys.contains(&kb));
         // An in-flight slot is skipped, not waited on.
-        let kc = graph_key(&generators::star(5));
+        let kc = k(&generators::star(5));
         let barrier = std::sync::Barrier::new(2);
         std::thread::scope(|s| {
             s.spawn(|| {
@@ -376,7 +432,7 @@ mod tests {
     #[test]
     fn clear_resets_everything() {
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::star(4));
+        let key = k(&generators::star(4));
         cache.get_or_solve(&key, || Ok(fake_outcome(1.0))).unwrap();
         cache.clear();
         assert!(cache.is_empty());
@@ -391,7 +447,7 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         for round in 0..50 {
             let cache = Level1Cache::new();
-            let key = graph_key(&generators::cycle(5 + round % 3));
+            let key = k(&generators::cycle(5 + round % 3));
             let solves = AtomicUsize::new(0);
             std::thread::scope(|s| {
                 for _ in 0..8 {
@@ -417,7 +473,7 @@ mod tests {
         // callers re-solve and succeed.
         use std::sync::atomic::{AtomicUsize, Ordering};
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::path(5));
+        let key = k(&generators::path(5));
         let attempts = AtomicUsize::new(0);
         let mut failures = 0;
         std::thread::scope(|s| {
@@ -451,7 +507,7 @@ mod tests {
         // later callers must recover (treat it as a failed solve) instead
         // of panicking on the poisoned lock.
         let cache = Level1Cache::new();
-        let key = graph_key(&generators::cycle(7));
+        let key = k(&generators::cycle(7));
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = cache.get_or_solve(&key, || panic!("solver blew up"));
         }));
@@ -465,7 +521,7 @@ mod tests {
     #[test]
     fn concurrent_access_is_coherent() {
         let cache = Level1Cache::new();
-        let keys: Vec<_> = (3..9).map(|n| graph_key(&generators::cycle(n))).collect();
+        let keys: Vec<_> = (3..9).map(|n| k(&generators::cycle(n))).collect();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {

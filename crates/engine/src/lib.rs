@@ -12,8 +12,9 @@
 //!   job key → `StdRng`), the invariant that makes parallel runs
 //!   **bit-identical** to serial runs,
 //! * [`Level1Cache`] — a concurrent depth-1 optimum cache keyed by the
-//!   canonical graph class ([`qaoa::canonical::graph_key`]), so isomorphic
-//!   instances are never re-optimized,
+//!   canonical graph class ([`qaoa::canonical::graph_key`]) and the solve's
+//!   restarts count ([`Level1Key`]), so isomorphic instances with equal
+//!   restarts are never re-optimized,
 //! * [`Engine`] / [`Job`] / [`BatchReport`] — the batch front door with
 //!   per-job wall-clock and function-call accounting,
 //! * [`corpus`] — the parallel §III-A corpus generator,
@@ -55,9 +56,11 @@
 //! For a fixed job queue and master seed, results at `threads = 1` and
 //! `threads = N` are **identical**: no job draws randomness from a shared
 //! stream, worker identity, or scheduling order. Depth-1 cache entries are
-//! pure functions of the graph's canonical class (solved on the canonical
-//! representative, seeded from the class hash), so cache races between
-//! isomorphic jobs are benign — all contenders compute the same bits.
+//! pure functions of `(master seed, canonical class, restarts)` — solved
+//! on the canonical representative, seeded from the class hash and the
+//! restarts count, and keyed on both — so cache races between isomorphic
+//! jobs are benign (all contenders compute the same bits) and jobs that
+//! differ only in restarts never share an entry.
 
 pub mod batch;
 pub mod cache;
@@ -70,7 +73,7 @@ pub mod server;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchReport, Engine, Job, JobStats};
-pub use cache::Level1Cache;
+pub use cache::{Level1Cache, Level1Key};
 pub use corpus::CorpusReport;
 pub use persist::LoadStatus;
 pub use pool::Pool;
@@ -131,6 +134,39 @@ mod tests {
         assert_eq!(report.cache_hits, 1);
         assert_eq!(outcomes[0].params, outcomes[1].params);
         assert_eq!(engine.cache().len(), 1);
+    }
+
+    #[test]
+    fn depth1_jobs_with_different_restarts_do_not_conflate() {
+        // Two isomorphic depth-1 jobs whose restart counts differ: the
+        // second must NOT be served the first's optimum (it was computed
+        // under a different multistart budget). Each outcome must equal the
+        // same job run alone on a fresh engine.
+        let a = generators::cycle(5);
+        let b = graphs::Graph::from_edges(5, &[(1, 3), (3, 0), (0, 4), (4, 2), (2, 1)]).unwrap();
+        let jobs = vec![Job::new(a, 1, 2), Job::new(b, 1, 3)];
+        let engine = Engine::new(1);
+        let (outcomes, report) = engine
+            .run_batch(&Lbfgsb::default(), &jobs, &BatchConfig::default())
+            .unwrap();
+        assert_eq!(report.cache_hits, 0, "different restarts must both miss");
+        assert_eq!(report.cache_misses, 2);
+        assert_eq!(engine.cache().len(), 2, "one entry per restarts variant");
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            let (alone, _) = Engine::new(1)
+                .run_batch(
+                    &Lbfgsb::default(),
+                    std::slice::from_ref(job),
+                    &BatchConfig::default(),
+                )
+                .unwrap();
+            assert_eq!(alone[0].params, outcome.params);
+            assert_eq!(
+                alone[0].expectation.to_bits(),
+                outcome.expectation.to_bits()
+            );
+            assert_eq!(alone[0].function_calls, outcome.function_calls);
+        }
     }
 
     #[test]

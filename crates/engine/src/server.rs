@@ -18,7 +18,9 @@
 //! Determinism: outcomes are a pure function of `(job lines, master seed)`
 //! — the engine derives every per-job RNG from stable keys, and depth-1
 //! jobs go through the (optionally pre-warmed, see [`crate::persist`])
-//! isomorphism cache, which never changes values, only cost.
+//! isomorphism cache, which never changes values, only cost. The cache is
+//! keyed on `(canonical class, restarts)`, so isomorphic jobs in one
+//! session whose restart counts differ never serve each other's optima.
 
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -234,6 +236,28 @@ mod tests {
         assert_eq!(outcomes[0], outcomes[1]);
         assert_eq!(summary.cache_hits, 1);
         assert_eq!(summary.cache_misses, 1);
+    }
+
+    #[test]
+    fn isomorphic_jobs_with_different_restarts_do_not_conflate() {
+        // Relabelings of one 5-cycle at restarts 2 and 3: the second job
+        // must be solved under its own restart budget, not served the
+        // first's cached optimum — and must match the same job run alone.
+        let with_r2 = "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0\nQW1 JOB 1 3 5 1-3,3-0,0-4,4-2,2-1\n";
+        let engine = Engine::new(1);
+        let (out, summary) = run_session(with_r2, &engine);
+        assert_eq!(summary.cache_hits, 0);
+        assert_eq!(summary.cache_misses, 2);
+        let outcomes: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 OUTCOME"))
+            .collect();
+        let (alone_out, _) = run_session("QW1 JOB 1 3 5 1-3,3-0,0-4,4-2,2-1\n", &Engine::new(1));
+        let alone: Vec<&str> = alone_out
+            .lines()
+            .filter(|l| l.starts_with("QW1 OUTCOME"))
+            .collect();
+        assert_eq!(outcomes[1], alone[0], "restarts=3 outcome must be its own");
     }
 
     #[test]

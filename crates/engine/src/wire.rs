@@ -15,7 +15,8 @@
 //!                                            — qaoa::InstanceOutcome
 //! REPORT   := threads SP wall_ns SP fc SP gc SP hits SP misses SP jobstats
 //!                                            — engine::BatchReport
-//! ENTRY    := KEY-payload SP OUTCOME-payload — one persisted cache entry
+//! ENTRY    := restarts SP KEY-payload SP OUTCOME-payload
+//!                                            — one persisted cache entry
 //! RUN      := "-"                            — server flush sentinel
 //! ERR      := free text                      — server-side failure notice
 //! edges    := "-" | edge ("," edge)*   edge := u "-" v [":" hex64]
@@ -48,6 +49,7 @@ use qaoa::datagen::OptimalRecord;
 use qaoa::InstanceOutcome;
 
 use crate::batch::{BatchReport, Job, JobStats};
+use crate::cache::Level1Key;
 
 /// Version tag prefixing every wire line.
 pub const MAGIC: &str = "QW1";
@@ -465,28 +467,40 @@ pub fn encode_err(message: &str) -> String {
 
 // --- cache entries ---------------------------------------------------------
 
-/// Encodes one persisted cache entry — a canonical class and its finished
-/// depth-1 optimum — as one `ENTRY`-typed line (`KEY` payload ++ `OUTCOME`
-/// payload).
+/// Encodes one persisted cache entry — a [`Level1Key`] (canonical class
+/// plus the restarts count the solve drew) and its finished depth-1
+/// optimum — as one `ENTRY`-typed line
+/// (`restarts` ++ `KEY` payload ++ `OUTCOME` payload). Carrying `restarts`
+/// per entry lets one cache file serve runs and job-server sessions that
+/// mix restart counts without conflating their (restart-dependent) optima.
 #[must_use]
-pub fn encode_entry(key: &CanonicalGraphKey, outcome: &InstanceOutcome) -> String {
+pub fn encode_entry(key: &Level1Key, outcome: &InstanceOutcome) -> String {
     let outcome_line = encode_outcome(outcome);
     let outcome_payload = outcome_line
         .strip_prefix(&format!("{MAGIC} OUTCOME "))
         .expect("encode_outcome emits its own prefix");
-    format!("{MAGIC} ENTRY {} {outcome_payload}", key_payload(key))
+    format!(
+        "{MAGIC} ENTRY {} {} {outcome_payload}",
+        key.restarts,
+        key_payload(&key.class)
+    )
 }
 
 /// Decodes an `ENTRY` line.
 ///
 /// # Errors
 ///
-/// Rejects malformed lines.
-pub fn decode_entry(line: &str) -> Result<(CanonicalGraphKey, InstanceOutcome), WireError> {
-    let f = expect_fields(payload(line, "ENTRY")?, 8, "ENTRY")?;
-    let key = key_from_fields(&f[..2])?;
-    let outcome = outcome_from_fields(&f[2..])?;
-    Ok((key, outcome))
+/// Rejects malformed lines, including a restarts count of 0 (no solve ever
+/// runs with zero restarts, so such an entry could never be served).
+pub fn decode_entry(line: &str) -> Result<(Level1Key, InstanceOutcome), WireError> {
+    let f = expect_fields(payload(line, "ENTRY")?, 9, "ENTRY")?;
+    let restarts: usize = parse_int(f[0], "restarts")?;
+    if restarts == 0 {
+        return Err(WireError::new("ENTRY needs restarts >= 1"));
+    }
+    let class = key_from_fields(&f[1..3])?;
+    let outcome = outcome_from_fields(&f[3..])?;
+    Ok((Level1Key::new(class, restarts), outcome))
 }
 
 #[cfg(test)]
@@ -628,11 +642,19 @@ mod tests {
 
     #[test]
     fn entry_round_trip() {
-        let key = graph_key(&generators::path(4));
+        let key = Level1Key::new(graph_key(&generators::path(4)), 3);
         let outcome = sample_outcome();
         let (k, o) = decode_entry(&encode_entry(&key, &outcome)).unwrap();
         assert_eq!(k, key);
+        assert_eq!(k.restarts, 3);
         assert_eq!(o.expectation.to_bits(), outcome.expectation.to_bits());
+        // A restarts-less (pre-restarts-keyed) entry or restarts=0 is
+        // malformed, not silently accepted under a default.
+        let line = encode_entry(&key, &outcome);
+        let old_format = line.replacen("ENTRY 3 ", "ENTRY ", 1);
+        assert!(decode_entry(&old_format).is_err());
+        let zero = line.replacen("ENTRY 3 ", "ENTRY 0 ", 1);
+        assert!(decode_entry(&zero).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! cache files, corrupt/stale fallback, and end-to-end serve sessions.
 
 use engine::persist::{self, LoadStatus};
-use engine::{wire, BatchConfig, Engine, Job, Level1Cache};
+use engine::{wire, BatchConfig, Engine, Job, Level1Cache, Level1Key};
 use graphs::generators;
 use optimize::{Lbfgsb, Termination};
 use proptest::prelude::*;
@@ -193,12 +193,64 @@ fn cold_run_writes_warm_run_hits_without_solving() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Regression for the warm-run purity bug: a cache file written by a
+/// `restarts = 2` run must NOT serve a `restarts = 3` run's depth-1
+/// solves. Entries are keyed on `(class, restarts)`, so the warm run
+/// re-solves under its own budget, returns exactly the bits a cold run
+/// would, and the merged file ends up holding both variants.
+#[test]
+fn warm_run_with_different_restarts_re_solves() {
+    let path = temp_path("restarts");
+    std::fs::remove_file(&path).ok();
+    let graph = generators::cycle(5);
+    let jobs_r2 = vec![Job::new(graph.clone(), 1, 2)];
+    let jobs_r3 = vec![Job::new(graph, 1, 3)];
+    let config = BatchConfig::default();
+    let optimizer = Lbfgsb::default();
+
+    // Run 1 (restarts = 2) persists its entry.
+    let first = Engine::new(1);
+    first.run_batch(&optimizer, &jobs_r2, &config).unwrap();
+    persist::save_merge(first.cache(), &path, config.master_seed).unwrap();
+
+    // Cold reference for restarts = 3 — what a warm run must reproduce.
+    let (reference, _) = Engine::new(1)
+        .run_batch(&optimizer, &jobs_r3, &config)
+        .unwrap();
+
+    // Run 2 (restarts = 3) warm from run 1's file: the foreign-restarts
+    // entry loads but must never be served.
+    let warm = Engine::new(1);
+    assert_eq!(
+        persist::load_into(warm.cache(), &path, config.master_seed),
+        LoadStatus::Loaded(1)
+    );
+    let (outcomes, report) = warm.run_batch(&optimizer, &jobs_r3, &config).unwrap();
+    assert_eq!(report.cache_hits, 0, "restarts=2 entry must not serve r=3");
+    assert_eq!(report.cache_misses, 1);
+    assert_eq!(outcomes[0].params, reference[0].params);
+    assert_eq!(
+        outcomes[0].expectation.to_bits(),
+        reference[0].expectation.to_bits()
+    );
+    assert_eq!(outcomes[0].function_calls, reference[0].function_calls);
+
+    // The merged file now carries both restart variants of the class.
+    persist::save_merge(warm.cache(), &path, config.master_seed).unwrap();
+    let reload = Level1Cache::new();
+    assert_eq!(
+        persist::load_into(&reload, &path, config.master_seed),
+        LoadStatus::Loaded(2)
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 /// Corrupt, truncated, and version/seed-stale cache files are discarded —
 /// the run proceeds cold and the next save regenerates a loadable file.
 #[test]
 fn corrupt_or_stale_cache_file_regenerates() {
     let path = temp_path("fallback");
-    let key = graph_key(&generators::cycle(5));
+    let key = Level1Key::new(graph_key(&generators::cycle(5)), 2);
     let entry = InstanceOutcome {
         params: vec![0.1, 0.2],
         expectation: 1.0,
@@ -222,7 +274,10 @@ fn corrupt_or_stale_cache_file_regenerates() {
             "\u{1}\u{2}\u{3} not text protocol\n".into(),
         ),
         ("truncated mid-entry", good[..good.len() - 10].into()),
-        ("stale version", good.replacen("QCACHE1", "QCACHE0", 1)),
+        (
+            "stale version (pre-restarts-keyed)",
+            good.replacen("QCACHE2", "QCACHE1", 1),
+        ),
         ("foreign seed", good.replacen("seed=2020", "seed=999", 1)),
         ("wrong wire version", good.replace("QW1 ENTRY", "QW9 ENTRY")),
     ];
