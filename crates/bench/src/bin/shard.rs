@@ -1,0 +1,66 @@
+//! `qaoa-shard` — the sharded corpus coordinator.
+//!
+//! Splits the §III-A ensemble into `--shards K` contiguous graph-index
+//! ranges, drives one `engine::corpus` worker per range (each on its own
+//! engine with `--threads N` pool workers), and merges the per-range
+//! records in graph-index order. The merged corpus — and, with
+//! `--cache-file`, the merged depth-1 cache file — is **bit-identical** to
+//! an unsharded run with the same flags, at any shard and thread count;
+//! CI diffs it byte-for-byte against the `table1` corpus.
+//!
+//! The merged corpus TSV goes to `--out PATH` (or stdout); progress and the
+//! shard report go to stderr.
+//!
+//! Run:
+//! `cargo run --release -p bench --bin qaoa-shard -- --quick --shards 3 --out corpus.tsv`
+
+use bench::RunConfig;
+use engine::shard::ShardPlan;
+use engine::Level1Cache;
+
+fn main() {
+    let config = RunConfig::from_env();
+    let datagen = config.datagen();
+    let plan = ShardPlan::split_even(config.graphs, config.shards);
+
+    let cache = Level1Cache::new();
+    config.load_level1(&cache);
+
+    eprintln!(
+        "# qaoa-shard: {} graphs x depths 1..={} over {} shards, {} threads/shard",
+        config.graphs,
+        config.max_depth,
+        plan.shards(),
+        config.threads()
+    );
+    let (dataset, report) =
+        match engine::shard::run_local(&datagen, &plan, config.threads(), &cache) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    for (i, stats) in report.per_shard.iter().enumerate() {
+        eprintln!(
+            "#   shard {i}: graphs {}..{} -> {} cells, {} fn calls ({} cache hits)",
+            stats.range.start, stats.range.end, stats.cells, stats.function_calls, stats.cache_hits,
+        );
+    }
+    eprintln!("# merged: {}", report.summary());
+
+    config.persist_level1(&cache);
+
+    let write_result = match &config.out {
+        Some(path) => dataset.save(path),
+        None => dataset.write_tsv(std::io::stdout().lock()),
+    };
+    match (write_result, &config.out) {
+        (Ok(()), Some(path)) => eprintln!("# corpus written to {}", path.display()),
+        (Ok(()), None) => {}
+        (Err(e), _) => {
+            eprintln!("error: could not write corpus: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,7 +15,8 @@ use crate::RunConfig;
 /// (stderr, exit 2).
 pub const USAGE: &str = "\
 usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
-       [--seed N] [--naive-starts N] [--threads N] [--cache-file PATH] [--help]
+       [--seed N] [--naive-starts N] [--threads N] [--cache-file PATH]
+       [--shards K] [--out PATH] [--help]
 
   --quick            CI-scale preset (small ensemble, shallow depths)
   --nodes N          nodes per graph            (paper: 8)
@@ -29,6 +30,11 @@ usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
                      and processes (corrupt/stale files regenerate). Note:
                      also disables the whole-corpus TSV cache, so depth >= 2
                      cells re-solve every run; only depth-1 is persisted
+  --shards K         split corpus generation into K contiguous graph-index
+                     ranges, one worker per range (qaoa-shard; default: 1;
+                     output is bit-identical at any K)
+  --out PATH         write the merged corpus TSV to PATH instead of stdout
+                     (qaoa-shard)
   --help, -h         print this help and exit";
 
 /// What the argument list asked for: a run, or just the usage text.
@@ -93,6 +99,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
                 config.seed = v.parse().map_err(|e| format!("{flag} {v}: {e}"))?;
             }
             "--cache-file" => config.cache_file = Some(PathBuf::from(value()?)),
+            "--shards" => config.shards = parse_count(flag, value()?)?.max(1),
+            "--out" => config.out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -218,6 +226,21 @@ mod tests {
         assert_eq!(c.cache_file, Some(PathBuf::from("/tmp/l1.cache")));
         assert!(parse_args(args(&["--cache-file"])).is_err());
         assert_eq!(run(&["--quick"]).cache_file, None);
+    }
+
+    #[test]
+    fn shards_and_out_flags() {
+        let c = run(&["--quick", "--shards", "3", "--out", "/tmp/corpus.tsv"]);
+        assert_eq!(c.shards, 3);
+        assert_eq!(c.out, Some(PathBuf::from("/tmp/corpus.tsv")));
+        // Defaults: one shard (unsharded), stdout.
+        assert_eq!(run(&["--quick"]).shards, 1);
+        assert_eq!(run(&["--quick"]).out, None);
+        // 0 shards clamps to 1 (like --threads 0).
+        assert_eq!(run(&["--quick", "--shards", "0"]).shards, 1);
+        assert!(parse_args(args(&["--shards"])).is_err());
+        assert!(parse_args(args(&["--out", "--quick"])).is_err());
+        assert!(USAGE.contains("--shards"));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct RunConfig {
     /// runs — at any thread count — start with all previously-seen
     /// canonical graph classes already solved.
     pub cache_file: Option<std::path::PathBuf>,
+    /// Corpus shard count (`--shards`, `qaoa-shard`): the ensemble is split
+    /// into this many contiguous graph-index ranges, one worker per range.
+    /// Output is bit-identical at any value; default 1 (unsharded).
+    pub shards: usize,
+    /// Output path for the merged corpus TSV (`--out`, `qaoa-shard`);
+    /// `None` writes to stdout.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -62,6 +69,8 @@ impl RunConfig {
             naive_starts: None,
             threads: None,
             cache_file: None,
+            shards: 1,
+            out: None,
         }
     }
 
@@ -78,6 +87,8 @@ impl RunConfig {
             naive_starts: None,
             threads: None,
             cache_file: None,
+            shards: 1,
+            out: None,
         }
     }
 
@@ -135,41 +146,52 @@ impl RunConfig {
         })
     }
 
-    /// A batch engine sized by [`RunConfig::threads`], pre-warmed from
-    /// `--cache-file` when given. A missing, corrupt, or version-stale
-    /// cache file is reported on stderr and ignored — the engine simply
-    /// starts cold and the file is regenerated by
-    /// [`RunConfig::persist_cache`].
-    #[must_use]
-    pub fn engine(&self) -> engine::Engine {
-        let engine = engine::Engine::new(self.threads());
+    /// Pre-warms `cache` from `--cache-file` (no-op without the flag),
+    /// reporting the load status on stderr. A missing, corrupt, or
+    /// version-stale file is ignored — the cache simply starts cold and
+    /// the file is regenerated by [`RunConfig::persist_level1`].
+    pub fn load_level1(&self, cache: &engine::Level1Cache) {
         if let Some(path) = &self.cache_file {
-            let status = engine::persist::load_into(engine.cache(), path, self.seed);
+            let status = engine::persist::load_into(cache, path, self.seed);
             eprintln!("# cache-file {}: {}", path.display(), status.summary());
         }
-        engine
     }
 
-    /// Saves `engine`'s depth-1 cache back to `--cache-file` (merged with
-    /// any entries another process persisted meanwhile). No-op without the
-    /// flag; a failed save is a stderr warning, never fatal — the cache is
-    /// an optimization.
-    pub fn persist_cache(&self, engine: &engine::Engine) {
+    /// Saves `cache` back to `--cache-file` (merged with any entries
+    /// another process persisted meanwhile). No-op without the flag; a
+    /// failed save is a stderr warning, never fatal — the cache is an
+    /// optimization.
+    pub fn persist_level1(&self, cache: &engine::Level1Cache) {
         let Some(path) = &self.cache_file else {
             return;
         };
-        match engine::persist::save_merge(engine.cache(), path, self.seed) {
+        match engine::persist::save_merge(cache, path, self.seed) {
             Ok(n) => eprintln!(
                 "# cache-file {}: saved {n} depth-1 entries ({} hits / {} misses this run)",
                 path.display(),
-                engine.cache().hits(),
-                engine.cache().misses(),
+                cache.hits(),
+                cache.misses(),
             ),
             Err(e) => eprintln!(
                 "# warning: could not save cache-file {}: {e}",
                 path.display()
             ),
         }
+    }
+
+    /// A batch engine sized by [`RunConfig::threads`], pre-warmed from
+    /// `--cache-file` via [`RunConfig::load_level1`].
+    #[must_use]
+    pub fn engine(&self) -> engine::Engine {
+        let engine = engine::Engine::new(self.threads());
+        self.load_level1(engine.cache());
+        engine
+    }
+
+    /// Saves `engine`'s depth-1 cache back to `--cache-file` via
+    /// [`RunConfig::persist_level1`].
+    pub fn persist_cache(&self, engine: &engine::Engine) {
+        self.persist_level1(engine.cache());
     }
 
     /// Generates the corpus for this configuration on the parallel engine,

@@ -49,6 +49,16 @@ pub enum QaoaError {
         /// Description of the problem.
         message: String,
     },
+    /// A graph-index range did not fit the ensemble it addresses (sharded
+    /// corpus generation).
+    InvalidRange {
+        /// Range start (inclusive).
+        start: usize,
+        /// Range end (exclusive).
+        end: usize,
+        /// Size of the ensemble the range was applied to.
+        len: usize,
+    },
 }
 
 impl fmt::Display for QaoaError {
@@ -72,6 +82,12 @@ impl fmt::Display for QaoaError {
             QaoaError::Io(e) => write!(f, "dataset i/o error: {e}"),
             QaoaError::Parse { line, message } => {
                 write!(f, "dataset parse error at line {line}: {message}")
+            }
+            QaoaError::InvalidRange { start, end, len } => {
+                write!(
+                    f,
+                    "graph range {start}..{end} does not fit an ensemble of {len} graphs"
+                )
             }
         }
     }
@@ -148,5 +164,13 @@ mod tests {
             message: "bad field".into(),
         };
         assert!(e.to_string().contains("line 3"));
+
+        let e = QaoaError::InvalidRange {
+            start: 4,
+            end: 9,
+            len: 6,
+        };
+        assert!(e.to_string().contains("4..9"));
+        assert!(e.source().is_none());
     }
 }

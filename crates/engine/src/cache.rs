@@ -209,6 +209,25 @@ impl Level1Cache {
         true
     }
 
+    /// Unions every finished entry of `other` into this cache (existing
+    /// entries win — by the determinism contract both sides hold the same
+    /// bits). Hit/miss counters are untouched. Returns the number of
+    /// entries actually inserted.
+    ///
+    /// This is the shard-merge primitive: [`crate::shard`] forwards a
+    /// coordinator cache into each per-shard engine and folds the shard
+    /// caches back, so isomorphic classes spanning shard boundaries are
+    /// solved once per run instead of once per shard.
+    pub fn merge_from(&self, other: &Level1Cache) -> usize {
+        let mut inserted = 0;
+        for (key, outcome) in other.snapshot() {
+            if self.insert(key, outcome) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
     /// A snapshot of every *finished* entry, sorted by key for
     /// deterministic iteration.
     ///

@@ -17,6 +17,7 @@
 //! Consequently corpus output is a pure function of `(graphs, config)` —
 //! identical at any worker count, with or without cache hits.
 
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 use graphs::{generators, Graph};
@@ -57,6 +58,21 @@ impl CorpusReport {
     }
 }
 
+/// Generates the Erdős–Rényi ensemble of `config` — the exact graph
+/// sequence the serial [`ParameterDataset::generate`] draws (one RNG
+/// streamed across the whole ensemble). Exposed so the shard coordinator
+/// ([`crate::shard`]) and wire workers ([`crate::server`]) materialize
+/// identical ensembles from the spec alone.
+#[must_use]
+pub fn ensemble(config: &DataGenConfig) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.n_graphs)
+        .map(|_| {
+            generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng)
+        })
+        .collect()
+}
+
 /// Generates the Erdős–Rényi ensemble of `config` and solves it in
 /// parallel. The ensemble itself matches the serial
 /// [`ParameterDataset::generate`] exactly (same seed stream); the records
@@ -69,13 +85,7 @@ pub fn generate(
     config: &DataGenConfig,
     engine: &Engine,
 ) -> Result<(ParameterDataset, CorpusReport), QaoaError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let graphs: Vec<Graph> = (0..config.n_graphs)
-        .map(|_| {
-            generators::erdos_renyi_nonempty(config.n_nodes, config.edge_probability, &mut rng)
-        })
-        .collect();
-    from_graphs(graphs, config, engine)
+    from_graphs(ensemble(config), config, engine)
 }
 
 /// Solves a caller-supplied ensemble in parallel (one worker per graph).
@@ -88,6 +98,36 @@ pub fn from_graphs(
     config: &DataGenConfig,
     engine: &Engine,
 ) -> Result<(ParameterDataset, CorpusReport), QaoaError> {
+    let (records, report) = solve_range(&graphs, 0..graphs.len(), config, engine)?;
+    let dataset = ParameterDataset::from_parts(graphs, records, config.max_depth)?;
+    Ok((dataset, report))
+}
+
+/// Solves the `(graph, depth)` cells of `range` (global graph indices into
+/// `graphs`) in parallel, returning the records in graph-index order.
+///
+/// This is the shard worker's unit of work: every per-cell RNG is derived
+/// from the **global** graph index, so a worker handed `graphs[a..b]` of a
+/// larger ensemble produces exactly the records an unsharded run computes
+/// for those indices — the bit-parity invariant [`crate::shard`] builds on.
+///
+/// # Errors
+///
+/// Propagates problem-construction and optimizer errors; rejects a range
+/// extending past the ensemble.
+pub fn solve_range(
+    graphs: &[Graph],
+    range: Range<usize>,
+    config: &DataGenConfig,
+    engine: &Engine,
+) -> Result<(Vec<OptimalRecord>, CorpusReport), QaoaError> {
+    if range.end > graphs.len() || range.start > range.end {
+        return Err(QaoaError::InvalidRange {
+            start: range.start,
+            end: range.end,
+            len: graphs.len(),
+        });
+    }
     let start = Instant::now();
     let batch_config = BatchConfig {
         master_seed: config.seed,
@@ -97,7 +137,8 @@ pub fn from_graphs(
     let optimizer = Lbfgsb::default();
 
     let per_graph: Vec<Result<(Vec<OptimalRecord>, usize), QaoaError>> =
-        engine.pool().run_ordered(graphs.len(), |graph_id| {
+        engine.pool().run_ordered(range.len(), |offset| {
+            let graph_id = range.start + offset;
             solve_graph(
                 &graphs[graph_id],
                 graph_id,
@@ -108,7 +149,7 @@ pub fn from_graphs(
             )
         });
 
-    let mut records = Vec::with_capacity(graphs.len() * config.max_depth);
+    let mut records = Vec::with_capacity(range.len() * config.max_depth);
     let mut cache_hits = 0;
     for result in per_graph {
         let (graph_records, hits) = result?;
@@ -116,18 +157,15 @@ pub fn from_graphs(
         records.extend(graph_records);
     }
     let function_calls = records.iter().map(|r| r.function_calls).sum();
-    let cells = records.len();
-    let n_graphs = graphs.len();
-    let dataset = ParameterDataset::from_parts(graphs, records, config.max_depth)?;
     let report = CorpusReport {
-        graphs: n_graphs,
-        cells,
+        graphs: range.len(),
+        cells: records.len(),
         wall: start.elapsed(),
         threads: engine.threads(),
         cache_hits,
         function_calls,
     };
-    Ok((dataset, report))
+    Ok((records, report))
 }
 
 /// Solves all depths of one graph; returns its records and the number of

@@ -20,12 +20,17 @@
 //! * [`corpus`] — the parallel §III-A corpus generator,
 //! * [`compare`] — the parallel naive-vs-ML comparison sweep,
 //! * [`wire`] — the versioned line-delimited text codec for jobs, outcomes,
-//!   canonical keys, corpus records, and batch reports,
+//!   canonical keys, corpus records, batch reports, and shard tasking,
 //! * [`persist`] — save/load/merge of the depth-1 cache across processes
 //!   (corrupt or stale files are discarded, never fatal),
 //! * [`server`] — the job-server request loop behind the `qaoa-serve`
 //!   binary: `JOB` lines in, `OUTCOME`/`REPORT` lines out, in submission
-//!   order.
+//!   order, plus the worker side of shard tasking (`SHARD`/`RANGE` in,
+//!   `RECORD`/`DONE` out),
+//! * [`shard`] — the corpus shard coordinator: a validated [`ShardPlan`]
+//!   over graph-index ranges, driven locally ([`shard::run_local`], the
+//!   `qaoa-shard` binary) or over the wire ([`shard::run_wire`]), merging
+//!   to output **bit-identical** to the unsharded run.
 //!
 //! # Quickstart
 //!
@@ -70,6 +75,7 @@ pub mod persist;
 pub mod pool;
 pub mod seed;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchReport, Engine, Job, JobStats};
@@ -78,6 +84,7 @@ pub use corpus::CorpusReport;
 pub use persist::LoadStatus;
 pub use pool::Pool;
 pub use server::ServeSummary;
+pub use shard::{ShardError, ShardPlan, ShardReport, ShardStats};
 pub use wire::WireError;
 
 #[cfg(test)]

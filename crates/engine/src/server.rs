@@ -8,6 +8,16 @@
 //! followed by one `REPORT` line per batch; the output is flushed after
 //! every batch so interactive clients see results as soon as they exist.
 //!
+//! The same loop speaks the **worker side of shard tasking**
+//! ([`crate::shard`]): a `SHARD` line opens a corpus session (the worker
+//! derives the full ensemble from the spec's seed), and each subsequent
+//! `RANGE` line generates that global graph-index range's corpus cells,
+//! streaming `RECORD` lines back followed by one `DONE` marker. Range
+//! tasking is validated in context — a `RANGE` before any `SHARD`, a range
+//! past the ensemble, or one overlapping an already-served range answers
+//! `ERR` (a coordinator bug must surface, not silently double-generate
+//! records).
+//!
 //! Error containment: a malformed line answers with an `ERR` line and the
 //! loop continues — one bad client line must not kill a server multiplexing
 //! many. [`crate::wire::decode_job`] validates executability at decode
@@ -21,13 +31,22 @@
 //! isomorphism cache, which never changes values, only cost. The cache is
 //! keyed on `(canonical class, restarts)`, so isomorphic jobs in one
 //! session whose restart counts differ never serve each other's optima.
+//! Shard sessions run on their **own** engine (cache entries are pure
+//! functions of the *session spec's* master seed, which need not match the
+//! server's `--seed`); when the two seeds do agree, the session engine is
+//! pre-warmed from the server cache and folded back after each range, so
+//! `--cache-file` benefits shard work too.
 
 use std::fmt;
 use std::io::{BufRead, Write};
+use std::ops::Range;
 
+use graphs::Graph;
 use optimize::Optimizer;
+use qaoa::datagen::DataGenConfig;
 
 use crate::batch::{BatchConfig, Engine, Job};
+use crate::corpus;
 use crate::wire;
 
 /// Accounting for one [`serve`] session.
@@ -37,7 +56,11 @@ pub struct ServeSummary {
     pub jobs: usize,
     /// Batches flushed (RUN sentinels plus the implicit EOF flush).
     pub batches: usize,
-    /// `ERR` lines emitted (malformed input or failed batches).
+    /// Shard ranges served (`RANGE` lines that completed with `DONE`).
+    pub ranges: usize,
+    /// Corpus cells generated across all served ranges.
+    pub cells: usize,
+    /// `ERR` lines emitted (malformed input, failed batches or ranges).
     pub errors: usize,
     /// Depth-1 cache hits across all batches.
     pub cache_hits: usize,
@@ -49,14 +72,26 @@ impl fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs in {} batches ({} errors, depth-1 cache {}/{} hit)",
+            "{} jobs in {} batches, {} shard ranges / {} cells ({} errors, depth-1 cache {}/{} hit)",
             self.jobs,
             self.batches,
+            self.ranges,
+            self.cells,
             self.errors,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
         )
     }
+}
+
+/// One open shard-tasking session: the corpus spec a `SHARD` line declared,
+/// the ensemble derived from it, the session's own engine, and the ranges
+/// already served (for overlap rejection).
+struct ShardSession {
+    spec: DataGenConfig,
+    graphs: Vec<Graph>,
+    engine: Engine,
+    served: Vec<Range<usize>>,
 }
 
 /// Runs the request loop until `input` is exhausted. Blank lines and
@@ -76,6 +111,7 @@ pub fn serve<R: BufRead, W: Write>(
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let mut pending: Vec<Job> = Vec::new();
+    let mut session: Option<ShardSession> = None;
 
     for line in input.lines() {
         let line = line?;
@@ -98,10 +134,26 @@ pub fn serve<R: BufRead, W: Write>(
                     &mut summary,
                 )?;
             }
+            Ok("SHARD") => match wire::decode_shard(line) {
+                Ok(spec) => session = Some(open_session(spec, engine, config)),
+                Err(e) => reject(&mut output, &mut summary, &e.to_string())?,
+            },
+            Ok("RANGE") => {
+                serve_range(
+                    &mut output,
+                    line,
+                    session.as_mut(),
+                    engine,
+                    config,
+                    &mut summary,
+                )?;
+            }
             Ok(other) => reject(
                 &mut output,
                 &mut summary,
-                &format!("unexpected {other} message (the server accepts JOB and RUN)"),
+                &format!(
+                    "unexpected {other} message (the server accepts JOB, RUN, SHARD, and RANGE)"
+                ),
             )?,
             Err(e) => reject(&mut output, &mut summary, &e.to_string())?,
         }
@@ -129,6 +181,111 @@ fn reject<W: Write>(
     summary.errors += 1;
     writeln!(output, "{}", wire::encode_err(message))?;
     output.flush()
+}
+
+/// Opens a shard session for `spec`: derives the ensemble and gives the
+/// session its own engine (cache purity — see the module docs), pre-warmed
+/// from the server cache when the two master seeds agree.
+fn open_session(spec: DataGenConfig, engine: &Engine, config: &BatchConfig) -> ShardSession {
+    let session_engine = Engine::new(engine.threads());
+    if spec.seed == config.master_seed {
+        session_engine.cache().merge_from(engine.cache());
+    }
+    ShardSession {
+        graphs: corpus::ensemble(&spec),
+        spec,
+        engine: session_engine,
+        served: Vec::new(),
+    }
+}
+
+/// Handles one `RANGE` line: contextual validation against the open
+/// session, then the solve, streaming `RECORD` lines and the `DONE` marker.
+fn serve_range<W: Write>(
+    output: &mut W,
+    line: &str,
+    session: Option<&mut ShardSession>,
+    engine: &Engine,
+    config: &BatchConfig,
+    summary: &mut ServeSummary,
+) -> std::io::Result<()> {
+    let range = match wire::decode_range(line) {
+        Ok(range) => range,
+        Err(e) => return reject(output, summary, &e.to_string()),
+    };
+    let Some(session) = session else {
+        return reject(
+            output,
+            summary,
+            "RANGE before SHARD (no corpus spec in this session)",
+        );
+    };
+    if range.end > session.graphs.len() {
+        return reject(
+            output,
+            summary,
+            &format!(
+                "RANGE {}..{} out of bounds (the SHARD spec has {} graphs)",
+                range.start,
+                range.end,
+                session.graphs.len()
+            ),
+        );
+    }
+    // Overlap = a shared graph index, which an empty range cannot have —
+    // plans legally contain empty ranges anywhere, including inside
+    // another shard's span, so only non-empty pairs can conflict.
+    if let Some(prior) = session
+        .served
+        .iter()
+        .find(|s| !range.is_empty() && s.start < range.end && range.start < s.end)
+    {
+        return reject(
+            output,
+            summary,
+            &format!(
+                "RANGE {}..{} overlaps already-served range {}..{}",
+                range.start, range.end, prior.start, prior.end
+            ),
+        );
+    }
+    match corpus::solve_range(
+        &session.graphs,
+        range.clone(),
+        &session.spec,
+        &session.engine,
+    ) {
+        Ok((records, report)) => {
+            for record in &records {
+                writeln!(output, "{}", wire::encode_record(record))?;
+            }
+            writeln!(
+                output,
+                "{}",
+                wire::encode_done(&wire::RangeDone {
+                    range: range.clone(),
+                    cells: report.cells,
+                    function_calls: report.function_calls,
+                })
+            )?;
+            // An empty range covers no indices; keeping it out of the
+            // served set means it can never (spuriously) conflict.
+            if !range.is_empty() {
+                session.served.push(range);
+            }
+            if session.spec.seed == config.master_seed {
+                engine.cache().merge_from(session.engine.cache());
+            }
+            summary.ranges += 1;
+            summary.cells += report.cells;
+            output.flush()
+        }
+        Err(e) => reject(
+            output,
+            summary,
+            &format!("range {}..{} failed: {e}", range.start, range.end),
+        ),
+    }
 }
 
 fn flush_batch<W: Write>(
@@ -278,6 +435,174 @@ QW1 JOB 1 2 3 0-1,1-2\n";
             out.lines().filter(|l| l.starts_with("QW1 OUTCOME")).count(),
             1
         );
+    }
+
+    /// A quick-scale SHARD line (10 graphs, 6 nodes, p=0.5, depth 3,
+    /// restarts 3, seed 2020, margin 1e-3).
+    fn shard_line() -> String {
+        wire::encode_shard(&qaoa::datagen::DataGenConfig::quick())
+    }
+
+    #[test]
+    fn shard_session_serves_ranges_with_records_and_done() {
+        let input = format!("{}\nQW1 RANGE 2 4\nQW1 RANGE 0 0\n", shard_line());
+        let engine = Engine::new(2);
+        let (out, summary) = run_session(&input, &engine);
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(summary.ranges, 2);
+        assert_eq!(summary.cells, 6, "2 graphs x depths 1..=3");
+        let records: Vec<_> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 RECORD"))
+            .map(|l| wire::decode_record(l).unwrap())
+            .collect();
+        assert_eq!(records.len(), 6);
+        // Global graph ids, graph-major depth-minor order.
+        let coords: Vec<(usize, usize)> = records.iter().map(|r| (r.graph_id, r.depth)).collect();
+        assert_eq!(coords, vec![(2, 1), (2, 2), (2, 3), (3, 1), (3, 2), (3, 3)]);
+        // One DONE per range, carrying the range's accounting; the empty
+        // range completes with zero cells.
+        let dones: Vec<_> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 DONE"))
+            .map(|l| wire::decode_done(l).unwrap())
+            .collect();
+        assert_eq!(dones.len(), 2);
+        assert_eq!(dones[0].range, 2..4);
+        assert_eq!(dones[0].cells, 6);
+        assert_eq!(
+            dones[0].function_calls,
+            records.iter().map(|r| r.function_calls).sum::<usize>()
+        );
+        assert_eq!(dones[1].range, 0..0);
+        assert_eq!(dones[1].cells, 0);
+    }
+
+    #[test]
+    fn range_records_match_a_direct_solve_bit_for_bit() {
+        let spec = qaoa::datagen::DataGenConfig::quick();
+        let input = format!("{}\nQW1 RANGE 4 6\n", wire::encode_shard(&spec));
+        let (out, _) = run_session(&input, &Engine::new(2));
+        let served: Vec<String> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 RECORD"))
+            .map(String::from)
+            .collect();
+        let graphs = crate::corpus::ensemble(&spec);
+        let (direct, _) =
+            crate::corpus::solve_range(&graphs, 4..6, &spec, &Engine::new(1)).unwrap();
+        let expected: Vec<String> = direct.iter().map(wire::encode_record).collect();
+        assert_eq!(served, expected, "wire records must be bit-identical");
+    }
+
+    #[test]
+    fn range_before_shard_answers_err_and_loop_survives() {
+        let input = format!("QW1 RANGE 0 2\n{}\nQW1 RANGE 0 1\n", shard_line());
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.ranges, 1, "the post-SHARD range still served");
+        assert!(out.contains("RANGE before SHARD"));
+    }
+
+    #[test]
+    fn out_of_bounds_range_answers_err_and_loop_survives() {
+        // The quick spec has 10 graphs; 8..12 must be refused in context
+        // even though the RANGE line itself is well-formed.
+        let input = format!("{}\nQW1 RANGE 8 12\nQW1 RANGE 8 10\n", shard_line());
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.ranges, 1);
+        assert!(out.contains("out of bounds"));
+    }
+
+    #[test]
+    fn overlapping_ranges_answer_err_and_loop_survives() {
+        let input = format!(
+            "{}\nQW1 RANGE 0 2\nQW1 RANGE 1 3\nQW1 RANGE 2 3\n",
+            shard_line()
+        );
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 1, "output: {out}");
+        assert_eq!(summary.ranges, 2, "disjoint follow-up range still served");
+        assert!(out.contains("overlaps already-served range 0..2"));
+        // A fresh SHARD resets the served set: re-serving 0..2 is fine.
+        let reshard = format!("{0}\nQW1 RANGE 0 2\n{0}\nQW1 RANGE 0 2\n", shard_line());
+        let (_, summary) = run_session(&reshard, &Engine::new(1));
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.ranges, 2);
+    }
+
+    #[test]
+    fn empty_ranges_never_overlap_anything() {
+        // Plans legally contain empty ranges anywhere — including a point
+        // strictly inside an already-served span — and an empty range
+        // covers no indices, so it must serve (zero records + DONE), not
+        // answer ERR. It must also never block a later real range.
+        let input = format!(
+            "{}\nQW1 RANGE 0 4\nQW1 RANGE 2 2\nQW1 RANGE 2 2\nQW1 RANGE 4 6\n",
+            shard_line()
+        );
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(summary.ranges, 4);
+        let dones: Vec<_> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 DONE"))
+            .map(|l| wire::decode_done(l).unwrap())
+            .collect();
+        assert_eq!(dones.len(), 4);
+        assert_eq!((dones[1].range.clone(), dones[1].cells), (2..2, 0));
+        assert_eq!(dones[3].range, 4..6);
+    }
+
+    #[test]
+    fn worker_only_lines_answer_err_without_killing_the_loop() {
+        // DONE (and a duplicate of it) belongs to the worker->coordinator
+        // direction; a server receiving one answers ERR per line, like any
+        // unexpected message, and keeps serving.
+        let input = format!(
+            "QW1 DONE 0 2 4 100\nQW1 DONE 0 2 4 100\n{}\nQW1 RANGE 0 1\nQW1 SHARD bogus\nQW1 RANGE 0 0\n",
+            shard_line()
+        );
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 3, "two DONEs + one malformed SHARD");
+        assert_eq!(summary.ranges, 2, "ranges around the bad lines served");
+        assert_eq!(out.lines().filter(|l| l.starts_with("QW1 ERR")).count(), 3);
+        assert!(out.contains("unexpected DONE message"));
+    }
+
+    #[test]
+    fn oversized_shard_spec_answers_err_and_loop_survives() {
+        // Regression: a SHARD line declaring a near-usize::MAX ensemble
+        // once reached the eager ensemble allocation and killed the whole
+        // process with a capacity overflow. It must be refused at decode
+        // time like any other non-executable spec.
+        let input = format!(
+            "QW1 SHARD {} 5 3fe0000000000000 2 2 99 3f50624dd2f1a9fc\n{}\nQW1 RANGE 0 1\n",
+            usize::MAX,
+            shard_line()
+        );
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.ranges, 1, "the sane follow-up session still works");
+        assert!(out.contains("exceeds"));
+    }
+
+    #[test]
+    fn shard_sessions_and_job_batches_coexist() {
+        let input = format!(
+            "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0\n{}\nQW1 RANGE 0 1\nQW1 RUN -\n",
+            shard_line()
+        );
+        let (out, summary) = run_session(&input, &Engine::new(1));
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(summary.jobs, 1);
+        assert_eq!(summary.ranges, 1);
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("QW1 OUTCOME")).count(),
+            1
+        );
+        assert_eq!(out.lines().filter(|l| l.starts_with("QW1 DONE")).count(), 1);
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! Sharded corpus generation: split the §III-A ensemble over workers by
+//! graph-index range, with a bit-parity guarantee.
+//!
+//! ROADMAP step (c): corpus generation scales past one machine by handing
+//! each worker a contiguous range of global graph indices. The pieces were
+//! already in place — [`crate::corpus::solve_range`] seeds every cell from
+//! its *global* index, the `QW1` wire format moves records bit-exactly, and
+//! [`crate::persist::save_merge`] unions cache files — so sharding is pure
+//! composition:
+//!
+//! * [`ShardPlan`] — a validated partition of `0..n_graphs` into
+//!   contiguous, non-overlapping, covering index ranges (empty and
+//!   singleton ranges included),
+//! * [`run_local`] — one [`crate::corpus`] worker per range, each on its
+//!   own engine/pool: the single-process rehearsal of the multi-machine
+//!   topology, and what the `qaoa-shard` binary drives,
+//! * [`run_wire`] — the same plan executed through the `QW1` protocol: the
+//!   coordinator sends each worker a `SHARD` (corpus spec) line and a
+//!   `RANGE` line, and reads `RECORD` lines plus one `DONE` marker back
+//!   (see [`crate::server`], which speaks the worker side),
+//! * [`loopback_transport`] — an in-process [`crate::server::serve`] worker
+//!   per shard, for tests and single-machine wire rehearsals.
+//!
+//! # The bit-parity guarantee
+//!
+//! For a fixed corpus spec, **any** valid plan at **any** worker/thread
+//! count merges to output bit-identical to the unsharded run:
+//!
+//! * every `(graph, depth ≥ 2)` cell draws from an RNG derived from the
+//!   *global* graph index, never from shard-local position,
+//! * every depth-1 cell is a pure function of
+//!   `(master seed, canonical class, restarts)` — solved on the canonical
+//!   representative, seeded from the class hash — so it does not matter
+//!   *which* shard solves a class first,
+//! * records are merged in range order (= graph-index order), exactly the
+//!   order the unsharded generator emits,
+//! * per-shard caches union into one entry set equal to the unsharded
+//!   run's, so a merged cache file ([`crate::persist::save_merge`]) is
+//!   byte-identical too.
+//!
+//! `tests/tests/shard.rs` pins the property down with a mini-proptest over
+//! arbitrary partitions; CI diffs `qaoa-shard` output against the
+//! unsharded `table1` corpus byte-for-byte.
+
+use std::fmt;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use qaoa::datagen::{DataGenConfig, OptimalRecord, ParameterDataset};
+use qaoa::QaoaError;
+
+use crate::batch::Engine;
+use crate::cache::Level1Cache;
+use crate::corpus;
+use crate::wire;
+
+/// A failed shard plan, protocol exchange, or underlying solve.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The plan is not a valid partition (or does not match the spec).
+    Plan(String),
+    /// A wire worker broke protocol (bad line, wrong/duplicate `DONE`,
+    /// out-of-order records, or an in-band `ERR`).
+    Protocol {
+        /// Index of the offending shard within the plan.
+        shard: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A local solve failed.
+    Solve(QaoaError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Plan(message) => write!(f, "shard plan: {message}"),
+            ShardError::Protocol { shard, message } => {
+                write!(f, "shard {shard}: {message}")
+            }
+            ShardError::Solve(e) => write!(f, "shard solve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<QaoaError> for ShardError {
+    fn from(e: QaoaError) -> Self {
+        ShardError::Solve(e)
+    }
+}
+
+/// A validated partition of `0..n_graphs` into contiguous index ranges.
+///
+/// Invariants (enforced by both constructors): ranges are in ascending
+/// order, non-overlapping, and cover `0..n_graphs` exactly — every global
+/// graph index belongs to precisely one range. Empty ranges are legal
+/// anywhere (a shard may simply have nothing to do), which is what lets
+/// [`ShardPlan::split_even`] hand out more shards than graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_graphs: usize,
+    ranges: Vec<Range<usize>>,
+}
+
+impl ShardPlan {
+    /// Splits `0..n_graphs` into `shards` near-equal contiguous ranges
+    /// (the first `n_graphs % shards` ranges hold one extra graph). A
+    /// `shards` of 0 is treated as 1.
+    #[must_use]
+    pub fn split_even(n_graphs: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = n_graphs / shards;
+        let extra = n_graphs % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut cursor = 0;
+        for i in 0..shards {
+            let len = base + usize::from(i < extra);
+            ranges.push(cursor..cursor + len);
+            cursor += len;
+        }
+        Self { n_graphs, ranges }
+    }
+
+    /// Validates a caller-supplied partition of `0..n_graphs`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects inverted ranges, gaps, overlaps, and partitions that do not
+    /// cover `0..n_graphs` exactly. An empty range list is valid only for
+    /// an empty ensemble.
+    pub fn from_ranges(n_graphs: usize, ranges: Vec<Range<usize>>) -> Result<Self, ShardError> {
+        let mut cursor = 0;
+        for (i, range) in ranges.iter().enumerate() {
+            if range.start > range.end {
+                return Err(ShardError::Plan(format!(
+                    "range {i} ({}..{}) is inverted",
+                    range.start, range.end
+                )));
+            }
+            if range.start != cursor {
+                return Err(ShardError::Plan(format!(
+                    "range {i} starts at {} but the previous range ended at {cursor} \
+                     (ranges must tile 0..{n_graphs} without gaps or overlaps)",
+                    range.start
+                )));
+            }
+            cursor = range.end;
+        }
+        if cursor != n_graphs {
+            return Err(ShardError::Plan(format!(
+                "ranges cover 0..{cursor} but the ensemble has {n_graphs} graphs"
+            )));
+        }
+        Ok(Self { n_graphs, ranges })
+    }
+
+    /// The partitioned ranges, in ascending graph-index order.
+    #[must_use]
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Number of shards (ranges) in the plan.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Size of the ensemble this plan partitions.
+    #[must_use]
+    pub fn n_graphs(&self) -> usize {
+        self.n_graphs
+    }
+
+    fn check_spec(&self, config: &DataGenConfig) -> Result<(), ShardError> {
+        if self.n_graphs != config.n_graphs {
+            return Err(ShardError::Plan(format!(
+                "plan partitions {} graphs but the spec generates {}",
+                self.n_graphs, config.n_graphs
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Accounting for one shard of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The global graph-index range this shard covered.
+    pub range: Range<usize>,
+    /// `(graph, depth)` cells produced.
+    pub cells: usize,
+    /// Total function calls across the shard's records.
+    pub function_calls: usize,
+    /// Depth-1 solves served from cache (0 for wire shards, whose workers
+    /// do not report hit counts through `DONE`).
+    pub cache_hits: usize,
+}
+
+/// Accounting for one sharded corpus run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Per-shard stats, in plan order.
+    pub per_shard: Vec<ShardStats>,
+    /// End-to-end coordinator wall-clock time.
+    pub wall: Duration,
+}
+
+impl ShardReport {
+    /// Total `(graph, depth)` cells across all shards.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.per_shard.iter().map(|s| s.cells).sum()
+    }
+
+    /// Total function calls across all shards.
+    #[must_use]
+    pub fn function_calls(&self) -> usize {
+        self.per_shard.iter().map(|s| s.function_calls).sum()
+    }
+
+    /// Total depth-1 cache hits across all shards.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.per_shard.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} shards / {} cells in {:.2?} ({} level-1 cache hits, {} fn calls)",
+            self.per_shard.len(),
+            self.cells(),
+            self.wall,
+            self.cache_hits(),
+            self.function_calls(),
+        )
+    }
+}
+
+/// Runs a sharded corpus generation in-process: one
+/// [`corpus::solve_range`] worker per range, each on its own engine (with
+/// `threads_per_shard` pool workers), merged in graph-index order.
+///
+/// `shared_cache` plays the coordinator's depth-1 cache: each shard engine
+/// is pre-warmed from it before solving and folded back into it after, so
+/// canonical classes spanning shard boundaries are solved once per run —
+/// and a caller that loaded the cache from a `--cache-file` gets the same
+/// warm-start any unsharded driver gets. Pass a fresh
+/// [`Level1Cache::new()`] when no persistence is wanted.
+///
+/// The merged dataset is **bit-identical** to
+/// [`corpus::generate`] with the same spec, for any valid plan, any
+/// `threads_per_shard`, and any warm/cold cache state.
+///
+/// # Errors
+///
+/// Rejects a plan that does not match the spec; propagates solve errors.
+pub fn run_local(
+    config: &DataGenConfig,
+    plan: &ShardPlan,
+    threads_per_shard: usize,
+    shared_cache: &Level1Cache,
+) -> Result<(ParameterDataset, ShardReport), ShardError> {
+    plan.check_spec(config)?;
+    let start = Instant::now();
+    let graphs = corpus::ensemble(config);
+    let mut records = Vec::with_capacity(config.n_graphs * config.max_depth);
+    let mut per_shard = Vec::with_capacity(plan.shards());
+    for range in plan.ranges() {
+        let engine = Engine::new(threads_per_shard);
+        engine.cache().merge_from(shared_cache);
+        let (shard_records, report) = corpus::solve_range(&graphs, range.clone(), config, &engine)?;
+        shared_cache.merge_from(engine.cache());
+        per_shard.push(ShardStats {
+            range: range.clone(),
+            cells: report.cells,
+            function_calls: report.function_calls,
+            cache_hits: report.cache_hits,
+        });
+        records.extend(shard_records);
+    }
+    let dataset = ParameterDataset::from_parts(graphs, records, config.max_depth)?;
+    Ok((
+        dataset,
+        ShardReport {
+            per_shard,
+            wall: start.elapsed(),
+        },
+    ))
+}
+
+/// Runs a sharded corpus generation through the `QW1` wire protocol.
+///
+/// For each range in the plan, the coordinator composes a request script —
+/// one `SHARD` line carrying the corpus spec, one `RANGE` line tasking the
+/// index range — and hands it to `transport(shard_index, script)`, which
+/// models one worker exchange (piping to a `qaoa-serve` process, an
+/// in-process [`loopback_transport`] worker, a socket…). The response must
+/// contain the range's `RECORD` lines in graph-index order followed by
+/// exactly one matching `DONE` marker; anything else — an in-band `ERR`, a
+/// wrong or duplicate `DONE`, missing or out-of-order records — is a
+/// [`ShardError::Protocol`].
+///
+/// Graphs never travel: coordinator and workers derive the identical
+/// ensemble from the spec's seed, so the exchange is records-only.
+///
+/// # Errors
+///
+/// Rejects plan/spec mismatches and every protocol violation above;
+/// propagates transport errors.
+pub fn run_wire<T>(
+    config: &DataGenConfig,
+    plan: &ShardPlan,
+    transport: &mut T,
+) -> Result<(ParameterDataset, ShardReport), ShardError>
+where
+    T: FnMut(usize, &str) -> Result<String, String>,
+{
+    plan.check_spec(config)?;
+    let start = Instant::now();
+    let graphs = corpus::ensemble(config);
+    let mut records = Vec::with_capacity(config.n_graphs * config.max_depth);
+    let mut per_shard = Vec::with_capacity(plan.shards());
+    for (shard, range) in plan.ranges().iter().enumerate() {
+        let script = format!(
+            "{}\n{}\n",
+            wire::encode_shard(config),
+            wire::encode_range(range)
+        );
+        let response = transport(shard, &script).map_err(|message| ShardError::Protocol {
+            shard,
+            message: format!("transport failed: {message}"),
+        })?;
+        let (shard_records, stats) =
+            parse_worker_response(shard, range, config.max_depth, &response)?;
+        per_shard.push(stats);
+        records.extend(shard_records);
+    }
+    let dataset = ParameterDataset::from_parts(graphs, records, config.max_depth)?;
+    Ok((
+        dataset,
+        ShardReport {
+            per_shard,
+            wall: start.elapsed(),
+        },
+    ))
+}
+
+/// Validates one worker's response: `RECORD` lines in exact `(graph_id,
+/// depth)` order for the tasked range, then exactly one matching `DONE`.
+fn parse_worker_response(
+    shard: usize,
+    range: &Range<usize>,
+    max_depth: usize,
+    response: &str,
+) -> Result<(Vec<OptimalRecord>, ShardStats), ShardError> {
+    let fail = |message: String| ShardError::Protocol { shard, message };
+    let mut records: Vec<OptimalRecord> = Vec::with_capacity(range.len() * max_depth);
+    let mut done: Option<wire::RangeDone> = None;
+    for line in response.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match wire::message_type(line).map_err(|e| fail(e.to_string()))? {
+            "RECORD" => {
+                if done.is_some() {
+                    return Err(fail("RECORD after DONE".into()));
+                }
+                let record = wire::decode_record(line).map_err(|e| fail(e.to_string()))?;
+                // Enforce the exact merge order up front: graph-index-major,
+                // depth-minor — the order the unsharded generator emits.
+                let expected_graph = range.start + records.len() / max_depth;
+                let expected_depth = 1 + records.len() % max_depth;
+                if record.graph_id != expected_graph || record.depth != expected_depth {
+                    return Err(fail(format!(
+                        "record {} out of order: got (graph {}, depth {}), \
+                         expected (graph {expected_graph}, depth {expected_depth})",
+                        records.len(),
+                        record.graph_id,
+                        record.depth
+                    )));
+                }
+                records.push(record);
+            }
+            "DONE" => {
+                let marker = wire::decode_done(line).map_err(|e| fail(e.to_string()))?;
+                if marker.range != *range {
+                    return Err(fail(format!(
+                        "DONE for {}..{} but this shard was tasked {}..{}",
+                        marker.range.start, marker.range.end, range.start, range.end
+                    )));
+                }
+                if done.is_some() {
+                    return Err(fail("duplicate DONE".into()));
+                }
+                done = Some(marker);
+            }
+            "ERR" => {
+                return Err(fail(format!("worker answered: {line}")));
+            }
+            other => {
+                return Err(fail(format!(
+                    "unexpected {other} message in a shard response"
+                )));
+            }
+        }
+    }
+    let done = done.ok_or_else(|| fail("response ended without DONE".into()))?;
+    if records.len() != range.len() * max_depth {
+        return Err(fail(format!(
+            "expected {} records for {}..{} at max depth {max_depth}, got {}",
+            range.len() * max_depth,
+            range.start,
+            range.end,
+            records.len()
+        )));
+    }
+    if done.cells != records.len() {
+        return Err(fail(format!(
+            "DONE reports {} cells but {} records arrived",
+            done.cells,
+            records.len()
+        )));
+    }
+    let function_calls: usize = records.iter().map(|r| r.function_calls).sum();
+    if done.function_calls != function_calls {
+        return Err(fail(format!(
+            "DONE reports {} function calls but the records sum to {function_calls}",
+            done.function_calls
+        )));
+    }
+    Ok((
+        records,
+        ShardStats {
+            range: range.clone(),
+            cells: done.cells,
+            function_calls,
+            cache_hits: 0,
+        },
+    ))
+}
+
+/// A [`run_wire`] transport backed by one in-process
+/// [`crate::server::serve`] worker per exchange — each shard gets a fresh
+/// engine with `threads` pool workers, exactly like piping the script to a
+/// separate `qaoa-serve` process. Used by tests and single-machine wire
+/// rehearsals.
+pub fn loopback_transport(threads: usize) -> impl FnMut(usize, &str) -> Result<String, String> {
+    move |_shard, script: &str| {
+        let engine = Engine::new(threads);
+        let mut out = Vec::new();
+        crate::server::serve(
+            std::io::Cursor::new(script.to_string()),
+            &mut out,
+            &engine,
+            &optimize::Lbfgsb::default(),
+            &crate::batch::BatchConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        String::from_utf8(out).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_tiles_exactly() {
+        for (n, k) in [(10, 3), (24, 4), (5, 1), (3, 7), (0, 2), (1, 1)] {
+            let plan = ShardPlan::split_even(n, k);
+            assert_eq!(plan.shards(), k.max(1));
+            assert_eq!(plan.n_graphs(), n);
+            // Re-validating the generated ranges proves the invariants.
+            let revalidated = ShardPlan::from_ranges(n, plan.ranges().to_vec()).unwrap();
+            assert_eq!(revalidated, plan);
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = plan.ranges().iter().map(std::ops::Range::len).collect();
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "{n} over {k}: sizes {sizes:?}");
+        }
+        assert_eq!(
+            ShardPlan::split_even(7, 0).ranges(),
+            ShardPlan::split_even(7, 1).ranges(),
+            "0 shards clamps to 1"
+        );
+    }
+
+    #[test]
+    fn from_ranges_accepts_empty_and_singleton_ranges() {
+        let plan = ShardPlan::from_ranges(4, vec![0..0, 0..1, 1..1, 1..4, 4..4]).unwrap();
+        assert_eq!(plan.shards(), 5);
+        assert!(ShardPlan::from_ranges(0, vec![]).is_ok());
+        assert!(ShardPlan::from_ranges(0, vec![0..0, 0..0]).is_ok());
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // single-range *plans* are the point
+    fn from_ranges_rejects_invalid_partitions() {
+        // Gap, overlap, short cover, over-cover, inverted, empty-for-nonempty.
+        assert!(ShardPlan::from_ranges(4, vec![0..1, 2..4]).is_err());
+        assert!(ShardPlan::from_ranges(4, vec![0..2, 1..4]).is_err());
+        assert!(ShardPlan::from_ranges(4, vec![0..3]).is_err());
+        assert!(ShardPlan::from_ranges(4, vec![0..5]).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = ShardPlan::from_ranges(4, vec![3..0, 0..4]);
+        assert!(inverted.is_err());
+        assert!(ShardPlan::from_ranges(4, vec![]).is_err());
+        assert!(
+            ShardPlan::from_ranges(4, vec![1..4]).is_err(),
+            "must start at 0"
+        );
+    }
+
+    #[test]
+    fn plan_spec_mismatch_is_rejected() {
+        let config = DataGenConfig {
+            n_graphs: 3,
+            ..DataGenConfig::quick()
+        };
+        let plan = ShardPlan::split_even(4, 2);
+        let cache = Level1Cache::new();
+        assert!(matches!(
+            run_local(&config, &plan, 1, &cache),
+            Err(ShardError::Plan(_))
+        ));
+        let mut transport = loopback_transport(1);
+        assert!(matches!(
+            run_wire(&config, &plan, &mut transport),
+            Err(ShardError::Plan(_))
+        ));
+    }
+}

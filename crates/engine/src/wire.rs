@@ -5,7 +5,7 @@
 //! ```text
 //! line     := "QW1" SP type SP payload
 //! type     := "KEY" | "RECORD" | "JOB" | "OUTCOME" | "REPORT" | "ENTRY"
-//!           | "RUN" | "ERR"
+//!           | "SHARD" | "RANGE" | "DONE" | "RUN" | "ERR"
 //! KEY      := n_nodes SP edges               — qaoa::canonical::CanonicalGraphKey
 //! RECORD   := graph_id SP depth SP f64 SP f64 SP fc SP floats SP floats
 //!                                            — qaoa::datagen::OptimalRecord
@@ -17,6 +17,13 @@
 //!                                            — engine::BatchReport
 //! ENTRY    := restarts SP KEY-payload SP OUTCOME-payload
 //!                                            — one persisted cache entry
+//! SHARD    := n_graphs SP n_nodes SP edge_p(f64) SP max_depth SP restarts
+//!             SP seed SP trend_margin(f64)   — corpus spec opening a shard
+//!                                              session (→ DataGenConfig)
+//! RANGE    := start SP end                   — half-open global graph-index
+//!                                              range tasked to a worker
+//! DONE     := start SP end SP cells SP fc    — worker's completion marker
+//!                                              for one finished RANGE
 //! RUN      := "-"                            — server flush sentinel
 //! ERR      := free text                      — server-side failure notice
 //! edges    := "-" | edge ("," edge)*   edge := u "-" v [":" hex64]
@@ -45,7 +52,7 @@ use std::time::Duration;
 use graphs::Graph;
 use optimize::Termination;
 use qaoa::canonical::CanonicalGraphKey;
-use qaoa::datagen::OptimalRecord;
+use qaoa::datagen::{DataGenConfig, OptimalRecord};
 use qaoa::InstanceOutcome;
 
 use crate::batch::{BatchReport, Job, JobStats};
@@ -503,6 +510,171 @@ pub fn decode_entry(line: &str) -> Result<(Level1Key, InstanceOutcome), WireErro
     Ok((Level1Key::new(class, restarts), outcome))
 }
 
+// --- SHARD / RANGE / DONE --------------------------------------------------
+
+/// Encodes a corpus specification as one `SHARD` line — the message a shard
+/// coordinator opens a worker session with.
+///
+/// Only the numeric fields of [`DataGenConfig`] travel; optimizer `options`
+/// are not wire-encoded and always decode to `Options::default()`, which is
+/// what every driver in this repository runs with. A coordinator using
+/// non-default options must not expect wire workers to reproduce its bits.
+#[must_use]
+pub fn encode_shard(config: &DataGenConfig) -> String {
+    format!(
+        "{MAGIC} SHARD {} {} {} {} {} {} {}",
+        config.n_graphs,
+        config.n_nodes,
+        fmt_f64(config.edge_probability),
+        config.max_depth,
+        config.restarts,
+        config.seed,
+        fmt_f64(config.trend_preference_margin),
+    )
+}
+
+/// Largest ensemble a `SHARD` line may declare. A worker materializes the
+/// full ensemble when it opens a session, so an unbounded `n_graphs` would
+/// let one client line drive an arbitrarily large allocation (a
+/// `usize::MAX` count overflows `Vec` capacity outright). The ceiling is
+/// ~3000× the paper's 330-graph corpus — far beyond any realistic run —
+/// while keeping a hostile or corrupted line answerable with `ERR`.
+pub const MAX_SHARD_GRAPHS: usize = 1_000_000;
+
+/// Largest graph a `SHARD` line may declare, for the same reason as
+/// [`MAX_SHARD_GRAPHS`]: ensemble generation flips O(`n_nodes`²) coins per
+/// graph, so a billion-node spec would hang the worker before it could
+/// answer. The statevector simulator caps *useful* widths far lower (a
+/// depth-1 solve at 30 nodes already needs a 2³⁰-amplitude state), so the
+/// ceiling costs legitimate specs nothing.
+pub const MAX_SHARD_NODES: usize = 30;
+
+/// Decodes a `SHARD` line into a [`DataGenConfig`] (with default optimizer
+/// options — see [`encode_shard`]).
+///
+/// # Errors
+///
+/// Rejects malformed lines and specs no corpus run could execute:
+/// `n_nodes` outside `2..=`[`MAX_SHARD_NODES`], zero `max_depth` or
+/// `restarts`, an edge probability outside `(0, 1]` or non-finite (the
+/// ensemble draws *non-empty* graphs, which `p = 0` can never produce —
+/// the generator would retry forever), a non-finite/negative trend margin,
+/// or an ensemble larger than [`MAX_SHARD_GRAPHS`].
+pub fn decode_shard(line: &str) -> Result<DataGenConfig, WireError> {
+    let f = expect_fields(payload(line, "SHARD")?, 7, "SHARD")?;
+    let n_graphs: usize = parse_int(f[0], "n_graphs")?;
+    if n_graphs > MAX_SHARD_GRAPHS {
+        return Err(WireError::new(format!(
+            "SHARD n_graphs {n_graphs} exceeds the {MAX_SHARD_GRAPHS} limit"
+        )));
+    }
+    let n_nodes: usize = parse_int(f[1], "n_nodes")?;
+    let edge_probability = parse_f64(f[2])?;
+    let max_depth: usize = parse_int(f[3], "max_depth")?;
+    let restarts: usize = parse_int(f[4], "restarts")?;
+    let seed: u64 = parse_int(f[5], "seed")?;
+    let trend_preference_margin = parse_f64(f[6])?;
+    if !(2..=MAX_SHARD_NODES).contains(&n_nodes) {
+        return Err(WireError::new(format!(
+            "SHARD needs 2 <= n_nodes <= {MAX_SHARD_NODES}"
+        )));
+    }
+    if max_depth == 0 || restarts == 0 {
+        return Err(WireError::new(
+            "SHARD needs max_depth >= 1 and restarts >= 1",
+        ));
+    }
+    // p = 0 is excluded because the ensemble draws non-empty graphs: the
+    // generator would reject the empty graph and retry forever.
+    if !(edge_probability > 0.0 && edge_probability <= 1.0) {
+        return Err(WireError::new(
+            "SHARD edge probability must be finite in (0, 1]",
+        ));
+    }
+    if !trend_preference_margin.is_finite() || trend_preference_margin < 0.0 {
+        return Err(WireError::new(
+            "SHARD trend margin must be finite and non-negative",
+        ));
+    }
+    Ok(DataGenConfig {
+        n_graphs,
+        n_nodes,
+        edge_probability,
+        max_depth,
+        restarts,
+        seed,
+        options: Default::default(),
+        trend_preference_margin,
+    })
+}
+
+/// Encodes one half-open global graph-index range as a `RANGE` line — the
+/// coordinator's "generate these corpus cells" task.
+#[must_use]
+pub fn encode_range(range: &std::ops::Range<usize>) -> String {
+    format!("{MAGIC} RANGE {} {}", range.start, range.end)
+}
+
+/// Decodes a `RANGE` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines and inverted ranges (`start > end`). Whether the
+/// range fits the session's ensemble is a *contextual* check the server
+/// makes against its current `SHARD` spec.
+pub fn decode_range(line: &str) -> Result<std::ops::Range<usize>, WireError> {
+    let f = expect_fields(payload(line, "RANGE")?, 2, "RANGE")?;
+    let start: usize = parse_int(f[0], "range start")?;
+    let end: usize = parse_int(f[1], "range end")?;
+    if start > end {
+        return Err(WireError::new(format!(
+            "RANGE {start}..{end} is inverted (start must not exceed end)"
+        )));
+    }
+    Ok(start..end)
+}
+
+/// A worker's completion marker for one finished `RANGE`: the range it
+/// covered plus the `(graph, depth)` cell count and total function calls
+/// spent, so the coordinator can account per-shard cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeDone {
+    /// The half-open global graph-index range that finished.
+    pub range: std::ops::Range<usize>,
+    /// `(graph, depth)` cells solved (or served from cache).
+    pub cells: usize,
+    /// Total function calls across the range's records.
+    pub function_calls: usize,
+}
+
+/// Encodes a worker's `DONE` line.
+#[must_use]
+pub fn encode_done(done: &RangeDone) -> String {
+    format!(
+        "{MAGIC} DONE {} {} {} {}",
+        done.range.start, done.range.end, done.cells, done.function_calls,
+    )
+}
+
+/// Decodes a `DONE` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines and inverted ranges.
+pub fn decode_done(line: &str) -> Result<RangeDone, WireError> {
+    let f = expect_fields(payload(line, "DONE")?, 4, "DONE")?;
+    let start: usize = parse_int(f[0], "range start")?;
+    let end: usize = parse_int(f[1], "range end")?;
+    if start > end {
+        return Err(WireError::new(format!("DONE {start}..{end} is inverted")));
+    }
+    Ok(RangeDone {
+        range: start..end,
+        cells: parse_int(f[2], "cells")?,
+        function_calls: parse_int(f[3], "function_calls")?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +827,89 @@ mod tests {
         assert!(decode_entry(&old_format).is_err());
         let zero = line.replacen("ENTRY 3 ", "ENTRY 0 ", 1);
         assert!(decode_entry(&zero).is_err());
+    }
+
+    #[test]
+    fn shard_round_trip_is_bit_exact() {
+        let config = DataGenConfig {
+            n_graphs: 24,
+            n_nodes: 6,
+            edge_probability: 0.5,
+            max_depth: 4,
+            restarts: 3,
+            seed: u64::MAX,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        };
+        let back = decode_shard(&encode_shard(&config)).unwrap();
+        assert_eq!(back, config);
+        assert_eq!(
+            back.edge_probability.to_bits(),
+            config.edge_probability.to_bits()
+        );
+    }
+
+    #[test]
+    fn shard_decode_rejects_non_executable_specs() {
+        let good = encode_shard(&DataGenConfig::quick());
+        assert!(decode_shard(&good).is_ok());
+        // n_nodes < 2, max_depth = 0, restarts = 0.
+        assert!(decode_shard(&good.replacen(" 6 ", " 1 ", 1)).is_err());
+        let f: Vec<&str> = good.split(' ').collect();
+        let with = |idx: usize, val: &str| {
+            let mut f = f.clone();
+            f[idx] = val;
+            f.join(" ")
+        };
+        // Payload fields start at index 2 (after "QW1 SHARD").
+        assert!(decode_shard(&with(5, "0")).is_err(), "max_depth 0");
+        assert!(decode_shard(&with(6, "0")).is_err(), "restarts 0");
+        // Edge probability out of range / non-finite — and p = 0, which
+        // would make the non-empty-graph generator retry forever when the
+        // worker eagerly derives the ensemble.
+        assert!(decode_shard(&with(4, &fmt_f64(1.5))).is_err());
+        assert!(decode_shard(&with(4, &fmt_f64(f64::NAN))).is_err());
+        assert!(decode_shard(&with(4, &fmt_f64(0.0))).is_err());
+        assert!(decode_shard(&with(4, &fmt_f64(-0.0))).is_err());
+        assert!(decode_shard(&with(4, &fmt_f64(1.0))).is_ok());
+        // Trend margin negative / non-finite.
+        assert!(decode_shard(&with(8, &fmt_f64(-1.0))).is_err());
+        assert!(decode_shard(&with(8, &fmt_f64(f64::INFINITY))).is_err());
+        // Wrong arity.
+        assert!(decode_shard("QW1 SHARD 1 2 3").is_err());
+        // An ensemble size past the protocol ceiling must answer ERR at
+        // decode time, not reach the worker's eager ensemble allocation
+        // (usize::MAX once overflowed Vec capacity and killed the loop).
+        assert!(decode_shard(&with(2, &format!("{}", MAX_SHARD_GRAPHS + 1))).is_err());
+        assert!(decode_shard(&with(2, &format!("{}", usize::MAX))).is_err());
+        assert!(decode_shard(&with(2, &format!("{MAX_SHARD_GRAPHS}"))).is_ok());
+        // Same ceiling logic for the graph width: O(n^2) ensemble
+        // generation must not be reachable with a billion-node spec.
+        assert!(decode_shard(&with(3, &format!("{}", MAX_SHARD_NODES + 1))).is_err());
+        assert!(decode_shard(&with(3, "4000000000")).is_err());
+        assert!(decode_shard(&with(3, &format!("{MAX_SHARD_NODES}"))).is_ok());
+    }
+
+    #[test]
+    fn range_round_trip_and_validation() {
+        for range in [0..0, 0..5, 3..3, 7..24] {
+            assert_eq!(decode_range(&encode_range(&range)).unwrap(), range);
+        }
+        assert!(decode_range("QW1 RANGE 5 3").is_err(), "inverted");
+        assert!(decode_range("QW1 RANGE 5").is_err(), "missing end");
+        assert!(decode_range("QW1 RANGE -1 3").is_err(), "negative");
+    }
+
+    #[test]
+    fn done_round_trip_and_validation() {
+        let done = RangeDone {
+            range: 4..9,
+            cells: 20,
+            function_calls: 12345,
+        };
+        assert_eq!(decode_done(&encode_done(&done)).unwrap(), done);
+        assert!(decode_done("QW1 DONE 9 4 0 0").is_err(), "inverted");
+        assert!(decode_done("QW1 DONE 4 9 0").is_err(), "missing fc");
     }
 
     #[test]

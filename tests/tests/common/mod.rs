@@ -1,0 +1,104 @@
+//! Shared test utilities for the integration suites.
+//!
+//! Each `tests/tests/*.rs` file is its own binary; this module is included
+//! with `mod common;` and deduplicates the fixture graphs, corpus
+//! configurations, tempfile helpers, and bit-level corpus comparison that
+//! used to be hand-rolled per suite. Not every suite uses every helper,
+//! hence the file-level `dead_code` allowance.
+#![allow(dead_code)]
+
+use graphs::{generators, Graph};
+use optimize::Options;
+use qaoa::datagen::{DataGenConfig, ParameterDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic ensemble of non-empty Erdős–Rényi graphs (edge
+/// probability 0.5) — the standard fixture for batch/corpus tests.
+pub fn fixture_graphs(count: usize, nodes: usize, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| generators::erdos_renyi_nonempty(nodes, 0.5, &mut rng))
+        .collect()
+}
+
+/// A nontrivial relabeling of the 5-cycle — isomorphic to
+/// `generators::cycle(5)` but with shuffled vertex labels, for cache-hit
+/// and canonicalization tests.
+pub fn relabeled_cycle5() -> Graph {
+    Graph::from_edges(5, &[(1, 3), (3, 0), (0, 4), (4, 2), (2, 1)]).unwrap()
+}
+
+/// A test-scale corpus configuration: `count` graphs of `nodes` nodes at
+/// edge probability `edge_p`, depths `1..=max_depth`, with the default
+/// optimizer options and trend margin every driver uses.
+pub fn tiny_datagen(
+    count: usize,
+    nodes: usize,
+    edge_p: f64,
+    max_depth: usize,
+    restarts: usize,
+    seed: u64,
+) -> DataGenConfig {
+    DataGenConfig {
+        n_graphs: count,
+        n_nodes: nodes,
+        edge_probability: edge_p,
+        max_depth,
+        restarts,
+        seed,
+        options: Options::default(),
+        trend_preference_margin: 1e-3,
+    }
+}
+
+/// A per-process temp-file path for cache/corpus artifacts. Callers clean
+/// up with `std::fs::remove_file(..).ok()`; the process id keeps parallel
+/// test binaries from clobbering each other.
+pub fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qaoa_it_{}_{tag}", std::process::id()))
+}
+
+/// Asserts two corpora are **bit-identical**: same ensemble, same record
+/// sequence, and every float field equal down to its IEEE-754 bits — the
+/// equality the engine's determinism contract (serial ≡ parallel,
+/// sharded ≡ unsharded, warm ≡ cold) promises.
+pub fn assert_corpora_bit_identical(a: &ParameterDataset, b: &ParameterDataset, what: &str) {
+    assert_eq!(a.graphs(), b.graphs(), "{what}: ensembles differ");
+    assert_eq!(a.max_depth(), b.max_depth(), "{what}: max depth differs");
+    assert_eq!(
+        a.records().len(),
+        b.records().len(),
+        "{what}: record counts differ"
+    );
+    for (i, (ra, rb)) in a.records().iter().zip(b.records()).enumerate() {
+        assert_eq!(ra.graph_id, rb.graph_id, "{what}: record {i} graph_id");
+        assert_eq!(ra.depth, rb.depth, "{what}: record {i} depth");
+        assert_eq!(
+            ra.function_calls, rb.function_calls,
+            "{what}: record {i} (graph {}, depth {}) function calls",
+            ra.graph_id, ra.depth
+        );
+        assert_eq!(
+            ra.expectation.to_bits(),
+            rb.expectation.to_bits(),
+            "{what}: record {i} expectation bits"
+        );
+        assert_eq!(
+            ra.approximation_ratio.to_bits(),
+            rb.approximation_ratio.to_bits(),
+            "{what}: record {i} AR bits"
+        );
+        let float_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            float_bits(&ra.gammas),
+            float_bits(&rb.gammas),
+            "{what}: record {i} gammas"
+        );
+        assert_eq!(
+            float_bits(&ra.betas),
+            float_bits(&rb.betas),
+            "{what}: record {i} betas"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Dedicated coverage for `engine::compare` — the parallel Table-I sweep.
+//!
+//! Contract under test: the engine-parallel sweep reproduces the serial
+//! `qaoa::evaluation` protocols **bit-for-bit**, cell by cell, and its
+//! cost accounting (function and gradient evaluations) is a pure function
+//! of the inputs — independent of worker count and schedule.
+
+mod common;
+
+use engine::{BatchConfig, Engine, Job, Pool};
+use ml::ModelKind;
+use optimize::{Lbfgsb, Slsqp};
+use qaoa::evaluation::{self, EvaluationConfig};
+use qaoa::ParameterPredictor;
+
+/// A small trained predictor plus held-out test graphs, shared by the
+/// sweep tests.
+fn predictor_and_test_graphs() -> (ParameterPredictor, Vec<graphs::Graph>) {
+    // Depth 3 so the predictor covers both target depths of the sweep.
+    let config = common::tiny_datagen(8, 5, 0.6, 3, 2, 91);
+    let (ds, _) = engine::corpus::generate(&config, &Engine::new(2)).expect("corpus");
+    let (train, test) = ds.split_by_graph(0.5);
+    let predictor = ParameterPredictor::train(ModelKind::Linear, &train).expect("training");
+    (predictor, test.graphs().to_vec())
+}
+
+#[test]
+fn every_table1_cell_matches_the_serial_sweep() {
+    // Multi-cell parity: 2 optimizers x 2 depths, every row equal to the
+    // serial `evaluation::compare` — means, SDs, and reduction percentages
+    // included (ComparisonRow compares exactly).
+    let (predictor, graphs) = predictor_and_test_graphs();
+    let optimizers: Vec<Box<dyn optimize::Optimizer + Send + Sync>> =
+        vec![Box::new(Lbfgsb::default()), Box::new(Slsqp::default())];
+    let eval = EvaluationConfig {
+        depths: vec![2, 3],
+        naive_starts: 2,
+        level1_starts: 1,
+        options: Default::default(),
+        seed: 5,
+    };
+    let serial = evaluation::compare(&graphs, &optimizers, &predictor, &eval).expect("serial");
+    let parallel = engine::compare::compare(&graphs, &optimizers, &predictor, &eval, &Pool::new(4))
+        .expect("parallel");
+    assert_eq!(serial.len(), 4, "2 optimizers x 2 depths");
+    assert_eq!(serial.len(), parallel.len());
+    for (cell, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a, b, "cell {cell} ({} p={}) differs", a.optimizer, a.depth);
+    }
+}
+
+#[test]
+fn sweep_cost_accounting_is_schedule_independent() {
+    // The smoke for FC purity: the same sweep at 1, 2, and 5 workers
+    // yields bit-identical function-call statistics in every cell. (FC
+    // means are exact sums of integer counts divided by a fixed n, so
+    // bit-equality is the right assertion, not approximate equality.)
+    let (predictor, graphs) = predictor_and_test_graphs();
+    let optimizers: Vec<Box<dyn optimize::Optimizer + Send + Sync>> =
+        vec![Box::new(Lbfgsb::default())];
+    let eval = EvaluationConfig {
+        depths: vec![2],
+        naive_starts: 2,
+        level1_starts: 1,
+        options: Default::default(),
+        seed: 13,
+    };
+    let runs: Vec<_> = [1usize, 2, 5]
+        .iter()
+        .map(|&threads| {
+            engine::compare::compare(&graphs, &optimizers, &predictor, &eval, &Pool::new(threads))
+                .expect("sweep")
+        })
+        .collect();
+    for run in &runs[1..] {
+        assert_eq!(run.len(), runs[0].len());
+        for (a, b) in runs[0].iter().zip(run) {
+            assert_eq!(a.naive_fc_mean.to_bits(), b.naive_fc_mean.to_bits());
+            assert_eq!(a.naive_fc_sd.to_bits(), b.naive_fc_sd.to_bits());
+            assert_eq!(a.ml_fc_mean.to_bits(), b.ml_fc_mean.to_bits());
+            assert_eq!(a.ml_fc_sd.to_bits(), b.ml_fc_sd.to_bits());
+            assert_eq!(a.naive_ar_mean.to_bits(), b.naive_ar_mean.to_bits());
+            assert_eq!(a.ml_ar_mean.to_bits(), b.ml_ar_mean.to_bits());
+        }
+    }
+}
+
+#[test]
+fn gradient_and_fev_counts_are_schedule_independent() {
+    // Batch-level accounting: total nfev and njev are pure functions of
+    // the job queue, not of the worker count or schedule.
+    let jobs: Vec<Job> = common::fixture_graphs(8, 5, 21)
+        .into_iter()
+        .enumerate()
+        .map(|(i, g)| Job::new(g, 1 + i % 2, 2))
+        .collect();
+    let config = BatchConfig {
+        master_seed: 17,
+        ..BatchConfig::default()
+    };
+    let (_, reference) = Engine::new(1)
+        .run_batch(&Lbfgsb::default(), &jobs, &config)
+        .expect("serial batch");
+    assert!(
+        reference.total_gradient_calls > 0,
+        "L-BFGS-B consumes analytic gradients"
+    );
+    for threads in [2usize, 4] {
+        let (_, report) = Engine::new(threads)
+            .run_batch(&Lbfgsb::default(), &jobs, &config)
+            .expect("parallel batch");
+        assert_eq!(report.total_function_calls, reference.total_function_calls);
+        assert_eq!(report.total_gradient_calls, reference.total_gradient_calls);
+        for (a, b) in reference.jobs.iter().zip(&report.jobs) {
+            assert_eq!(a.function_calls, b.function_calls);
+            assert_eq!(a.gradient_calls, b.gradient_calls);
+        }
+    }
+}
+
+#[test]
+fn parallel_two_level_protocol_matches_serial() {
+    // The two-level fan-out (previously untested): identical samples at
+    // any pool size.
+    let (predictor, graphs) = predictor_and_test_graphs();
+    let optimizer = Lbfgsb::default();
+    let options = Default::default();
+    let serial =
+        evaluation::two_level_protocol(&graphs, 2, &optimizer, &predictor, 1, &options, 23)
+            .expect("serial two-level");
+    for threads in [1usize, 3] {
+        let parallel = engine::compare::two_level_protocol(
+            &graphs,
+            2,
+            &optimizer,
+            &predictor,
+            1,
+            &options,
+            23,
+            &Pool::new(threads),
+        )
+        .expect("parallel two-level");
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "graph {i} AR differs");
+            assert_eq!(a.1, b.1, "graph {i} FC differs");
+        }
+    }
+}
+
+#[test]
+fn empty_sweeps_are_well_formed() {
+    // No graphs: every cell still materializes (with empty samples), so
+    // downstream table rendering never indexes out of bounds.
+    let (predictor, _) = predictor_and_test_graphs();
+    let optimizers: Vec<Box<dyn optimize::Optimizer + Send + Sync>> =
+        vec![Box::new(Lbfgsb::default())];
+    let eval = EvaluationConfig {
+        depths: vec![2, 3],
+        naive_starts: 2,
+        level1_starts: 1,
+        options: Default::default(),
+        seed: 3,
+    };
+    let rows = engine::compare::compare(&[], &optimizers, &predictor, &eval, &Pool::new(2))
+        .expect("empty sweep");
+    assert_eq!(rows.len(), 2);
+    // No optimizers / no depths: no cells.
+    assert!(
+        engine::compare::compare(&[], &[], &predictor, &eval, &Pool::new(2))
+            .expect("no optimizers")
+            .is_empty()
+    );
+}

@@ -3,28 +3,21 @@
 //! isomorphism cache, and parity between the serial and engine-parallel
 //! pipelines.
 
+mod common;
+
+use common::{fixture_graphs, relabeled_cycle5, tiny_datagen};
 use engine::{BatchConfig, Engine, Job, Pool};
 use graphs::{generators, Graph};
 use ml::ModelKind;
 use optimize::Lbfgsb;
-use qaoa::datagen::DataGenConfig;
 use qaoa::evaluation::{self, EvaluationConfig};
 use qaoa::ParameterPredictor;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn sixteen_graphs(seed: u64) -> Vec<Graph> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..16)
-        .map(|_| generators::erdos_renyi_nonempty(6, 0.5, &mut rng))
-        .collect()
-}
 
 #[test]
 fn batch_16_graphs_identical_across_worker_counts() {
     // The ISSUE's headline contract: a 16-graph batch with 1 worker and
     // with N workers produces identical outcomes under a fixed master seed.
-    let jobs: Vec<Job> = sixteen_graphs(2024)
+    let jobs: Vec<Job> = fixture_graphs(16, 6, 2024)
         .into_iter()
         .enumerate()
         .map(|(i, g)| Job::new(g, 1 + i % 3, 2))
@@ -86,16 +79,7 @@ fn depth1_cache_hits_for_isomorphic_graphs() {
 
 #[test]
 fn corpus_generation_identical_across_worker_counts() {
-    let config = DataGenConfig {
-        n_graphs: 10,
-        n_nodes: 5,
-        edge_probability: 0.5,
-        max_depth: 2,
-        restarts: 2,
-        seed: 7,
-        options: Default::default(),
-        trend_preference_margin: 1e-3,
-    };
+    let config = tiny_datagen(10, 5, 0.5, 2, 2, 7);
     let (serial, serial_report) =
         engine::corpus::generate(&config, &Engine::new(1)).expect("serial corpus");
     let (parallel, parallel_report) =
@@ -114,20 +98,11 @@ fn corpus_cache_reuses_isomorphic_level1_solves() {
     // guarantees the later relabelings hit the cache.
     let graphs = vec![
         generators::cycle(5),
-        Graph::from_edges(5, &[(1, 3), (3, 0), (0, 4), (4, 2), (2, 1)]).unwrap(),
+        relabeled_cycle5(),
         generators::path(5),
         Graph::from_edges(5, &[(2, 0), (0, 3), (3, 1), (1, 4)]).unwrap(),
     ];
-    let config = DataGenConfig {
-        n_graphs: graphs.len(),
-        n_nodes: 5,
-        edge_probability: 0.5,
-        max_depth: 2,
-        restarts: 2,
-        seed: 9,
-        options: Default::default(),
-        trend_preference_margin: 1e-3,
-    };
+    let config = tiny_datagen(graphs.len(), 5, 0.5, 2, 2, 9);
     let eng = Engine::new(1);
     let (ds, report) = engine::corpus::from_graphs(graphs, &config, &eng).expect("corpus");
     assert_eq!(report.cache_hits, 2, "both relabelings hit their class");
@@ -142,16 +117,7 @@ fn corpus_cache_reuses_isomorphic_level1_solves() {
 
 #[test]
 fn corpus_records_have_expected_shape() {
-    let config = DataGenConfig {
-        n_graphs: 4,
-        n_nodes: 5,
-        edge_probability: 0.6,
-        max_depth: 3,
-        restarts: 2,
-        seed: 3,
-        options: Default::default(),
-        trend_preference_margin: 1e-3,
-    };
+    let config = tiny_datagen(4, 5, 0.6, 3, 2, 3);
     let (ds, report) = engine::corpus::generate(&config, &Engine::new(2)).expect("corpus");
     assert_eq!(ds.graphs().len(), 4);
     assert_eq!(ds.records().len(), 12);
@@ -170,16 +136,7 @@ fn corpus_records_have_expected_shape() {
 fn parallel_compare_matches_serial_compare() {
     // Train a tiny predictor, then sweep the same cells serially and on the
     // engine: rows must agree exactly.
-    let config = DataGenConfig {
-        n_graphs: 6,
-        n_nodes: 5,
-        edge_probability: 0.6,
-        max_depth: 2,
-        restarts: 2,
-        seed: 91,
-        options: Default::default(),
-        trend_preference_margin: 1e-3,
-    };
+    let config = tiny_datagen(6, 5, 0.6, 2, 2, 91);
     let (ds, _) = engine::corpus::generate(&config, &Engine::new(2)).expect("corpus");
     let (train, test) = ds.split_by_graph(0.5);
     let predictor = ParameterPredictor::train(ModelKind::Linear, &train).expect("training");
@@ -207,21 +164,12 @@ fn parallel_compare_matches_serial_compare() {
 fn two_level_batch_uses_cache_and_is_thread_count_invariant() {
     // Train a tiny predictor, then run the cached two-level batch over an
     // ensemble containing isomorphic duplicates.
-    let config = DataGenConfig {
-        n_graphs: 6,
-        n_nodes: 5,
-        edge_probability: 0.6,
-        max_depth: 2,
-        restarts: 2,
-        seed: 13,
-        options: Default::default(),
-        trend_preference_margin: 1e-3,
-    };
+    let config = tiny_datagen(6, 5, 0.6, 2, 2, 13);
     let (ds, _) = engine::corpus::generate(&config, &Engine::new(2)).expect("corpus");
     let predictor = ParameterPredictor::train(ModelKind::Linear, &ds).expect("training");
     let graphs = vec![
         generators::cycle(5),
-        Graph::from_edges(5, &[(1, 3), (3, 0), (0, 4), (4, 2), (2, 1)]).unwrap(),
+        relabeled_cycle5(),
         generators::star(5),
     ];
     let batch_config = BatchConfig {
@@ -249,7 +197,7 @@ fn two_level_batch_uses_cache_and_is_thread_count_invariant() {
 
 #[test]
 fn parallel_protocols_match_serial_protocols() {
-    let graphs = sixteen_graphs(11);
+    let graphs = fixture_graphs(16, 6, 11);
     let optimizer = Lbfgsb::default();
     let options = Default::default();
     let pool = Pool::new(3);

@@ -1,27 +1,20 @@
 //! End-to-end integration tests of the full paper pipeline:
 //! graphs → simulator → optimizers → corpus → predictor → two-level flow.
 
+mod common;
+
 use ml::metrics::mean;
 use ml::ModelKind;
 use optimize::{Lbfgsb, Options};
-use qaoa::datagen::{DataGenConfig, ParameterDataset};
+use qaoa::datagen::ParameterDataset;
 use qaoa::evaluation::{naive_protocol, two_level_protocol};
 use qaoa::{MaxCutProblem, ParameterPredictor, QaoaInstance, TwoLevelConfig, TwoLevelFlow};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn small_corpus() -> ParameterDataset {
-    ParameterDataset::generate(&DataGenConfig {
-        n_graphs: 12,
-        n_nodes: 6,
-        edge_probability: 0.5,
-        max_depth: 3,
-        restarts: 4,
-        seed: 1234,
-        options: Options::default(),
-        trend_preference_margin: 1e-3,
-    })
-    .expect("corpus generation")
+    ParameterDataset::generate(&common::tiny_datagen(12, 6, 0.5, 3, 4, 1234))
+        .expect("corpus generation")
 }
 
 #[test]

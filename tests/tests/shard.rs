@@ -1,0 +1,277 @@
+//! Integration tests for the sharded corpus coordinator: the bit-parity
+//! guarantee (any valid partition, any thread count, local or over the
+//! wire, merges to the unsharded corpus bit-for-bit), merged cache-file
+//! identity, and the coordinator's protocol validation.
+
+mod common;
+
+use engine::shard::{self, ShardPlan};
+use engine::{persist, Engine, Level1Cache};
+use proptest::prelude::*;
+use qaoa::datagen::DataGenConfig;
+
+/// The suite's corpus spec: small enough that one case solves in
+/// milliseconds, rich enough (2 depths, 2 restarts) to exercise the
+/// depth-1 cache path and the trend-seeded depth-2 path.
+fn spec(n_graphs: usize) -> DataGenConfig {
+    common::tiny_datagen(n_graphs, 4, 0.6, 2, 2, 77)
+}
+
+/// The unsharded reference everything must reproduce bit-for-bit.
+fn reference(config: &DataGenConfig) -> qaoa::datagen::ParameterDataset {
+    let (dataset, _) = engine::corpus::generate(config, &Engine::new(1)).expect("reference corpus");
+    dataset
+}
+
+/// Builds a partition of `0..n` from arbitrary cut points (duplicates and
+/// boundary cuts yield empty ranges; adjacent cuts yield singletons).
+fn plan_from_cuts(n: usize, mut cuts: Vec<usize>) -> ShardPlan {
+    cuts.sort_unstable();
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut cursor = 0;
+    for cut in cuts {
+        ranges.push(cursor..cut);
+        cursor = cut;
+    }
+    ranges.push(cursor..n);
+    ShardPlan::from_ranges(n, ranges).expect("cut construction is always valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The ISSUE's headline property: **any** valid partition of `0..n`
+    /// into contiguous ranges — empty and singleton ranges included —
+    /// merges to a corpus bit-identical to the unsharded run, at 1 and at
+    /// 4 threads per shard.
+    #[test]
+    fn any_partition_merges_bit_identically(
+        (n, cuts) in (1usize..6).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(0usize..=n, 0..4))
+        })
+    ) {
+        let config = spec(n);
+        let plan = plan_from_cuts(n, cuts);
+        let unsharded = reference(&config);
+        for threads in [1usize, 4] {
+            let (sharded, report) =
+                shard::run_local(&config, &plan, threads, &Level1Cache::new())
+                    .expect("sharded run");
+            prop_assert_eq!(report.per_shard.len(), plan.shards());
+            prop_assert_eq!(report.cells(), n * config.max_depth);
+            common::assert_corpora_bit_identical(
+                &unsharded,
+                &sharded,
+                &format!("{} shards at {threads} threads", plan.shards()),
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_counts_1_2_3_at_1_and_4_threads_match_unsharded() {
+    // The acceptance grid, pinned explicitly (the property test above
+    // samples arbitrary partitions; this is the even-split matrix the CI
+    // step mirrors).
+    let config = spec(5);
+    let unsharded = reference(&config);
+    for shards in [1usize, 2, 3] {
+        let plan = ShardPlan::split_even(config.n_graphs, shards);
+        for threads in [1usize, 4] {
+            let (sharded, _) = shard::run_local(&config, &plan, threads, &Level1Cache::new())
+                .expect("sharded run");
+            common::assert_corpora_bit_identical(
+                &unsharded,
+                &sharded,
+                &format!("{shards} shards x {threads} threads"),
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_cache_file_is_byte_identical_to_unsharded() {
+    // Same master seed, same flags: the cache file a 3-shard run persists
+    // must equal the unsharded run's byte-for-byte.
+    let config = spec(6);
+    let unsharded_path = common::temp_path("shard_cache_unsharded");
+    let sharded_path = common::temp_path("shard_cache_sharded");
+    std::fs::remove_file(&unsharded_path).ok();
+    std::fs::remove_file(&sharded_path).ok();
+
+    let engine = Engine::new(2);
+    engine::corpus::generate(&config, &engine).expect("unsharded corpus");
+    persist::save_merge(engine.cache(), &unsharded_path, config.seed).unwrap();
+
+    let cache = Level1Cache::new();
+    let plan = ShardPlan::split_even(config.n_graphs, 3);
+    shard::run_local(&config, &plan, 4, &cache).expect("sharded corpus");
+    persist::save_merge(&cache, &sharded_path, config.seed).unwrap();
+
+    let unsharded_bytes = std::fs::read(&unsharded_path).unwrap();
+    let sharded_bytes = std::fs::read(&sharded_path).unwrap();
+    assert!(
+        !unsharded_bytes.is_empty(),
+        "cache file must hold the run's entries"
+    );
+    assert_eq!(
+        unsharded_bytes, sharded_bytes,
+        "merged shard cache file must be byte-identical to the unsharded one"
+    );
+    std::fs::remove_file(&unsharded_path).ok();
+    std::fs::remove_file(&sharded_path).ok();
+}
+
+#[test]
+fn warm_sharded_run_serves_depth1_from_the_cache_file() {
+    // A cache file written by an unsharded run pre-warms every shard: the
+    // warm sharded run performs zero depth-1 solves and still reproduces
+    // the exact corpus.
+    let config = spec(5);
+    let path = common::temp_path("shard_warm");
+    std::fs::remove_file(&path).ok();
+
+    let engine = Engine::new(2);
+    let (unsharded, _) = engine::corpus::generate(&config, &engine).expect("cold corpus");
+    persist::save_merge(engine.cache(), &path, config.seed).unwrap();
+
+    let cache = Level1Cache::new();
+    assert!(matches!(
+        persist::load_into(&cache, &path, config.seed),
+        persist::LoadStatus::Loaded(_)
+    ));
+    let solves_before = cache.misses();
+    let plan = ShardPlan::split_even(config.n_graphs, 2);
+    let (warm, report) = shard::run_local(&config, &plan, 2, &cache).expect("warm sharded run");
+    common::assert_corpora_bit_identical(&unsharded, &warm, "warm sharded run");
+    assert_eq!(
+        report.cache_hits(),
+        config.n_graphs,
+        "every depth-1 cell served from the file"
+    );
+    assert_eq!(cache.misses(), solves_before, "no new depth-1 solves");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn wire_path_matches_unsharded_through_a_loopback_server() {
+    // run_wire drives in-process `server::serve` workers — one fresh
+    // engine per shard, exactly like piping SHARD/RANGE scripts to
+    // separate qaoa-serve processes — and must still merge bit-identically.
+    let config = spec(5);
+    let unsharded = reference(&config);
+    for shards in [1usize, 2, 3] {
+        let plan = ShardPlan::split_even(config.n_graphs, shards);
+        let mut transport = shard::loopback_transport(2);
+        let (merged, report) =
+            shard::run_wire(&config, &plan, &mut transport).expect("wire-sharded run");
+        assert_eq!(report.cells(), config.n_graphs * config.max_depth);
+        common::assert_corpora_bit_identical(
+            &unsharded,
+            &merged,
+            &format!("wire path, {shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn coordinator_rejects_protocol_violations() {
+    let config = spec(3);
+    let plan = ShardPlan::split_even(config.n_graphs, 1);
+    let fails = |mutate: &dyn Fn(String) -> String, what: &str| {
+        let mut transport = shard::loopback_transport(1);
+        let mut mutated = move |shard: usize, script: &str| transport(shard, script).map(mutate);
+        let err = shard::run_wire(&config, &plan, &mut mutated)
+            .err()
+            .unwrap_or_else(|| panic!("{what}: coordinator must reject"));
+        assert!(
+            matches!(err, engine::ShardError::Protocol { .. }),
+            "{what}: got {err}"
+        );
+    };
+    // A worker ERR propagates.
+    fails(
+        &|_| "QW1 ERR solver caught fire\n".into(),
+        "in-band worker ERR",
+    );
+    // Duplicate DONE.
+    fails(
+        &|response| {
+            let done = response
+                .lines()
+                .find(|l| l.starts_with("QW1 DONE"))
+                .expect("response has a DONE")
+                .to_string();
+            format!("{response}{done}\n")
+        },
+        "duplicate DONE",
+    );
+    // DONE for the wrong range.
+    fails(
+        &|response| response.replace("QW1 DONE 0 3", "QW1 DONE 0 2"),
+        "mismatched DONE",
+    );
+    // Missing DONE.
+    fails(
+        &|response| {
+            response
+                .lines()
+                .filter(|l| !l.starts_with("QW1 DONE"))
+                .map(|l| format!("{l}\n"))
+                .collect()
+        },
+        "missing DONE",
+    );
+    // A dropped record (count mismatch / out-of-order tail).
+    fails(
+        &|response| {
+            let mut dropped_one = false;
+            response
+                .lines()
+                .filter(|l| {
+                    if !dropped_one && l.starts_with("QW1 RECORD") {
+                        dropped_one = true;
+                        return false;
+                    }
+                    true
+                })
+                .map(|l| format!("{l}\n"))
+                .collect()
+        },
+        "dropped record",
+    );
+    // Reordered records violate the graph-major, depth-minor contract.
+    fails(
+        &|response| {
+            let mut lines: Vec<&str> = response.lines().collect();
+            let first = lines
+                .iter()
+                .position(|l| l.starts_with("QW1 RECORD"))
+                .expect("records exist");
+            lines.swap(first, first + 1);
+            lines.iter().map(|l| format!("{l}\n")).collect()
+        },
+        "reordered records",
+    );
+}
+
+#[test]
+fn transport_failures_surface_with_the_shard_index() {
+    let config = spec(4);
+    let plan = ShardPlan::split_even(config.n_graphs, 2);
+    let mut inner = shard::loopback_transport(1);
+    let mut flaky = |shard: usize, script: &str| {
+        if shard == 1 {
+            Err("connection reset".to_string())
+        } else {
+            inner(shard, script)
+        }
+    };
+    match shard::run_wire(&config, &plan, &mut flaky) {
+        Err(engine::ShardError::Protocol { shard, message }) => {
+            assert_eq!(shard, 1);
+            assert!(message.contains("connection reset"));
+        }
+        other => panic!("expected a shard-1 protocol error, got {other:?}"),
+    }
+}

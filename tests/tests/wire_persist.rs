@@ -2,6 +2,9 @@
 //! server: encode→decode identity (property-tested), cold-write/warm-read
 //! cache files, corrupt/stale fallback, and end-to-end serve sessions.
 
+mod common;
+
+use common::temp_path;
 use engine::persist::{self, LoadStatus};
 use engine::{wire, BatchConfig, Engine, Job, Level1Cache, Level1Key};
 use graphs::generators;
@@ -12,10 +15,6 @@ use qaoa::datagen::OptimalRecord;
 use qaoa::InstanceOutcome;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn temp_path(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("qwire_it_{}_{tag}.cache", std::process::id()))
-}
 
 fn termination_from(index: usize) -> Termination {
     [
@@ -147,9 +146,9 @@ proptest! {
 fn cold_run_writes_warm_run_hits_without_solving() {
     let path = temp_path("warm");
     std::fs::remove_file(&path).ok();
-    let mut rng = StdRng::seed_from_u64(33);
-    let jobs: Vec<Job> = (0..6)
-        .map(|_| Job::new(generators::erdos_renyi_nonempty(5, 0.5, &mut rng), 1, 2))
+    let jobs: Vec<Job> = common::fixture_graphs(6, 5, 33)
+        .into_iter()
+        .map(|g| Job::new(g, 1, 2))
         .collect();
     let config = BatchConfig::default();
     let optimizer = Lbfgsb::default();
