@@ -29,7 +29,7 @@
 //! results are bit-identical at any worker count and with any job schedule.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use qsim::{Complex64, DiagonalObservable, StateVector};
 
@@ -241,7 +241,8 @@ thread_local! {
     /// One cached context per register width per thread. Worker threads of
     /// the batch engine keep their contexts across jobs, which is the
     /// "per-worker context reuse" of the evaluation pipeline.
-    static CONTEXTS: RefCell<HashMap<usize, EvalContext>> = RefCell::new(HashMap::new());
+    static CONTEXTS: RefCell<BTreeMap<usize, EvalContext>> =
+        const { RefCell::new(BTreeMap::new()) };
 }
 
 /// Runs `f` with the calling thread's cached [`EvalContext`] for

@@ -58,11 +58,18 @@ impl Job {
     /// [`seed::derive2`], independent of scheduling.
     #[must_use]
     pub fn stable_key(&self, index: usize) -> u64 {
-        let mut h: u64 = self.graph.n_nodes() as u64;
+        let mut h: u64 = seed::wide(self.graph.n_nodes());
         for e in self.graph.edges() {
-            h = seed::mix(h, &[e.u as u64, e.v as u64, e.weight.to_bits()]);
+            h = seed::mix(h, &[seed::wide(e.u), seed::wide(e.v), e.weight.to_bits()]);
         }
-        seed::mix(h, &[self.depth as u64, self.restarts as u64, index as u64])
+        seed::mix(
+            h,
+            &[
+                seed::wide(self.depth),
+                seed::wide(self.restarts),
+                seed::wide(index),
+            ],
+        )
     }
 }
 
@@ -218,7 +225,7 @@ impl Engine {
                 config.master_seed,
                 "level1",
                 key.class.hash64(),
-                restarts as u64,
+                seed::wide(restarts),
             ));
             instance.optimize_multistart(optimizer, restarts, &mut rng, &config.options)
         };

@@ -208,8 +208,8 @@ fn solve_graph(
             let mut rng = StdRng::seed_from_u64(seed::derive2(
                 config.seed,
                 "corpus",
-                graph_id as u64,
-                depth as u64,
+                seed::wide(graph_id),
+                seed::wide(depth),
             ));
             solve_depth(&problem, graph_id, depth, prev.as_ref(), config, &mut rng)?
         };

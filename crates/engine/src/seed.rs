@@ -48,6 +48,18 @@ pub fn job_rng(master: u64, domain: &str, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive(master, domain, index))
 }
 
+/// Widens a `usize` count/index into the `u64` seed-mixing domain.
+///
+/// Every stable key and seed derivation mixes machine-sized quantities
+/// (node counts, depths, restart counts, job indices) into `u64` words;
+/// this is the one sanctioned place that conversion happens, so call
+/// sites stay free of ad-hoc `as` casts.
+#[must_use]
+pub fn wide(x: usize) -> u64 {
+    // lint:allow(no-lossy-as) usize -> u64 is value-preserving on every supported target (all are <= 64-bit)
+    x as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -288,20 +288,35 @@ pub fn decode_record(line: &str) -> Result<OptimalRecord, WireError> {
 // --- JOB -------------------------------------------------------------------
 
 /// Encodes a batch job as one `JOB` line.
-#[must_use]
-pub fn encode_job(job: &Job) -> String {
-    format!(
+///
+/// # Errors
+///
+/// Rejects a graph whose node indices overflow the wire format's `u32`
+/// endpoint domain (the format caps registers far beyond anything a
+/// statevector can simulate, so this only fires on corrupt input).
+pub fn encode_job(job: &Job) -> Result<String, WireError> {
+    let mut edges = Vec::with_capacity(job.graph.edges().len());
+    for e in job.graph.edges() {
+        let u = u32::try_from(e.u)
+            .map_err(|_| WireError::new(format!("edge endpoint {} overflows u32", e.u)))?;
+        let v = u32::try_from(e.v)
+            .map_err(|_| WireError::new(format!("edge endpoint {} overflows u32", e.v)))?;
+        edges.push((u, v, e.weight.to_bits()));
+    }
+    Ok(format!(
         "{MAGIC} JOB {} {} {} {}",
         job.depth,
         job.restarts,
         job.graph.n_nodes(),
-        fmt_edges(
-            job.graph
-                .edges()
-                .iter()
-                .map(|e| (e.u as u32, e.v as u32, e.weight.to_bits()))
-        ),
-    )
+        fmt_edges(edges.into_iter()),
+    ))
+}
+
+/// A wire `u32` endpoint in the `Graph` index domain. Infallible on every
+/// target of 32 bits or more; checked anyway so a narrower port fails
+/// loudly instead of aliasing vertices.
+fn endpoint(x: u32) -> Result<usize, WireError> {
+    usize::try_from(x).map_err(|_| WireError::new(format!("edge endpoint {x} overflows usize")))
 }
 
 /// Decodes a `JOB` line, validating it is *executable*: depth and restarts
@@ -325,7 +340,7 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
         return Err(WireError::new("JOB needs >= 2 nodes and >= 1 edge"));
     }
     let mut graph = Graph::new(n_nodes);
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for (u, v, bits) in edges {
         let weight = f64::from_bits(bits);
         if !weight.is_finite() {
@@ -339,7 +354,7 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
             return Err(WireError::new(format!("edge {u}-{v}: duplicate edge")));
         }
         graph
-            .add_weighted_edge(u as usize, v as usize, weight)
+            .add_weighted_edge(endpoint(u)?, endpoint(v)?, weight)
             .map_err(|e| WireError::new(format!("edge {u}-{v}: {e}")))?;
     }
     Ok(Job::new(graph, depth, restarts))
@@ -350,8 +365,15 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
 /// Encodes an instance outcome as one `OUTCOME` line.
 #[must_use]
 pub fn encode_outcome(outcome: &InstanceOutcome) -> String {
+    format!("{MAGIC} OUTCOME {}", outcome_payload(outcome))
+}
+
+/// The `OUTCOME` payload fields, shared by [`encode_outcome`] and
+/// [`encode_entry`] (which embeds them after its own key fields) so the
+/// two lines can never drift apart.
+fn outcome_payload(outcome: &InstanceOutcome) -> String {
     format!(
-        "{MAGIC} OUTCOME {} {} {} {} {} {}",
+        "{} {} {} {} {} {}",
         fmt_floats(&outcome.params),
         fmt_f64(outcome.expectation),
         fmt_f64(outcome.approximation_ratio),
@@ -482,14 +504,11 @@ pub fn encode_err(message: &str) -> String {
 /// mix restart counts without conflating their (restart-dependent) optima.
 #[must_use]
 pub fn encode_entry(key: &Level1Key, outcome: &InstanceOutcome) -> String {
-    let outcome_line = encode_outcome(outcome);
-    let outcome_payload = outcome_line
-        .strip_prefix(&format!("{MAGIC} OUTCOME "))
-        .expect("encode_outcome emits its own prefix");
     format!(
-        "{MAGIC} ENTRY {} {} {outcome_payload}",
+        "{MAGIC} ENTRY {} {} {}",
         key.restarts,
-        key_payload(&key.class)
+        key_payload(&key.class),
+        outcome_payload(outcome)
     )
 }
 
@@ -715,7 +734,7 @@ mod tests {
     #[test]
     fn job_round_trip_and_unweighted_shorthand() {
         let job = Job::new(generators::cycle(5), 2, 3);
-        let line = encode_job(&job);
+        let line = encode_job(&job).expect("encode");
         let back = decode_job(&line).unwrap();
         assert_eq!(back.depth, 2);
         assert_eq!(back.restarts, 3);
@@ -724,7 +743,7 @@ mod tests {
         let short = decode_job("QW1 JOB 1 2 3 0-1,1-2").unwrap();
         assert_eq!(short.graph.edges()[0].weight, 1.0);
         // Re-encoding writes explicit weights; the round trip still holds.
-        let reencoded = encode_job(&short);
+        let reencoded = encode_job(&short).expect("encode");
         assert!(reencoded.contains(':'));
         assert_eq!(decode_job(&reencoded).unwrap().graph, short.graph);
     }

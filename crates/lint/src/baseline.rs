@@ -1,0 +1,186 @@
+//! The ratchet baseline: committed per-rule, per-file violation counts.
+//!
+//! The workspace predates the lint, so hundreds of sites (mostly
+//! `unwrap()`s and numeric `as` casts in math code) already violate rules
+//! that matter most for *new* code. Failing on all of them would bury the
+//! signal; silently allowing them would let the counts grow. The ratchet
+//! does neither:
+//!
+//! - a `(rule, file)` count **above** its baselined count fails the run
+//!   (new violations are never free);
+//! - a count **below** the baseline is reported as tightenable — CI
+//!   separately asserts `--update-baseline` produces no diff, so a fix
+//!   must also ratchet the committed file down (it can never quietly creep
+//!   back up);
+//! - `--update-baseline` rewrites the file to the current counts.
+//!
+//! The file is a deliberately tiny TOML subset — `[rule]` tables mapping
+//! quoted paths to integer counts — parsed and written by hand so the
+//! lint stays dependency-free (the workspace's vendored `serde` is a
+//! no-op stand-in). Output is sorted, so regeneration is deterministic
+//! and diffs are meaningful.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Counts per rule per path. `BTreeMap` end to end: serialization order is
+/// the iteration order, which must be stable for the CI no-diff check.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// A baseline parse problem (the file is hand-edited, so diagnostics
+/// matter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+const HEADER: &str = "\
+# qaoa-lint ratchet baseline: per-rule, per-file counts of pre-existing
+# violations. A run fails when any count here is exceeded; lowering a count
+# requires regenerating this file (CI asserts it matches exactly).
+#
+# Regenerate: cargo run --release -p lint --bin qaoa-lint -- --workspace --update-baseline
+";
+
+/// Parses baseline text.
+///
+/// # Errors
+///
+/// Rejects lines that are not blank, a `#` comment, a `[rule]` header, or a
+/// `"path" = count` entry under a header.
+pub fn parse(text: &str) -> Result<Counts, BaselineError> {
+    let mut counts: Counts = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rule) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            if rule.trim().is_empty() {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "empty rule name".into(),
+                });
+            }
+            current = Some(rule.trim().to_string());
+            counts.entry(rule.trim().to_string()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(BaselineError {
+                line: lineno,
+                message: format!("expected `\"path\" = count`, got `{line}`"),
+            });
+        };
+        let Some(rule) = current.clone() else {
+            return Err(BaselineError {
+                line: lineno,
+                message: "entry before any [rule] header".into(),
+            });
+        };
+        let path = key.trim();
+        let path = path
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or(BaselineError {
+                line: lineno,
+                message: format!("path must be double-quoted, got `{path}`"),
+            })?;
+        let count: usize = value.trim().parse().map_err(|e| BaselineError {
+            line: lineno,
+            message: format!("bad count `{}`: {e}", value.trim()),
+        })?;
+        if count == 0 {
+            return Err(BaselineError {
+                line: lineno,
+                message: "zero counts are omitted, not written".into(),
+            });
+        }
+        counts
+            .entry(rule)
+            .or_default()
+            .insert(path.to_string(), count);
+    }
+    Ok(counts)
+}
+
+/// Serializes counts in the canonical (sorted, zero-free) form.
+#[must_use]
+pub fn serialize(counts: &Counts) -> String {
+    let mut out = String::from(HEADER);
+    for (rule, files) in counts {
+        let files: Vec<_> = files.iter().filter(|(_, &c)| c > 0).collect();
+        if files.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "\n[{rule}]");
+        for (path, count) in files {
+            let _ = writeln!(out, "\"{path}\" = {count}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_canonical() {
+        let mut counts: Counts = BTreeMap::new();
+        counts
+            .entry("no-panic-lib".into())
+            .or_default()
+            .insert("crates/engine/src/cache.rs".into(), 7);
+        counts
+            .entry("no-lossy-as".into())
+            .or_default()
+            .insert("crates/core/src/eval.rs".into(), 2);
+        let text = serialize(&counts);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back, counts);
+        // Canonical: serializing the parse reproduces the text.
+        assert_eq!(serialize(&back), text);
+        // Rules sorted alphabetically in output.
+        let a = text.find("[no-lossy-as]").expect("present");
+        let b = text.find("[no-panic-lib]").expect("present");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn empty_rules_and_zero_counts_are_dropped() {
+        let mut counts: Counts = BTreeMap::new();
+        counts.entry("safety-comment".into()).or_default();
+        counts
+            .entry("no-panic-lib".into())
+            .or_default()
+            .insert("a.rs".into(), 0);
+        let text = serialize(&counts);
+        assert!(!text.contains("safety-comment"));
+        assert!(!text.contains("a.rs"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("\"a.rs\" = 3\n").is_err(), "entry before header");
+        assert!(parse("[r]\na.rs = 3\n").is_err(), "unquoted path");
+        assert!(parse("[r]\n\"a.rs\" = x\n").is_err(), "bad count");
+        assert!(parse("[r]\n\"a.rs\" = 0\n").is_err(), "zero count");
+        assert!(parse("[]\n").is_err(), "empty rule");
+        assert!(parse("nonsense\n").is_err());
+        assert!(parse("# just a comment\n\n").expect("ok").is_empty());
+    }
+}

@@ -1,0 +1,491 @@
+//! A minimal hand-written Rust lexer, just deep enough for lint rules.
+//!
+//! The lexer's single job is to let rules match *code* tokens without ever
+//! firing inside the places a naive text grep would: line comments, block
+//! comments (which nest in Rust), string literals, raw string literals
+//! (with any number of `#` guards), byte strings, char literals, and
+//! lifetimes (`'a` is not an unterminated char). It does **not** parse —
+//! rules work on the flat token stream plus line numbers.
+//!
+//! Comments are *kept* as tokens rather than skipped, because two rules
+//! read them: `safety-comment` looks for `// SAFETY:` ahead of `unsafe`,
+//! and the suppression scanner looks for `lint:allow(...)` markers.
+
+/// What a token is. Every token also carries its source text and line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// A `//...` line comment or `/*...*/` block comment (doc comments
+    /// included).
+    Comment,
+    /// A string literal of any flavor: `"..."`, `r"..."`, `r#"..."#`,
+    /// `b"..."`, `br#"..."#`. The text includes the delimiters.
+    Str,
+    /// A char or byte literal: `'a'`, `'\''`, `b'x'`.
+    Char,
+    /// A lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// A numeric literal, suffix included: `42`, `0xFFu64`, `1_000`, `1e-3`.
+    Num,
+    /// Any single punctuation/operator character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// The token's source text, delimiters included.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based line of the token's last character (block comments and
+    /// multi-line strings span lines).
+    pub end_line: usize,
+}
+
+impl Tok {
+    /// `true` when this is an `Ident` token spelling exactly `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when this is a `Punct` token spelling exactly `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `source` into a flat token stream. Whitespace is dropped;
+/// everything else (comments included) becomes a token. The lexer never
+/// fails: a malformed tail (e.g. an unterminated string at EOF) is consumed
+/// as the final token of its opened kind, which is the forgiving behavior a
+/// lint wants when scanning work-in-progress code.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Tok> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::Comment,
+                    source,
+                    start,
+                    i,
+                    start_line,
+                    line,
+                );
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust: track depth.
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                push(
+                    &mut toks,
+                    TokKind::Comment,
+                    source,
+                    start,
+                    i,
+                    start_line,
+                    line,
+                );
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = consume_raw_string(bytes, i, &mut line);
+                push(&mut toks, TokKind::Str, source, start, i, start_line, line);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                i = consume_string(bytes, i + 1, &mut line);
+                push(&mut toks, TokKind::Str, source, start, i, start_line, line);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = consume_char(bytes, i + 1);
+                push(&mut toks, TokKind::Char, source, start, i, start_line, line);
+            }
+            b'"' => {
+                i = consume_string(bytes, i, &mut line);
+                push(&mut toks, TokKind::Str, source, start, i, start_line, line);
+            }
+            b'\'' => {
+                // Char literal or lifetime. `'a'` is a char; `'a` (no
+                // closing quote after one ident) is a lifetime; `'\''` and
+                // any escape are chars.
+                if is_char_literal(bytes, i) {
+                    i = consume_char(bytes, i);
+                    push(&mut toks, TokKind::Char, source, start, i, start_line, line);
+                } else {
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    push(
+                        &mut toks,
+                        TokKind::Lifetime,
+                        source,
+                        start,
+                        i,
+                        start_line,
+                        line,
+                    );
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = consume_number(bytes, i);
+                push(&mut toks, TokKind::Num, source, start, i, start_line, line);
+            }
+            c if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                push(
+                    &mut toks,
+                    TokKind::Ident,
+                    source,
+                    start,
+                    i,
+                    start_line,
+                    line,
+                );
+            }
+            _ => {
+                // One punct char per token keeps rule matching simple
+                // (`::`, `->` etc. arrive as two tokens).
+                i += 1;
+                push(
+                    &mut toks,
+                    TokKind::Punct,
+                    source,
+                    start,
+                    i,
+                    start_line,
+                    line,
+                );
+            }
+        }
+    }
+    toks
+}
+
+fn push(
+    toks: &mut Vec<Tok>,
+    kind: TokKind,
+    source: &str,
+    start: usize,
+    end: usize,
+    start_line: usize,
+    end_line: usize,
+) {
+    toks.push(Tok {
+        kind,
+        text: source[start..end].to_string(),
+        line: start_line,
+        end_line,
+    });
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `r"`, `r#`, `br"`, `br#` open raw strings (with `b` handled by letting
+/// `r` follow it).
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let j = if bytes[i] == b'b' { i + 1 } else { i };
+    bytes.get(j) == Some(&b'r')
+        && matches!(bytes.get(j + 1), Some(&b'"') | Some(&b'#'))
+        // `r#ident` is a raw identifier, not a raw string: require the
+        // hashes (if any) to be followed by a quote.
+        && {
+            let mut k = j + 1;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+}
+
+/// Consumes `r#"..."#`-style raw strings: count opening hashes, then scan
+/// for a quote followed by that many hashes. No escapes exist in raw
+/// strings (that is their point), so `"` with too few hashes stays inside.
+fn consume_raw_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a `"..."` string starting at the opening quote, honoring `\"`
+/// and `\\` escapes and counting embedded newlines.
+fn consume_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Decides `'` ambiguity: a char literal closes with `'` after one
+/// (possibly escaped) character; a lifetime does not.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true, // `'\n'`, `'\''`, `'\u{..}'` — always a char
+        Some(&c) if is_ident_char(c) => {
+            // `'a'` char vs `'a` / `'abc` lifetime: scan the ident run and
+            // look for the closing quote.
+            let mut j = i + 1;
+            while matches!(bytes.get(j), Some(&c) if is_ident_char(c)) {
+                j += 1;
+            }
+            bytes.get(j) == Some(&b'\'')
+        }
+        // `'('` and friends: a one-symbol char literal.
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Consumes a char/byte literal starting at the opening quote.
+fn consume_char(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a numeric literal: digits, `_` separators, base prefixes,
+/// a fraction/exponent, and any type suffix (`u64`, `f32`, ...). Greedy
+/// enough that `0xFFu64` or `1e-3` never leak an `Ident` token.
+fn consume_number(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            // `1..5` is a range, not a float with a trailing dot-dot.
+            if c == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                break;
+            }
+            // `1.method()` — a dot followed by an ident start is a call.
+            if c == b'.' && matches!(bytes.get(i + 1), Some(&c) if is_ident_start(c)) {
+                break;
+            }
+            // `1e-3` / `1E+7`: let the exponent sign through.
+            if (c == b'e' || c == b'E')
+                && matches!(bytes.get(i + 1), Some(&b'-') | Some(&b'+'))
+                && matches!(bytes.get(i + 2), Some(&d) if d.is_ascii_digit())
+            {
+                i += 2;
+                continue;
+            }
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_comments_is_not_ident() {
+        let src = "// HashMap here\nlet x = 1; /* unwrap() too /* nested unwrap */ still */ real";
+        assert_eq!(idents(src), vec!["let", "x", "real"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = lex("/* a /* b /* c */ b */ a */ after");
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_contain_quotes() {
+        let src = r####"let s = r#"an "inner" quote and HashMap"#; tail"####;
+        let toks = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("inner"));
+        assert!(toks.last().is_some_and(|t| t.is_ident("tail")));
+        assert!(idents(src).iter().all(|i| i != "HashMap"));
+    }
+
+    #[test]
+    fn raw_string_needs_matching_hash_count() {
+        // The single `"#` inside does not close an `r##"..."##` string.
+        let src = "r##\"has \"# inside\"## end";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert!(toks[0].text.contains("inside"));
+        assert!(toks[1].is_ident("end"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let toks = lex("let r#type = 1;");
+        // `r#type` lexes as ident `r`, punct `#`, ident `type` — crude but
+        // never swallows code as a string.
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn char_vs_lifetime_disambiguation() {
+        let toks =
+            lex("let c: char = 'a'; fn f<'a>(x: &'a str) {} let q = '\\''; let s = 'static_x;");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'\\''"]);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static_x"]);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let toks = lex(r#"let s = "she said \"unwrap\" loudly"; done"#);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "escaped quotes must not split the string"
+        );
+        assert!(toks.last().is_some_and(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r##"let b = b"bytes with HashMap"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(idents(r#"let b = b"bytes with HashMap";"#)
+            .iter()
+            .all(|i| i != "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "b'x'"));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_leak_idents() {
+        // `0xFFu64`, `1_000usize`, `1e-3` must each be one Num token — the
+        // `u64`/`usize`/`e` parts are suffixes, not idents the `no-lossy-as`
+        // rule could mistake for a cast target.
+        let toks = lex("let a = 0xFFu64; let b = 1_000usize; let c = 1e-3; let d = 1..5;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0xFFu64", "1_000usize", "1e-3", "1", "5"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "line1\n/* spans\nthree\nlines */ after\n\"multi\nline string\" tail";
+        let toks = lex(src);
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after");
+        assert_eq!(after.line, 4);
+        let tail = toks.iter().find(|t| t.is_ident("tail")).expect("tail");
+        assert_eq!(tail.line, 6);
+        let comment = &toks[1];
+        assert_eq!((comment.line, comment.end_line), (2, 4));
+    }
+
+    #[test]
+    fn lifetime_in_generics_vs_char_in_match() {
+        let toks = lex("match c { 'x' => 1, _ => 2 }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+        let toks = lex("impl<'de> Deserialize<'de> for T {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+    }
+}

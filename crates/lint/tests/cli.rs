@@ -1,0 +1,221 @@
+//! End-to-end tests of the `qaoa-lint` binary against the seeded-violation
+//! fixture tree (`tests/fixtures/` mirrors a miniature workspace so the
+//! path-scoped rules fire on realistic crate paths).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn qaoa_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qaoa-lint"))
+        .args(args)
+        .output()
+        .expect("spawn qaoa-lint")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn fixture_workspace_fails_with_every_rule_firing() {
+    let root = fixture_root();
+    let out = qaoa_lint(&[
+        "--workspace",
+        "--root",
+        root.to_str().unwrap(),
+        "--no-baseline",
+    ]);
+    assert_eq!(code(&out), 1, "seeded violations must fail the run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "no-unordered-iter",
+        "bit-exact-floats",
+        "no-lossy-as",
+        "no-panic-lib",
+        "safety-comment",
+        "no-wallclock",
+    ] {
+        assert!(text.contains(rule), "rule {rule} must fire:\n{text}");
+    }
+    // file:line diagnostics, workspace-relative.
+    assert!(
+        text.contains("crates/core/src/unordered.rs:"),
+        "diagnostics carry file:line:\n{text}"
+    );
+    // Marker hygiene from the bare_marker fixture.
+    assert!(
+        text.contains("lint-allow"),
+        "marker errors reported:\n{text}"
+    );
+    // Test-side HashMap in the fixture is exempt.
+    assert!(
+        !text.contains("unordered.rs:22"),
+        "test code must be exempt:\n{text}"
+    );
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let root = fixture_root();
+    let file = root.join("crates/engine/src/suppressed.rs");
+    let out = qaoa_lint(&["--root", root.to_str().unwrap(), file.to_str().unwrap()]);
+    assert_eq!(
+        code(&out),
+        0,
+        "justified markers silence everything: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("suppressed"),
+        "suppression count shown:\n{text}"
+    );
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let root = fixture_root();
+    let file = root.join("crates/engine/src/casts.rs");
+    let out = qaoa_lint(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rule\":\"no-lossy-as\""), "{text}");
+    assert!(
+        text.contains("\"file\":\"crates/engine/src/casts.rs\""),
+        "{text}"
+    );
+    assert!(text.contains("\"line\":"), "{text}");
+    assert!(
+        text.trim_start().starts_with('{'),
+        "one JSON object:\n{text}"
+    );
+}
+
+#[test]
+fn rule_filters_narrow_the_run() {
+    let root = fixture_root();
+    let file = root.join("crates/engine/src/casts.rs");
+    // Only the safety rule: the casts and unwraps in the same file are not
+    // reported.
+    let out = qaoa_lint(&[
+        "--root",
+        root.to_str().unwrap(),
+        "--only",
+        "safety-comment",
+        file.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("safety-comment"), "{text}");
+    assert!(!text.contains("no-lossy-as"), "{text}");
+
+    let out = qaoa_lint(&["--only", "no-such-rule", file.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "unknown rule name is a usage error");
+}
+
+#[test]
+fn baseline_ratchet_up_fails_down_passes() {
+    // A scratch copy of one fixture so the test can both regress and
+    // improve it without touching the shared tree.
+    let scratch = std::env::temp_dir().join(format!("qaoa-lint-ratchet-{}", std::process::id()));
+    let src_dir = scratch.join("crates/engine/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch dirs");
+    let file = src_dir.join("casts.rs");
+    let baseline = scratch.join("lint-baseline.toml");
+    let two_violations =
+        "pub fn f(x: u64) -> u32 {\n    x as u32\n}\npub fn g(x: u64) -> u16 {\n    x as u16\n}\n";
+    std::fs::write(&file, two_violations).expect("write fixture");
+
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "--workspace",
+            "--root",
+            scratch.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        qaoa_lint(&args)
+    };
+
+    // No baseline yet: the two seeded violations are regressions.
+    assert_eq!(code(&run(&[])), 1);
+    // Accept them.
+    assert_eq!(code(&run(&["--update-baseline"])), 0);
+    let accepted = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(accepted.contains("[no-lossy-as]"), "{accepted}");
+    assert!(
+        accepted.contains("\"crates/engine/src/casts.rs\" = 2"),
+        "{accepted}"
+    );
+    // Flat: baselined counts pass.
+    assert_eq!(code(&run(&[])), 0);
+
+    // Ratchet up: a third violation in the same file fails.
+    std::fs::write(
+        &file,
+        format!("{two_violations}pub fn h(x: u64) -> u8 {{\n    x as u8\n}}\n"),
+    )
+    .expect("regress fixture");
+    let out = run(&[]);
+    assert_eq!(code(&out), 1, "new violation over baseline must fail");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("baseline allows 2"));
+
+    // Ratchet down: dropping to one violation passes and suggests
+    // tightening.
+    std::fs::write(&file, "pub fn f(x: u64) -> u32 {\n    x as u32\n}\n").expect("improve fixture");
+    let out = run(&[]);
+    assert_eq!(code(&out), 0, "improvement must pass");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("tighten"),
+        "improvement nudges the baseline:\n{text}"
+    );
+    // Tightened baseline reflects the lower count.
+    assert_eq!(code(&run(&["--update-baseline"])), 0);
+    let tightened = std::fs::read_to_string(&baseline).expect("baseline rewritten");
+    assert!(
+        tightened.contains("\"crates/engine/src/casts.rs\" = 1"),
+        "{tightened}"
+    );
+
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn repo_workspace_scan_is_clean_under_its_baseline() {
+    // The committed baseline plus in-tree suppressions must keep the real
+    // workspace green — the same invocation CI runs.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let out = qaoa_lint(&["--workspace", "--root", repo_root.to_str().unwrap()]);
+    assert_eq!(
+        code(&out),
+        0,
+        "workspace must be clean under lint-baseline.toml:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn help_and_list_rules_exit_zero() {
+    let help = qaoa_lint(&["--help"]);
+    assert_eq!(code(&help), 0);
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+    let rules = qaoa_lint(&["--list-rules"]);
+    assert_eq!(code(&rules), 0);
+    let text = String::from_utf8_lossy(&rules.stdout);
+    assert!(text.contains("no-unordered-iter") && text.contains("no-wallclock"));
+}

@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads outside the designated accounting modules.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let now = SystemTime::now();
+    let _ = now;
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,26 @@
+//! Fixture: unordered collections in a deterministic crate.
+//! Never compiled — scanned by the `qaoa-lint` integration tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut seen = HashSet::new();
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this HashMap must NOT be flagged.
+    #[test]
+    fn test_side_maps_are_fine() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

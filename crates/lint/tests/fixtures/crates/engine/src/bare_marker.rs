@@ -1,0 +1,11 @@
+//! Fixture: marker-hygiene errors — a justification-less marker and one
+//! naming an unknown rule. Neither silences anything.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // lint:allow(no-panic-lib)
+}
+
+// lint:allow(not-a-rule) the rule name is wrong on purpose
+pub fn id(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,20 @@
+//! Fixture: lossy casts, library panics, and an uncommented `unsafe`.
+
+pub fn shrink(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn lookup(xs: &[u64], i: u64) -> u64 {
+    let idx = i as usize;
+    *xs.get(idx).unwrap()
+}
+
+pub fn must(flag: bool) {
+    if !flag {
+        panic!("fixture panic in library code");
+    }
+}
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,17 @@
+//! Fixture: every would-be violation here carries a justified
+//! `lint:allow`, so a scan of this file alone must exit clean.
+
+pub fn widen(x: usize) -> u64 {
+    // lint:allow(no-lossy-as) usize -> u64 is value-preserving on every supported target
+    x as u64
+}
+
+pub fn first(xs: &[u64]) -> u64 {
+    // lint:allow(no-panic-lib) fixture invariant: callers never pass an empty slice
+    *xs.first().unwrap()
+}
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture contract — `p` is valid for reads by construction.
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+//! Fixture: float formatting in the wire codec that would break bit-exact
+//! round-trips (the real codec encodes IEEE-754 bit patterns in hex).
+
+pub fn encode(expectation: f64, gammas: &[f64]) -> String {
+    let first = gammas.first().copied().unwrap_or(0.0);
+    // Decimal formatting of floats loses bits: both lines must be flagged.
+    let head = format!("E {} {:.17}", expectation, first);
+    let tail = expectation.to_string();
+    format!("{head} {tail}")
+}

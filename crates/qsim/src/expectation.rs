@@ -55,10 +55,11 @@ impl DiagonalObservable {
     /// used by the fast phase kernels. Values are keyed by their exact bit
     /// pattern, so the decomposition is a pure function of the diagonal.
     fn from_diag(diag: Vec<f64>) -> Self {
-        let mut index_of = std::collections::HashMap::new();
+        let mut index_of = std::collections::BTreeMap::new();
         let mut levels = Vec::new();
         let mut level_of = Vec::with_capacity(diag.len());
         for &value in &diag {
+            // lint:allow(no-lossy-as) distinct levels <= diag.len() <= 2^n for a simulable register, far under u32::MAX
             let next = levels.len() as u32;
             let l = *index_of.entry(value.to_bits()).or_insert_with(|| {
                 levels.push(value);
@@ -99,7 +100,7 @@ impl DiagonalObservable {
     /// Number of qubits the observable acts on.
     #[must_use]
     pub fn n_qubits(&self) -> usize {
-        self.diag.len().trailing_zeros() as usize
+        self.diag.len().trailing_zeros() as usize // lint:allow(no-lossy-as) trailing_zeros() <= 64 always fits usize
     }
 
     /// Largest diagonal entry (the exact optimum for maximization problems).
@@ -184,6 +185,7 @@ impl PauliZString {
     /// Eigenvalue `±1` on the computational basis state with index `z`.
     #[must_use]
     pub fn eigenvalue(&self, z: usize) -> f64 {
+        // lint:allow(no-lossy-as) usize -> u64 is value-preserving on every supported target
         if ((z as u64) & self.mask).count_ones().is_multiple_of(2) {
             1.0
         } else {
@@ -200,7 +202,7 @@ impl PauliZString {
     pub fn expectation(&self, state: &StateVector) -> Result<f64, QsimError> {
         let width = state.n_qubits();
         if self.mask >> width != 0 {
-            let qubit = (63 - self.mask.leading_zeros()) as usize;
+            let qubit = (63 - self.mask.leading_zeros()) as usize; // lint:allow(no-lossy-as) value in 0..=63 fits usize
             return Err(QsimError::QubitOutOfRange {
                 qubit,
                 n_qubits: width,

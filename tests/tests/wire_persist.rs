@@ -132,7 +132,7 @@ proptest! {
         }
         graph = g;
         let job = Job::new(graph, depth, restarts);
-        let back = wire::decode_job(&wire::encode_job(&job)).expect("round trip");
+        let back = wire::decode_job(&wire::encode_job(&job).expect("encode")).expect("round trip");
         prop_assert_eq!(back.depth, job.depth);
         prop_assert_eq!(back.restarts, job.restarts);
         prop_assert_eq!(&back.graph, &job.graph);
