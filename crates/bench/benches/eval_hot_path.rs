@@ -1,8 +1,11 @@
 //! The evaluation hot path: allocating legacy pipeline vs the
 //! `EvalContext` pipeline, and finite-difference vs adjoint gradients.
 //!
-//! `expectation/...` benches the paper's "function call / QC call" unit at
-//! n = 16, p = 2 (the acceptance workload) and n = 8 (the paper's width):
+//! `expectation/...` benches the paper's "function call / QC call" unit
+//! across a width sweep — n = 8 (the paper's width), n = 12, n = 16 (the
+//! acceptance workload), and n = 20 (the scaling headroom check) — all at
+//! p = 2. The sweep feeds the committed `BENCH_eval.json` snapshot
+//! (regenerate with `scripts/bench_snapshot.sh`):
 //!
 //! * `allocating` — the pre-`EvalContext` implementation, replicated
 //!   verbatim: fresh `plus_state` per call, a materialized `2^n` phase
@@ -58,7 +61,7 @@ fn workload(n: usize, p: usize) -> (QaoaAnsatz, Vec<f64>) {
 
 fn bench_expectation_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("expectation");
-    for n in [8usize, 16] {
+    for n in [8usize, 12, 16, 20] {
         let (ansatz, params) = workload(n, 2);
         group.bench_with_input(BenchmarkId::new("allocating", n), &n, |b, _| {
             b.iter(|| black_box(allocating_expectation(&ansatz, &params)));

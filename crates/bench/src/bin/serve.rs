@@ -13,6 +13,13 @@
 //! server sessions — and the corpus/Table-I drivers sharing the file —
 //! never re-solve a known `(canonical graph class, restarts)` pair.
 //!
+//! With `--model PATH`, a trained `QMODEL1` predictor artifact (written by
+//! `qaoa-predict train`) is loaded at startup and `QW1 PREDICT ...` lines
+//! are answered with tiered `QW1 PREDICTED ...` replies. A missing or
+//! discarded model is a stderr warning, not fatal: the server degrades to
+//! answering `PREDICT` with `ERR` (this bin never trains — that is
+//! `qaoa-predict`'s job).
+//!
 //! Run:
 //! `printf 'QW1 JOB 1 3 5 0-1,1-2,2-3,3-4,4-0\n' | cargo run --release -p bench --bin qaoa-serve -- --threads 4`
 
@@ -29,6 +36,37 @@ fn main() {
         options: Default::default(),
         use_cache: true,
     };
+    let model =
+        config
+            .model
+            .as_ref()
+            .and_then(|path| match engine::model::load(path, config.seed) {
+                engine::ModelLoad::Loaded(p) => {
+                    eprintln!(
+                        "# model {}: loaded {} model (max depth {})",
+                        path.display(),
+                        p.kind(),
+                        p.max_depth()
+                    );
+                    Some(p)
+                }
+                engine::ModelLoad::Missing => {
+                    eprintln!(
+                        "# warning: model {} not found; PREDICT answers ERR \
+                     (train one with qaoa-predict train --out)",
+                        path.display()
+                    );
+                    None
+                }
+                engine::ModelLoad::Discarded(why) => {
+                    eprintln!(
+                        "# warning: model {} discarded ({why}); PREDICT answers ERR \
+                     (retrain with qaoa-predict train --out)",
+                        path.display()
+                    );
+                    None
+                }
+            });
     eprintln!(
         "# qaoa-serve: {} threads, master seed {}; reading QW1 lines from stdin",
         engine.threads(),
@@ -37,12 +75,13 @@ fn main() {
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let summary = match engine::server::serve(
+    let summary = match engine::server::serve_with_model(
         stdin.lock(),
         stdout.lock(),
         &engine,
         &Lbfgsb::default(),
         &batch_config,
+        model.as_ref(),
     ) {
         Ok(summary) => summary,
         Err(e) => {
@@ -55,4 +94,9 @@ fn main() {
     };
     config.persist_cache(&engine);
     eprintln!("# qaoa-serve: {summary}");
+    if summary.predicts > 0 {
+        for line in summary.predict_report().lines() {
+            eprintln!("# {line}");
+        }
+    }
 }

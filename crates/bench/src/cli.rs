@@ -16,7 +16,7 @@ use crate::RunConfig;
 pub const USAGE: &str = "\
 usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
        [--seed N] [--naive-starts N] [--threads N] [--cache-file PATH]
-       [--shards K] [--out PATH] [--help]
+       [--model PATH] [--shards K] [--out PATH] [--help]
 
   --quick            CI-scale preset (small ensemble, shallow depths)
   --nodes N          nodes per graph            (paper: 8)
@@ -30,6 +30,10 @@ usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
                      and processes (corrupt/stale files regenerate). Note:
                      also disables the whole-corpus TSV cache, so depth >= 2
                      cells re-solve every run; only depth-1 is persisted
+  --model PATH       trained QMODEL1 predictor artifact shared across runs
+                     and processes (corrupt/stale files retrain).
+                     qaoa-predict trains and serves it; qaoa-serve loads it
+                     to answer PREDICT requests in the same session as JOBs
   --shards K         split corpus generation into K contiguous graph-index
                      ranges, one worker per range (qaoa-shard; default: 1;
                      output is bit-identical at any K)
@@ -99,6 +103,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
                 config.seed = v.parse().map_err(|e| format!("{flag} {v}: {e}"))?;
             }
             "--cache-file" => config.cache_file = Some(PathBuf::from(value()?)),
+            "--model" => config.model = Some(PathBuf::from(value()?)),
             "--shards" => config.shards = parse_count(flag, value()?)?.max(1),
             "--out" => config.out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {other}")),
@@ -226,6 +231,16 @@ mod tests {
         assert_eq!(c.cache_file, Some(PathBuf::from("/tmp/l1.cache")));
         assert!(parse_args(args(&["--cache-file"])).is_err());
         assert_eq!(run(&["--quick"]).cache_file, None);
+    }
+
+    #[test]
+    fn model_flag() {
+        let c = run(&["--quick", "--model", "/tmp/model.qm"]);
+        assert_eq!(c.model, Some(PathBuf::from("/tmp/model.qm")));
+        assert!(parse_args(args(&["--model"])).is_err());
+        assert!(parse_args(args(&["--model", "--quick"])).is_err());
+        assert_eq!(run(&["--quick"]).model, None);
+        assert!(USAGE.contains("--model"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! --seed N           RNG seed                   (default: 2020)
 //! --threads N        engine worker count        (default: all cores)
 //! --cache-file PATH  persistent depth-1 cache shared across runs
+//! --model PATH       trained QMODEL1 predictor artifact shared across runs
 //! ```
 //!
 //! Parsing is deliberately dependency-free.
@@ -46,6 +47,11 @@ pub struct RunConfig {
     /// runs — at any thread count — start with all previously-seen
     /// canonical graph classes already solved.
     pub cache_file: Option<std::path::PathBuf>,
+    /// Trained predictor artifact (`--model`): a versioned `QMODEL1` file
+    /// `qaoa-predict train` writes and `qaoa-predict serve` / `qaoa-serve`
+    /// load to answer `PREDICT` requests without re-training. Missing,
+    /// corrupt, or stale files are discarded, never fatal.
+    pub model: Option<std::path::PathBuf>,
     /// Corpus shard count (`--shards`, `qaoa-shard`): the ensemble is split
     /// into this many contiguous graph-index ranges, one worker per range.
     /// Output is bit-identical at any value; default 1 (unsharded).
@@ -69,6 +75,7 @@ impl RunConfig {
             naive_starts: None,
             threads: None,
             cache_file: None,
+            model: None,
             shards: 1,
             out: None,
         }
@@ -87,6 +94,7 @@ impl RunConfig {
             naive_starts: None,
             threads: None,
             cache_file: None,
+            model: None,
             shards: 1,
             out: None,
         }
@@ -252,6 +260,27 @@ impl RunConfig {
             }
         }
         ds
+    }
+
+    /// Trains the prediction-service regressor on this configuration's
+    /// corpus (GPR — the paper's best-performing regressor family). This is
+    /// the expensive half of train-once / predict-many; `qaoa-predict`
+    /// persists the result as a `QMODEL1` artifact so serving sessions skip
+    /// it entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails (binaries have no recovery path).
+    #[must_use]
+    pub fn train_predictor(&self) -> qaoa::ParameterPredictor {
+        let corpus = self.corpus();
+        eprintln!(
+            "# training {} predictor (depths 1..={})...",
+            ml::ModelKind::Gpr,
+            corpus.max_depth()
+        );
+        // lint:allow(no-panic-lib) same policy as corpus(): bench binaries have no recovery path from a failed training run
+        qaoa::ParameterPredictor::train(ml::ModelKind::Gpr, &corpus).expect("predictor training")
     }
 }
 

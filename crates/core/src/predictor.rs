@@ -106,6 +106,47 @@ impl ParameterPredictor {
         })
     }
 
+    /// Reassembles a predictor from per-stage models (the model-artifact
+    /// loader's entry point).
+    ///
+    /// `gamma_models[i]`/`beta_models[i]` must be the stage-`i+1` models, and
+    /// both lists must cover every stage up to `max_depth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::Parse`] when the stage lists are empty,
+    /// mismatched, or shorter than `max_depth`.
+    pub fn from_parts(
+        kind: ModelKind,
+        max_depth: usize,
+        intermediate_depth: Option<usize>,
+        gamma_models: Vec<Box<dyn Regressor>>,
+        beta_models: Vec<Box<dyn Regressor>>,
+    ) -> Result<Self, QaoaError> {
+        if gamma_models.is_empty() || gamma_models.len() != beta_models.len() {
+            return Err(QaoaError::Parse {
+                line: 0,
+                message: "predictor parts: empty or mismatched stage model lists".into(),
+            });
+        }
+        if max_depth == 0 || max_depth > gamma_models.len() {
+            return Err(QaoaError::Parse {
+                line: 0,
+                message: format!(
+                    "predictor parts: max depth {max_depth} outside 1..={}",
+                    gamma_models.len()
+                ),
+            });
+        }
+        Ok(Self {
+            kind,
+            max_depth,
+            intermediate_depth,
+            gamma_models,
+            beta_models,
+        })
+    }
+
     /// The model family behind every stage regression.
     #[must_use]
     pub fn kind(&self) -> ModelKind {
@@ -122,6 +163,18 @@ impl ParameterPredictor {
     #[must_use]
     pub fn intermediate_depth(&self) -> Option<usize> {
         self.intermediate_depth
+    }
+
+    /// Per-stage γ models (`[stage 1, …, stage max_depth]`).
+    #[must_use]
+    pub fn gamma_models(&self) -> &[Box<dyn Regressor>] {
+        &self.gamma_models
+    }
+
+    /// Per-stage β models (`[stage 1, …, stage max_depth]`).
+    #[must_use]
+    pub fn beta_models(&self) -> &[Box<dyn Regressor>] {
+        &self.beta_models
     }
 
     /// Predicts initial parameters `[γ₁…γ_pt, β₁…β_pt]` for a depth-`pt`

@@ -209,6 +209,23 @@ impl Level1Cache {
         }
     }
 
+    /// Returns the *finished* outcome for `key`, if any, without solving
+    /// and without touching the hit/miss counters — the tier probe used by
+    /// the prediction service ([`crate::server`]), which must decide
+    /// cheaply whether a class is already solved rather than trigger a
+    /// solve. An in-flight (being-solved) entry reads as absent instead of
+    /// blocking on its leader.
+    #[must_use]
+    pub fn peek(&self, key: &Level1Key) -> Option<InstanceOutcome> {
+        let slot = lock_shard(self.shard(key)).get(key).cloned()?;
+        let finished = match slot.try_lock() {
+            Ok(guard) => guard.clone(),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().clone(),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        finished
+    }
+
     /// Inserts a finished outcome for `key` without touching the hit/miss
     /// counters — the pre-warming path used by cache persistence
     /// ([`crate::persist`]). An existing entry (finished or in flight) is

@@ -23,6 +23,9 @@
 //!   canonical keys, corpus records, batch reports, and shard tasking,
 //! * [`persist`] — save/load/merge of the depth-1 cache across processes
 //!   (corrupt or stale files are discarded, never fatal),
+//! * [`model`] — versioned `QMODEL1` persistence of trained parameter
+//!   predictors (same discard-and-retrain failure policy), the artifact
+//!   behind the `qaoa-predict` prediction service,
 //! * [`server`] — the job-server request loop behind the `qaoa-serve`
 //!   binary: `JOB` lines in, `OUTCOME`/`REPORT` lines out, in submission
 //!   order, plus the worker side of shard tasking (`SHARD`/`RANGE` in,
@@ -71,6 +74,7 @@ pub mod batch;
 pub mod cache;
 pub mod compare;
 pub mod corpus;
+pub mod model;
 pub mod persist;
 pub mod pool;
 pub mod seed;
@@ -81,6 +85,7 @@ pub mod wire;
 pub use batch::{BatchConfig, BatchReport, Engine, Job, JobStats};
 pub use cache::{Level1Cache, Level1Key};
 pub use corpus::CorpusReport;
+pub use model::ModelLoad;
 pub use persist::LoadStatus;
 pub use pool::Pool;
 pub use server::ServeSummary;

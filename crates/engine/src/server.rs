@@ -18,6 +18,31 @@
 //! `ERR` (a coordinator bug must surface, not silently double-generate
 //! records).
 //!
+//! With a trained model attached ([`serve_with_model`]), the loop is also a
+//! **low-latency prediction service**: each `PREDICT` line is answered
+//! immediately (no batching) with one `PREDICTED` line carrying
+//! initialization parameters for the requested graph and depth, produced by
+//! the cheapest able tier —
+//!
+//! 1. **cached exact** — a depth-1 request whose `(canonical class,
+//!    restarts)` is already in the depth-1 cache answers the cached exact
+//!    optimum,
+//! 2. **model** — a deeper request whose class is cached answers the
+//!    trained predictor's parameters, seeded from the cached depth-1
+//!    optimum (the paper's predict-don't-optimize promise),
+//! 3. **warm start** — a cold class runs the optimizer (the two-level flow
+//!    at depth > 1, a plain depth-1 solve otherwise) through the engine's
+//!    pool, which also warms the cache so follow-up requests answer from
+//!    tiers 1–2.
+//!
+//! Deep (depth > 1) answers are memoized per `(class, restarts, depth)`
+//! for the session, so a repeated request echoes its original tier and bits
+//! even after the cache has warmed underneath it; depth-1 repeats are
+//! already bit-stable through the cache itself. Per-tier request counts and latency
+//! totals accumulate in the [`ServeSummary`]; nothing timing-derived is
+//! ever written to `output`, so serving the same requests twice produces
+//! bit-identical transcripts.
+//!
 //! Error containment: a malformed line answers with an `ERR` line and the
 //! loop continues — one bad client line must not kill a server multiplexing
 //! many. [`crate::wire::decode_job`] validates executability at decode
@@ -37,17 +62,23 @@
 //! pre-warmed from the server cache and folded back after each range, so
 //! `--cache-file` benefits shard work too.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::ops::Range;
+use std::time::{Duration, Instant};
 
 use graphs::Graph;
 use optimize::Optimizer;
+use qaoa::canonical::graph_key;
 use qaoa::datagen::DataGenConfig;
+use qaoa::ParameterPredictor;
 
 use crate::batch::{BatchConfig, Engine, Job};
+use crate::cache::Level1Key;
 use crate::corpus;
 use crate::wire;
+use crate::wire::AnswerTier;
 
 /// Accounting for one [`serve`] session.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -66,6 +97,91 @@ pub struct ServeSummary {
     pub cache_hits: usize,
     /// Depth-1 cache misses (solves) across all batches.
     pub cache_misses: usize,
+    /// `PREDICT` requests answered (memoized answers included, errors not).
+    pub predicts: usize,
+    /// `PREDICT` requests answered from the session memo (a repeat of an
+    /// earlier request; counted into its original tier's stats too).
+    pub predict_memo_hits: usize,
+    /// Per-tier request counts and latency, indexed tier 1 → 3.
+    pub tiers: [TierStats; 3],
+}
+
+/// Request count and cumulative latency of one answer tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// `PREDICT` requests this tier answered.
+    pub requests: usize,
+    /// Total wall-clock time spent answering them (decode to write).
+    pub wall: Duration,
+}
+
+impl TierStats {
+    /// Mean latency per answered request (zero when none were).
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        let n = u32::try_from(self.requests).unwrap_or(u32::MAX);
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            self.wall / n
+        }
+    }
+
+    /// Answers per second (zero when no time was spent).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let n = u32::try_from(self.requests).unwrap_or(u32::MAX);
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            f64::from(n) / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ServeSummary {
+    fn record_predict(&mut self, tier: AnswerTier, wall: Duration, memoized: bool) {
+        self.predicts += 1;
+        if memoized {
+            self.predict_memo_hits += 1;
+        }
+        let slot = match tier {
+            AnswerTier::CachedExact => &mut self.tiers[0],
+            AnswerTier::Model => &mut self.tiers[1],
+            AnswerTier::WarmStart => &mut self.tiers[2],
+        };
+        slot.requests += 1;
+        slot.wall += wall;
+    }
+
+    /// Multi-line per-tier accounting of the session's `PREDICT` traffic,
+    /// for the driver's stderr (latency never goes on the wire — transcripts
+    /// stay bit-identical across runs).
+    #[must_use]
+    pub fn predict_report(&self) -> String {
+        let mut lines = vec![format!(
+            "{} PREDICT answers ({} memoized)",
+            self.predicts, self.predict_memo_hits
+        )];
+        for (tier, stats) in [
+            AnswerTier::CachedExact,
+            AnswerTier::Model,
+            AnswerTier::WarmStart,
+        ]
+        .into_iter()
+        .zip(&self.tiers)
+        {
+            lines.push(format!(
+                "  {tier}: {} answers, total {:.2?}, mean {:.2?}, {:.1}/s",
+                stats.requests,
+                stats.wall,
+                stats.mean_latency(),
+                stats.throughput(),
+            ));
+        }
+        lines.join("\n")
+    }
 }
 
 impl fmt::Display for ServeSummary {
@@ -80,7 +196,18 @@ impl fmt::Display for ServeSummary {
             self.errors,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
-        )
+        )?;
+        if self.predicts > 0 {
+            write!(
+                f,
+                ", {} predicts (tiers {}/{}/{})",
+                self.predicts,
+                self.tiers[0].requests,
+                self.tiers[1].requests,
+                self.tiers[2].requests,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -104,14 +231,33 @@ struct ShardSession {
 /// line.
 pub fn serve<R: BufRead, W: Write>(
     input: R,
-    mut output: W,
+    output: W,
     engine: &Engine,
     optimizer: &(dyn Optimizer + Sync),
     config: &BatchConfig,
 ) -> std::io::Result<ServeSummary> {
+    serve_with_model(input, output, engine, optimizer, config, None)
+}
+
+/// [`serve`] with an optional trained predictor attached, which enables the
+/// `PREDICT` verb (see the module docs for the answer tiers). Without a
+/// predictor, `PREDICT` lines answer `ERR`.
+///
+/// # Errors
+///
+/// Same contract as [`serve`]: only transport failures abort the loop.
+pub fn serve_with_model<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    engine: &Engine,
+    optimizer: &(dyn Optimizer + Sync),
+    config: &BatchConfig,
+    predictor: Option<&ParameterPredictor>,
+) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let mut pending: Vec<Job> = Vec::new();
     let mut session: Option<ShardSession> = None;
+    let mut memo: PredictMemo = BTreeMap::new();
 
     for line in input.lines() {
         let line = line?;
@@ -148,11 +294,23 @@ pub fn serve<R: BufRead, W: Write>(
                     &mut summary,
                 )?;
             }
+            Ok("PREDICT") => {
+                answer_predict(
+                    &mut output,
+                    line,
+                    engine,
+                    optimizer,
+                    config,
+                    predictor,
+                    &mut memo,
+                    &mut summary,
+                )?;
+            }
             Ok(other) => reject(
                 &mut output,
                 &mut summary,
                 &format!(
-                    "unexpected {other} message (the server accepts JOB, RUN, SHARD, and RANGE)"
+                    "unexpected {other} message (the server accepts JOB, RUN, SHARD, RANGE, and PREDICT)"
                 ),
             )?,
             Err(e) => reject(&mut output, &mut summary, &e.to_string())?,
@@ -171,6 +329,128 @@ pub fn serve<R: BufRead, W: Write>(
         )?;
     }
     Ok(summary)
+}
+
+/// The session's answer memo for depth > 1 requests: `(class, restarts,
+/// depth)` → the tier and parameters first answered. A repeated deep
+/// request must echo the same bits, but after its tier-3 solve has warmed
+/// the cache the repeat would re-route through tier 2 and answer the
+/// *model's* parameters instead of the optimized ones — the memo pins the
+/// original answer. Depth-1 requests don't need it: tiers 1 and 3 both
+/// answer the cache's exact optimum, identical bits either way.
+type PredictMemo = BTreeMap<(Level1Key, usize), (AnswerTier, Vec<f64>)>;
+
+/// Handles one `PREDICT` line: picks the cheapest able tier, answers one
+/// `PREDICTED` line, and accounts the tier's latency. Unanswerable
+/// requests (no model, depth beyond the model, optimizer failure) answer
+/// `ERR`.
+#[allow(clippy::too_many_arguments)]
+fn answer_predict<W: Write>(
+    output: &mut W,
+    line: &str,
+    engine: &Engine,
+    optimizer: &(dyn Optimizer + Sync),
+    config: &BatchConfig,
+    predictor: Option<&ParameterPredictor>,
+    memo: &mut PredictMemo,
+    summary: &mut ServeSummary,
+) -> std::io::Result<()> {
+    let start = Instant::now();
+    let request = match wire::decode_predict(line) {
+        Ok(request) => request,
+        Err(e) => return reject(output, summary, &e.to_string()),
+    };
+    let Some(predictor) = predictor else {
+        return reject(
+            output,
+            summary,
+            &format!(
+                "PREDICT {} needs a trained model (start the server with --model)",
+                request.id
+            ),
+        );
+    };
+    if request.depth > predictor.max_depth() {
+        return reject(
+            output,
+            summary,
+            &format!(
+                "PREDICT {} depth {} exceeds the model's max depth {}",
+                request.id,
+                request.depth,
+                predictor.max_depth()
+            ),
+        );
+    }
+    let key = Level1Key::new(graph_key(&request.graph), request.restarts);
+    let memo_key = (key.clone(), request.depth);
+    if let Some((tier, params)) = memo.get(&memo_key).filter(|_| request.depth > 1) {
+        let answer = wire::Predicted {
+            id: request.id,
+            tier: *tier,
+            params: params.clone(),
+        };
+        writeln!(output, "{}", wire::encode_predicted(&answer))?;
+        summary.record_predict(*tier, start.elapsed(), true);
+        return output.flush();
+    }
+    let answered = match engine.cache().peek(&key) {
+        // Tier 1: the request *is* a depth-1 solve we already hold.
+        Some(level1) if request.depth == 1 => Ok((AnswerTier::CachedExact, level1.params)),
+        // Tier 2: predict from the cached depth-1 optimum's features.
+        Some(level1) => match (level1.params.first(), level1.params.get(1)) {
+            (Some(&gamma1), Some(&beta1)) => predictor
+                .predict(gamma1, beta1, request.depth)
+                .map(|params| (AnswerTier::Model, params))
+                .map_err(|e| e.to_string()),
+            _ => Err("cached depth-1 optimum carries no parameters".into()),
+        },
+        // Tier 3, cold depth-1 request: solve it (and warm the cache).
+        None if request.depth == 1 => engine
+            .level1_cached(&request.graph, optimizer, request.restarts, config)
+            .map(|(outcome, _)| (AnswerTier::WarmStart, outcome.params))
+            .map_err(|e| e.to_string()),
+        // Tier 3, cold deep request: the full two-level flow (depth-1 solve
+        // warms the cache, the model's prediction warm-starts the target
+        // depth), batched through the engine's pool.
+        None => engine
+            .run_two_level_batch(
+                std::slice::from_ref(&request.graph),
+                request.depth,
+                optimizer,
+                predictor,
+                request.restarts,
+                config,
+            )
+            .map_err(|e| e.to_string())
+            .and_then(|(outcomes, _)| {
+                outcomes
+                    .into_iter()
+                    .next()
+                    .map(|o| (AnswerTier::WarmStart, o.params))
+                    .ok_or_else(|| "two-level batch returned no outcome".into())
+            }),
+    };
+    match answered {
+        Ok((tier, params)) => {
+            let answer = wire::Predicted {
+                id: request.id,
+                tier,
+                params: params.clone(),
+            };
+            writeln!(output, "{}", wire::encode_predicted(&answer))?;
+            if request.depth > 1 {
+                memo.insert(memo_key, (tier, params));
+            }
+            summary.record_predict(tier, start.elapsed(), false);
+            output.flush()
+        }
+        Err(e) => reject(
+            output,
+            summary,
+            &format!("PREDICT {} failed: {e}", request.id),
+        ),
+    }
 }
 
 fn reject<W: Write>(
@@ -603,6 +883,170 @@ QW1 JOB 1 2 3 0-1,1-2\n";
             1
         );
         assert_eq!(out.lines().filter(|l| l.starts_with("QW1 DONE")).count(), 1);
+    }
+
+    fn trained_predictor() -> ParameterPredictor {
+        let corpus = qaoa::datagen::ParameterDataset::generate(&qaoa::datagen::DataGenConfig {
+            n_graphs: 5,
+            n_nodes: 5,
+            edge_probability: 0.6,
+            max_depth: 3,
+            restarts: 2,
+            seed: 33,
+            options: Default::default(),
+            trend_preference_margin: 1e-3,
+        })
+        .unwrap();
+        ParameterPredictor::train(ml::ModelKind::Linear, &corpus).unwrap()
+    }
+
+    fn run_model_session(
+        input: &str,
+        engine: &Engine,
+        predictor: &ParameterPredictor,
+    ) -> (String, ServeSummary) {
+        let mut out = Vec::new();
+        let summary = serve_with_model(
+            std::io::Cursor::new(input),
+            &mut out,
+            engine,
+            &Lbfgsb::default(),
+            &BatchConfig::default(),
+            Some(predictor),
+        )
+        .expect("transport never fails in-memory");
+        (String::from_utf8(out).unwrap(), summary)
+    }
+
+    #[test]
+    fn predict_without_model_answers_err_and_loop_survives() {
+        let input = "QW1 PREDICT 1 1 2 5 0-1,1-2,2-3,3-4,4-0\nQW1 JOB 1 2 3 0-1,1-2\n";
+        let (out, summary) = run_session(input, &Engine::new(1));
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.predicts, 0);
+        assert_eq!(summary.jobs, 1, "the job after the refused predict ran");
+        assert!(out.contains("--model"), "output: {out}");
+    }
+
+    #[test]
+    fn predict_answers_one_tier_per_request_state() {
+        let cycle = "0-1,1-2,2-3,3-4,4-0";
+        let relabeled = "1-3,3-0,0-4,4-2,2-1";
+        let input = format!(
+            "QW1 PREDICT 1 1 2 5 {cycle}\n\
+             QW1 PREDICT 2 1 2 5 {relabeled}\n\
+             QW1 PREDICT 3 2 2 5 {cycle}\n\
+             QW1 PREDICT 4 2 2 5 {relabeled}\n"
+        );
+        let predictor = trained_predictor();
+        let engine = Engine::new(2);
+        let (out, summary) = run_model_session(&input, &engine, &predictor);
+        let answers: Vec<wire::Predicted> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 PREDICTED"))
+            .map(|l| wire::decode_predicted(l).unwrap())
+            .collect();
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(answers.len(), 4);
+        assert_eq!(
+            answers.iter().map(|a| a.tier).collect::<Vec<_>>(),
+            vec![
+                AnswerTier::WarmStart,   // cold class: solved
+                AnswerTier::CachedExact, // same class relabeled: cache hit
+                AnswerTier::Model,       // deeper: model prediction
+                AnswerTier::Model,       // repeat (same class+depth): memoized
+            ]
+        );
+        // The tier-3 depth-1 solve IS the entry tier 1 later serves: same bits.
+        let bits = |p: &[f64]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&answers[0].params), bits(&answers[1].params));
+        // Tier 2 answers exactly the predictor's output for the cached
+        // depth-1 optimum's features.
+        let expected = predictor
+            .predict(answers[0].params[0], answers[0].params[1], 2)
+            .unwrap();
+        assert_eq!(bits(&answers[2].params), bits(&expected));
+        assert_eq!(bits(&answers[3].params), bits(&answers[2].params));
+        // Per-tier accounting: 1 cached-exact, 2 model (one memoized), 1 warm.
+        assert_eq!(summary.predicts, 4);
+        assert_eq!(summary.predict_memo_hits, 1);
+        assert_eq!(
+            [
+                summary.tiers[0].requests,
+                summary.tiers[1].requests,
+                summary.tiers[2].requests
+            ],
+            [1, 2, 1]
+        );
+        assert!(summary.to_string().contains("4 predicts (tiers 1/2/1)"));
+        assert!(summary.predict_report().contains("4 PREDICT answers"));
+    }
+
+    #[test]
+    fn cold_deep_predict_warms_the_cache_for_tier_1() {
+        let input = "QW1 PREDICT 1 3 2 5 0-1,1-2,2-3,3-4,4-0\n\
+                     QW1 PREDICT 2 1 2 5 0-1,1-2,2-3,3-4,4-0\n";
+        let predictor = trained_predictor();
+        let (out, summary) = run_model_session(input, &Engine::new(2), &predictor);
+        let answers: Vec<wire::Predicted> = out
+            .lines()
+            .filter(|l| l.starts_with("QW1 PREDICTED"))
+            .map(|l| wire::decode_predicted(l).unwrap())
+            .collect();
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(answers[0].tier, AnswerTier::WarmStart);
+        assert_eq!(answers[0].params.len(), 6, "depth 3 answers 6 params");
+        assert_eq!(
+            answers[1].tier,
+            AnswerTier::CachedExact,
+            "the tier-3 flow's depth-1 solve must warm the cache"
+        );
+    }
+
+    #[test]
+    fn predict_beyond_model_depth_answers_err_and_loop_survives() {
+        let input = "QW1 PREDICT 1 9 2 5 0-1,1-2,2-3,3-4,4-0\n\
+                     QW1 PREDICT 2 1 2 5 0-1,1-2,2-3,3-4,4-0\n";
+        let predictor = trained_predictor();
+        let (out, summary) = run_model_session(input, &Engine::new(1), &predictor);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.predicts, 1, "the sane follow-up still answered");
+        assert!(out.contains("max depth"), "output: {out}");
+    }
+
+    #[test]
+    fn predict_answers_immediately_before_pending_batches() {
+        let input = "QW1 JOB 1 2 5 0-1,1-2,2-3,3-4,4-0\n\
+                     QW1 PREDICT 1 1 2 4 0-1,1-2,2-3,3-0\n\
+                     QW1 RUN -\n";
+        let predictor = trained_predictor();
+        let (out, summary) = run_model_session(input, &Engine::new(1), &predictor);
+        assert_eq!(summary.errors, 0, "output: {out}");
+        assert_eq!(summary.jobs, 1);
+        assert_eq!(summary.predicts, 1);
+        let kinds: Vec<&str> = out
+            .lines()
+            .filter_map(|l| wire::message_type(l).ok())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["PREDICTED", "OUTCOME", "REPORT"],
+            "PREDICT is answered at arrival, not held for the batch flush"
+        );
+    }
+
+    #[test]
+    fn predict_transcripts_are_bit_identical_across_sessions() {
+        let input = "QW1 PREDICT 1 1 2 5 0-1,1-2,2-3,3-4,4-0\n\
+                     QW1 PREDICT 2 2 2 5 0-1,1-2,2-3,3-4,4-0\n\
+                     QW1 PREDICT 3 3 3 4 0-1,1-2,2-3,3-0\n";
+        let predictor = trained_predictor();
+        let (first, _) = run_model_session(input, &Engine::new(2), &predictor);
+        let (second, _) = run_model_session(input, &Engine::new(1), &predictor);
+        assert_eq!(
+            first, second,
+            "answers are pure functions of (requests, model, master seed)"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! line     := "QW1" SP type SP payload
 //! type     := "KEY" | "RECORD" | "JOB" | "OUTCOME" | "REPORT" | "ENTRY"
 //!           | "SHARD" | "RANGE" | "DONE" | "RUN" | "ERR"
+//!           | "PREDICT" | "PREDICTED"
 //! KEY      := n_nodes SP edges               — qaoa::canonical::CanonicalGraphKey
 //! RECORD   := graph_id SP depth SP f64 SP f64 SP fc SP floats SP floats
 //!                                            — qaoa::datagen::OptimalRecord
@@ -24,6 +25,14 @@
 //!                                              range tasked to a worker
 //! DONE     := start SP end SP cells SP fc    — worker's completion marker
 //!                                              for one finished RANGE
+//! PREDICT  := id SP depth SP restarts SP n_nodes SP edges
+//!                                            — parameter request: answer
+//!                                              initialization parameters
+//!                                              for this graph at this depth
+//! PREDICTED:= id SP tier SP floats           — the answer: tier 1 (cached
+//!                                              exact optimum), 2 (model
+//!                                              prediction) or 3 (optimized
+//!                                              with warm start)
 //! RUN      := "-"                            — server flush sentinel
 //! ERR      := free text                      — server-side failure notice
 //! edges    := "-" | edge ("," edge)*   edge := u "-" v [":" hex64]
@@ -86,17 +95,17 @@ impl std::error::Error for WireError {}
 
 // --- scalar helpers --------------------------------------------------------
 
-fn fmt_f64(x: f64) -> String {
+pub(crate) fn fmt_f64(x: f64) -> String {
     format!("{:016x}", x.to_bits())
 }
 
-fn parse_f64(s: &str) -> Result<f64, WireError> {
+pub(crate) fn parse_f64(s: &str) -> Result<f64, WireError> {
     let bits = u64::from_str_radix(s, 16)
         .map_err(|e| WireError::new(format!("bad f64 bits `{s}`: {e}")))?;
     Ok(f64::from_bits(bits))
 }
 
-fn parse_int<T: std::str::FromStr<Err = std::num::ParseIntError>>(
+pub(crate) fn parse_int<T: std::str::FromStr<Err = std::num::ParseIntError>>(
     s: &str,
     what: &str,
 ) -> Result<T, WireError> {
@@ -104,14 +113,14 @@ fn parse_int<T: std::str::FromStr<Err = std::num::ParseIntError>>(
         .map_err(|e| WireError::new(format!("bad {what} `{s}`: {e}")))
 }
 
-fn fmt_floats(v: &[f64]) -> String {
+pub(crate) fn fmt_floats(v: &[f64]) -> String {
     if v.is_empty() {
         return "-".into();
     }
     v.iter().map(|&x| fmt_f64(x)).collect::<Vec<_>>().join(",")
 }
 
-fn parse_floats(s: &str) -> Result<Vec<f64>, WireError> {
+pub(crate) fn parse_floats(s: &str) -> Result<Vec<f64>, WireError> {
     if s == "-" {
         return Ok(Vec::new());
     }
@@ -295,21 +304,32 @@ pub fn decode_record(line: &str) -> Result<OptimalRecord, WireError> {
 /// endpoint domain (the format caps registers far beyond anything a
 /// statevector can simulate, so this only fires on corrupt input).
 pub fn encode_job(job: &Job) -> Result<String, WireError> {
-    let mut edges = Vec::with_capacity(job.graph.edges().len());
-    for e in job.graph.edges() {
+    Ok(format!(
+        "{MAGIC} JOB {} {} {} {}",
+        job.depth,
+        job.restarts,
+        job.graph.n_nodes(),
+        fmt_edges(graph_wire_edges(&job.graph)?.into_iter()),
+    ))
+}
+
+/// A graph's edges in the wire `(u32, u32, weight bits)` domain.
+///
+/// # Errors
+///
+/// Rejects node indices overflowing the wire format's `u32` endpoint domain
+/// (the format caps registers far beyond anything a statevector can
+/// simulate, so this only fires on corrupt input).
+fn graph_wire_edges(graph: &Graph) -> Result<Vec<(u32, u32, u64)>, WireError> {
+    let mut edges = Vec::with_capacity(graph.edges().len());
+    for e in graph.edges() {
         let u = u32::try_from(e.u)
             .map_err(|_| WireError::new(format!("edge endpoint {} overflows u32", e.u)))?;
         let v = u32::try_from(e.v)
             .map_err(|_| WireError::new(format!("edge endpoint {} overflows u32", e.v)))?;
         edges.push((u, v, e.weight.to_bits()));
     }
-    Ok(format!(
-        "{MAGIC} JOB {} {} {} {}",
-        job.depth,
-        job.restarts,
-        job.graph.n_nodes(),
-        fmt_edges(edges.into_iter()),
-    ))
+    Ok(edges)
 }
 
 /// A wire `u32` endpoint in the `Graph` index domain. Infallible on every
@@ -331,13 +351,24 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
     let f = expect_fields(payload(line, "JOB")?, 4, "JOB")?;
     let depth: usize = parse_int(f[0], "depth")?;
     let restarts: usize = parse_int(f[1], "restarts")?;
-    let n_nodes: usize = parse_int(f[2], "n_nodes")?;
-    let edges = parse_edges(f[3])?;
     if depth == 0 || restarts == 0 {
         return Err(WireError::new("JOB needs depth >= 1 and restarts >= 1"));
     }
+    let graph = executable_graph(f[2], f[3], "JOB")?;
+    Ok(Job::new(graph, depth, restarts))
+}
+
+/// Decodes `n_nodes` + `edges` payload fields into an *executable* graph:
+/// at least 2 nodes and 1 edge (the QAOA objective needs a non-empty
+/// graph), finite weights, no duplicate edges. Shared by `JOB` and
+/// `PREDICT` so both verbs accept exactly the same graphs.
+fn executable_graph(n_nodes: &str, edges: &str, what: &str) -> Result<Graph, WireError> {
+    let n_nodes: usize = parse_int(n_nodes, "n_nodes")?;
+    let edges = parse_edges(edges)?;
     if n_nodes < 2 || edges.is_empty() {
-        return Err(WireError::new("JOB needs >= 2 nodes and >= 1 edge"));
+        return Err(WireError::new(format!(
+            "{what} needs >= 2 nodes and >= 1 edge"
+        )));
     }
     let mut graph = Graph::new(n_nodes);
     let mut seen = std::collections::BTreeSet::new();
@@ -347,7 +378,7 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
             return Err(WireError::new(format!("edge {u}-{v}: non-finite weight")));
         }
         // `Graph::add_weighted_edge` keeps the first occurrence of a
-        // duplicate pair and drops the rest without erroring; a job that
+        // duplicate pair and drops the rest without erroring; a line that
         // names an edge twice must be rejected here, not answered with a
         // confidently wrong outcome for a different graph.
         if !seen.insert((u.min(v), u.max(v))) {
@@ -357,7 +388,154 @@ pub fn decode_job(line: &str) -> Result<Job, WireError> {
             .add_weighted_edge(endpoint(u)?, endpoint(v)?, weight)
             .map_err(|e| WireError::new(format!("edge {u}-{v}: {e}")))?;
     }
-    Ok(Job::new(graph, depth, restarts))
+    Ok(graph)
+}
+
+// --- PREDICT / PREDICTED ---------------------------------------------------
+
+/// A parameter request: answer initialization parameters for `graph` at
+/// `depth` without the client caring which tier produces them. `restarts`
+/// scopes the depth-1 landscape the answer derives from (it selects the
+/// [`Level1Key`] cache entry and seeds a tier-3 fallback solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Client-chosen correlation id, echoed on the answer line.
+    pub id: u64,
+    /// Target circuit depth `p` (the answer carries `2·p` parameters).
+    pub depth: usize,
+    /// Multistart budget scoping the underlying depth-1 optimum.
+    pub restarts: usize,
+    /// The MaxCut instance to parameterize.
+    pub graph: Graph,
+}
+
+/// Which path produced a `PREDICTED` answer; lower tiers are cheaper and
+/// exact-er.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AnswerTier {
+    /// Depth-1 request whose canonical class was already solved: the cached
+    /// exact optimum.
+    CachedExact,
+    /// The trained model's prediction, seeded from the class's cached
+    /// depth-1 optimum.
+    Model,
+    /// No usable cache entry: the optimizer ran (warm-started) and its
+    /// optimum is answered.
+    WarmStart,
+}
+
+impl AnswerTier {
+    /// The tier's wire token (`1`, `2`, `3`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            AnswerTier::CachedExact => "1",
+            AnswerTier::Model => "2",
+            AnswerTier::WarmStart => "3",
+        }
+    }
+
+    /// The inverse of [`AnswerTier::token`].
+    #[must_use]
+    pub fn from_token(s: &str) -> Option<AnswerTier> {
+        match s {
+            "1" => Some(AnswerTier::CachedExact),
+            "2" => Some(AnswerTier::Model),
+            "3" => Some(AnswerTier::WarmStart),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AnswerTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerTier::CachedExact => f.write_str("tier 1 (cached exact)"),
+            AnswerTier::Model => f.write_str("tier 2 (model)"),
+            AnswerTier::WarmStart => f.write_str("tier 3 (warm-start)"),
+        }
+    }
+}
+
+/// A `PREDICTED` answer line: the request id, the tier that produced the
+/// answer, and the `[γ₁…γ_p, β₁…β_p]` parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicted {
+    /// The request's correlation id.
+    pub id: u64,
+    /// Which tier answered.
+    pub tier: AnswerTier,
+    /// The answered parameters, `[γ₁…γ_p, β₁…β_p]`.
+    pub params: Vec<f64>,
+}
+
+/// Encodes a parameter request as one `PREDICT` line.
+///
+/// # Errors
+///
+/// Rejects a graph whose node indices overflow the wire `u32` endpoint
+/// domain (see [`encode_job`]).
+pub fn encode_predict(request: &PredictRequest) -> Result<String, WireError> {
+    Ok(format!(
+        "{MAGIC} PREDICT {} {} {} {} {}",
+        request.id,
+        request.depth,
+        request.restarts,
+        request.graph.n_nodes(),
+        fmt_edges(graph_wire_edges(&request.graph)?.into_iter()),
+    ))
+}
+
+/// Decodes a `PREDICT` line, validating it is answerable (same graph rules
+/// as [`decode_job`], depth and restarts at least 1).
+///
+/// # Errors
+///
+/// Rejects malformed or unanswerable requests.
+pub fn decode_predict(line: &str) -> Result<PredictRequest, WireError> {
+    let f = expect_fields(payload(line, "PREDICT")?, 5, "PREDICT")?;
+    let id: u64 = parse_int(f[0], "request id")?;
+    let depth: usize = parse_int(f[1], "depth")?;
+    let restarts: usize = parse_int(f[2], "restarts")?;
+    if depth == 0 || restarts == 0 {
+        return Err(WireError::new("PREDICT needs depth >= 1 and restarts >= 1"));
+    }
+    let graph = executable_graph(f[3], f[4], "PREDICT")?;
+    Ok(PredictRequest {
+        id,
+        depth,
+        restarts,
+        graph,
+    })
+}
+
+/// Encodes a `PREDICTED` answer line.
+#[must_use]
+pub fn encode_predicted(answer: &Predicted) -> String {
+    format!(
+        "{MAGIC} PREDICTED {} {} {}",
+        answer.id,
+        answer.tier.token(),
+        fmt_floats(&answer.params),
+    )
+}
+
+/// Decodes a `PREDICTED` line.
+///
+/// # Errors
+///
+/// Rejects malformed lines, unknown tiers, and empty parameter lists (every
+/// answer carries `2·p ≥ 2` parameters).
+pub fn decode_predicted(line: &str) -> Result<Predicted, WireError> {
+    let f = expect_fields(payload(line, "PREDICTED")?, 3, "PREDICTED")?;
+    let id: u64 = parse_int(f[0], "request id")?;
+    let tier = AnswerTier::from_token(f[1])
+        .ok_or_else(|| WireError::new(format!("unknown answer tier `{}`", f[1])))?;
+    let params = parse_floats(f[2])?;
+    if params.is_empty() {
+        return Err(WireError::new("PREDICTED carries no parameters"));
+    }
+    Ok(Predicted { id, tier, params })
 }
 
 // --- OUTCOME ---------------------------------------------------------------
@@ -765,6 +943,71 @@ mod tests {
             3.0f64.to_bits()
         );
         assert!(decode_job(&dup).is_err());
+    }
+
+    #[test]
+    fn predict_round_trip_and_validation() {
+        let request = PredictRequest {
+            id: 7,
+            depth: 4,
+            restarts: 3,
+            graph: generators::cycle(5),
+        };
+        let line = encode_predict(&request).unwrap();
+        assert!(line.starts_with("QW1 PREDICT 7 "));
+        assert_eq!(decode_predict(&line).unwrap(), request);
+        // Unweighted shorthand works like JOB's.
+        let short = decode_predict("QW1 PREDICT 0 2 1 3 0-1,1-2").unwrap();
+        assert_eq!(short.graph.edges()[0].weight, 1.0);
+        // Same executability rules as JOB.
+        assert!(
+            decode_predict("QW1 PREDICT 0 0 1 3 0-1").is_err(),
+            "depth 0"
+        );
+        assert!(
+            decode_predict("QW1 PREDICT 0 1 0 3 0-1").is_err(),
+            "restarts 0"
+        );
+        assert!(decode_predict("QW1 PREDICT 0 1 1 3 -").is_err(), "no edges");
+        assert!(
+            decode_predict("QW1 PREDICT 0 1 1 3 0-1,0-1").is_err(),
+            "dup edge"
+        );
+        assert!(
+            decode_predict("QW1 PREDICT 0 1 1 3 0-9").is_err(),
+            "bad endpoint"
+        );
+    }
+
+    #[test]
+    fn predicted_round_trip_is_bit_exact() {
+        let answer = Predicted {
+            id: 12,
+            tier: AnswerTier::Model,
+            params: vec![0.25, -1.5e-300, std::f64::consts::PI, 0.5],
+        };
+        let line = encode_predicted(&answer);
+        let back = decode_predicted(&line).unwrap();
+        assert_eq!(back.id, 12);
+        assert_eq!(back.tier, AnswerTier::Model);
+        for (a, b) in answer.params.iter().zip(&back.params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for tier in [
+            AnswerTier::CachedExact,
+            AnswerTier::Model,
+            AnswerTier::WarmStart,
+        ] {
+            assert_eq!(AnswerTier::from_token(tier.token()), Some(tier));
+        }
+        assert!(
+            decode_predicted("QW1 PREDICTED 1 4 deadbeefdeadbeef").is_err(),
+            "bad tier"
+        );
+        assert!(
+            decode_predicted("QW1 PREDICTED 1 2 -").is_err(),
+            "no params"
+        );
     }
 
     #[test]

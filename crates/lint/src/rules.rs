@@ -104,11 +104,18 @@ const WALLCLOCK_ALLOWED: &[&str] = &[
     "crates/engine/src/batch.rs",
     "crates/engine/src/corpus.rs",
     "crates/engine/src/shard.rs",
+    // Per-tier latency accounting for the prediction service (stderr only;
+    // the wire protocol itself stays clock-free).
+    "crates/engine/src/server.rs",
 ];
 
 /// The bit-exact float paths: everything that writes or parses `QW1` lines
-/// or `QCACHE2` files.
-const BIT_EXACT_PATHS: &[&str] = &["crates/engine/src/wire.rs", "crates/engine/src/persist.rs"];
+/// or `QCACHE2`/`QMODEL1` files.
+const BIT_EXACT_PATHS: &[&str] = &[
+    "crates/engine/src/wire.rs",
+    "crates/engine/src/persist.rs",
+    "crates/engine/src/model.rs",
+];
 
 const NUMERIC_TYPES: &[&str] = &[
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",

@@ -1,6 +1,7 @@
 use linalg::Matrix;
 use rand::Rng;
 
+use crate::convert::{ceil_count, count_f64};
 use crate::MlError;
 
 /// A supervised dataset: feature rows `X` and (possibly multi-target)
@@ -105,7 +106,7 @@ impl Dataset {
     #[must_use]
     pub fn split(&self, fraction: f64) -> (Dataset, Dataset) {
         let n = self.len();
-        let k = ((fraction.clamp(0.0, 1.0) * n as f64).ceil() as usize)
+        let k = ceil_count(fraction.clamp(0.0, 1.0) * count_f64(n))
             .clamp(1, n.saturating_sub(1).max(1));
         (self.take_rows(0, k), self.take_rows(k, n))
     }

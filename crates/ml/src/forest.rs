@@ -3,6 +3,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::convert::{ceil_count, count_f64};
+use crate::params::{ModelParams, ParamReader};
 use crate::tree::TreeModel;
 use crate::{MlError, Regressor};
 
@@ -72,6 +74,43 @@ impl ForestModel {
     pub fn n_fitted(&self) -> usize {
         self.members.len()
     }
+
+    /// Rebuilds a fitted forest from exported parameters.
+    ///
+    /// Layout: ints = `[n_trees, seed, n_features, tpl_max_depth,
+    /// tpl_min_samples_split, tpl_min_samples_leaf, n_members]` followed by,
+    /// per member, `[subset_len, subset…]` and the member tree's own ints;
+    /// floats = the member trees' floats in the same order.
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let n_trees = r.count()?;
+        let seed = r.int()?;
+        let n_features = r.count()?;
+        let tree = TreeModel::with_hyperparams(r.count()?, r.count()?, r.count()?);
+        let n_members = r.count()?;
+        if n_members == 0 {
+            return Err(MlError::Numerical {
+                context: "model params: empty forest ensemble",
+            });
+        }
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            let subset_len = r.count()?;
+            let mut feats = Vec::with_capacity(subset_len);
+            for _ in 0..subset_len {
+                feats.push(r.count()?);
+            }
+            members.push((feats, TreeModel::read_params(&mut r)?));
+        }
+        r.finish()?;
+        Ok(Self {
+            n_trees,
+            tree,
+            seed,
+            members,
+            n_features,
+        })
+    }
 }
 
 impl Default for ForestModel {
@@ -100,7 +139,7 @@ impl Regressor for ForestModel {
         }
         let n = x.rows();
         let d = x.cols();
-        let m_features = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        let m_features = ceil_count(count_f64(d).sqrt()).clamp(1, d);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         self.members.clear();
@@ -146,11 +185,33 @@ impl Regressor for ForestModel {
             let proj: Vec<f64> = feats.iter().map(|&j| x[j]).collect();
             sum += tree.predict(&proj)?;
         }
-        Ok(sum / self.members.len() as f64)
+        Ok(sum / count_f64(self.members.len()))
     }
 
     fn name(&self) -> &'static str {
         "RandomForest"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        if self.members.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let mut p = ModelParams::new();
+        p.push_count(self.n_trees);
+        p.ints.push(self.seed);
+        p.push_count(self.n_features);
+        p.push_count(self.tree.max_depth);
+        p.push_count(self.tree.min_samples_split);
+        p.push_count(self.tree.min_samples_leaf);
+        p.push_count(self.members.len());
+        for (feats, tree) in &self.members {
+            p.push_count(feats.len());
+            for &j in feats {
+                p.push_count(j);
+            }
+            tree.write_params(&mut p)?;
+        }
+        Ok(p)
     }
 }
 

@@ -1,6 +1,8 @@
 use linalg::{Cholesky, Matrix, Vector};
 
-use crate::{MlError, RbfKernel, Regressor, StandardScaler};
+use crate::convert::count_f64;
+use crate::params::ParamReader;
+use crate::{MlError, ModelParams, RbfKernel, Regressor, StandardScaler};
 
 /// A Gaussian-process prediction: posterior mean and variance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +108,58 @@ impl GprModel {
         })
     }
 
+    /// Rebuilds a fitted model from exported parameters.
+    ///
+    /// Layout: ints = `[rows, cols]`; floats = `[length_scale,
+    /// signal_variance, noise_variance, y_mean, y_scale]` followed by the
+    /// scaler means (`cols`), scaler scales (`cols`), standardized training
+    /// rows in row-major order (`rows·cols`), and the dual weights α
+    /// (`rows`). The Cholesky factor is recomputed from the stored kernel
+    /// and training rows — the same deterministic computation `fit` runs, so
+    /// predictions (mean and variance) are bit-identical. The grid-search
+    /// candidates are fit-time configuration and are restored to defaults.
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let rows = r.count()?;
+        let cols = r.count()?;
+        if rows == 0 {
+            return Err(MlError::Numerical {
+                context: "model params: empty GPR training set",
+            });
+        }
+        let length_scale = r.float()?;
+        let signal_variance = r.float()?;
+        let noise_variance = r.float()?;
+        let y_mean = r.float()?;
+        let y_scale = r.float()?;
+        let kernel = RbfKernel::from_parts(length_scale, signal_variance)?;
+        let scaler =
+            StandardScaler::from_parts(r.floats(cols)?.to_vec(), r.floats(cols)?.to_vec())?;
+        let cells = rows.checked_mul(cols).ok_or(MlError::Numerical {
+            context: "model params: GPR shape overflow",
+        })?;
+        let xdata = r.floats(cells)?;
+        let x_train = Matrix::from_fn(rows, cols, |i, j| xdata[i * cols + j]);
+        let alpha = Vector::from(r.floats(rows)?.to_vec());
+        r.finish()?;
+        let mut k = kernel.gram(&x_train);
+        k.add_diagonal(noise_variance + 1e-10);
+        let chol = k.cholesky()?;
+        Ok(Self {
+            state: Some(Fitted {
+                scaler,
+                x_train,
+                kernel,
+                noise_variance,
+                alpha,
+                chol,
+                y_mean,
+                y_scale,
+            }),
+            ..Self::default()
+        })
+    }
+
     /// Posterior mean and variance for one query point.
     ///
     /// # Errors
@@ -144,7 +198,7 @@ impl GprModel {
 }
 
 fn lml(chol: &Cholesky, alpha: &Vector, y_centered: &[f64]) -> f64 {
-    let n = y_centered.len() as f64;
+    let n = count_f64(y_centered.len());
     let fit_term: f64 = y_centered
         .iter()
         .zip(alpha.as_slice())
@@ -167,7 +221,7 @@ impl Regressor for GprModel {
         }
         let scaler = StandardScaler::fit(x)?;
         let xs = scaler.transform(x)?;
-        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let y_mean = y.iter().sum::<f64>() / count_f64(y.len());
         // Standardize targets so the hyperparameter grid (built for
         // unit-variance responses) transfers across target scales.
         let y_std = crate::metrics::std_dev(y);
@@ -224,6 +278,25 @@ impl Regressor for GprModel {
 
     fn name(&self) -> &'static str {
         "GPR"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        let mut p = ModelParams::new();
+        p.push_count(st.x_train.rows());
+        p.push_count(st.x_train.cols());
+        p.floats.push(st.kernel.length_scale());
+        p.floats.push(st.kernel.signal_variance());
+        p.floats.push(st.noise_variance);
+        p.floats.push(st.y_mean);
+        p.floats.push(st.y_scale);
+        p.floats.extend_from_slice(st.scaler.means());
+        p.floats.extend_from_slice(st.scaler.scales());
+        for i in 0..st.x_train.rows() {
+            p.floats.extend_from_slice(st.x_train.row(i));
+        }
+        p.floats.extend_from_slice(st.alpha.as_slice());
+        Ok(p)
     }
 }
 

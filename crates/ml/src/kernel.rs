@@ -53,6 +53,28 @@ impl RbfKernel {
         })
     }
 
+    /// Rebuilds a kernel from a stored (length scale, signal **variance**)
+    /// pair without the square/sqrt round trip of [`RbfKernel::new`], so a
+    /// persisted kernel evaluates bit-identically to the original.
+    pub(crate) fn from_parts(length_scale: f64, signal_variance: f64) -> Result<Self, MlError> {
+        if !(length_scale.is_finite() && length_scale > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "length_scale",
+                value: length_scale,
+            });
+        }
+        if !(signal_variance.is_finite() && signal_variance > 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "signal_variance",
+                value: signal_variance,
+            });
+        }
+        Ok(Self {
+            length_scale,
+            signal_variance,
+        })
+    }
+
     /// The length scale ℓ.
     #[must_use]
     pub fn length_scale(&self) -> f64 {

@@ -1,6 +1,7 @@
 use linalg::Matrix;
 
-use crate::{MlError, Regressor};
+use crate::params::ParamReader;
+use crate::{MlError, ModelParams, Regressor};
 
 /// k-nearest-neighbours regression with inverse-distance weighting.
 ///
@@ -54,6 +55,30 @@ impl KnnModel {
     #[must_use]
     pub fn n_samples(&self) -> usize {
         self.y.len()
+    }
+
+    /// Rebuilds a fitted model from exported parameters.
+    ///
+    /// Layout: ints = `[k, rows, cols]`, floats = training rows in
+    /// row-major order (`rows·cols` values) followed by the `rows` targets.
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let k = r.count()?;
+        let rows = r.count()?;
+        let cols = r.count()?;
+        if k == 0 || rows == 0 {
+            return Err(MlError::Numerical {
+                context: "model params: empty kNN training set",
+            });
+        }
+        let cells = rows.checked_mul(cols).ok_or(MlError::Numerical {
+            context: "model params: kNN shape overflow",
+        })?;
+        let xdata = r.floats(cells)?;
+        let x = Matrix::from_fn(rows, cols, |i, j| xdata[i * cols + j]);
+        let y = r.floats(rows)?.to_vec();
+        r.finish()?;
+        Ok(Self { k, x: Some(x), y })
     }
 }
 
@@ -124,6 +149,19 @@ impl Regressor for KnnModel {
 
     fn name(&self) -> &'static str {
         "kNN"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        let mut p = ModelParams::new();
+        p.push_count(self.k);
+        p.push_count(x.rows());
+        p.push_count(x.cols());
+        for i in 0..x.rows() {
+            p.floats.extend_from_slice(x.row(i));
+        }
+        p.floats.extend_from_slice(&self.y);
+        Ok(p)
     }
 }
 

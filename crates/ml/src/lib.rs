@@ -33,6 +33,7 @@
 //! # }
 //! ```
 
+mod convert;
 pub mod cross_validation;
 mod dataset;
 mod error;
@@ -43,6 +44,7 @@ mod knn;
 mod linear;
 pub mod metrics;
 mod multioutput;
+mod params;
 mod ridge;
 mod scaler;
 mod svr;
@@ -56,6 +58,7 @@ pub use kernel::RbfKernel;
 pub use knn::KnnModel;
 pub use linear::LinearModel;
 pub use multioutput::MultiOutput;
+pub use params::ModelParams;
 pub use ridge::RidgeModel;
 pub use scaler::StandardScaler;
 pub use svr::SvrModel;
@@ -96,6 +99,17 @@ pub trait Regressor: Send + Sync {
 
     /// Short identifier used in comparison tables (e.g. `"GPR"`).
     fn name(&self) -> &'static str;
+
+    /// Exports the fitted model's complete learned state.
+    ///
+    /// The returned [`ModelParams`] round-trips through
+    /// [`ModelKind::from_params`] into a model whose predictions are
+    /// bit-identical to this one's.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::NotFitted`] before [`Regressor::fit`] succeeds.
+    fn to_params(&self) -> Result<ModelParams, MlError>;
 }
 
 /// The four model families compared in §III-C, plus the extension models
@@ -165,6 +179,36 @@ impl ModelKind {
             ModelKind::Forest => "RFOREST",
         }
     }
+
+    /// The inverse of [`ModelKind::abbreviation`] (model artifacts store the
+    /// abbreviation as the kind tag).
+    #[must_use]
+    pub fn from_abbreviation(abbr: &str) -> Option<ModelKind> {
+        ModelKind::EXTENDED
+            .into_iter()
+            .find(|kind| kind.abbreviation() == abbr)
+    }
+
+    /// Rebuilds a fitted model of this kind from exported parameters.
+    ///
+    /// The result predicts bit-identically to the model that produced
+    /// `params` via [`Regressor::to_params`].
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::Numerical`] when `params` is truncated, carries trailing
+    /// values, or encodes an invalid state for this kind.
+    pub fn from_params(self, params: &ModelParams) -> Result<Box<dyn Regressor>, MlError> {
+        Ok(match self {
+            ModelKind::Gpr => Box::new(GprModel::from_params(params)?),
+            ModelKind::Linear => Box::new(LinearModel::from_params(params)?),
+            ModelKind::Tree => Box::new(TreeModel::from_params(params)?),
+            ModelKind::Svr => Box::new(SvrModel::from_params(params)?),
+            ModelKind::Ridge => Box::new(RidgeModel::from_params(params)?),
+            ModelKind::Knn => Box::new(KnnModel::from_params(params)?),
+            ModelKind::Forest => Box::new(ForestModel::from_params(params)?),
+        })
+    }
 }
 
 impl std::fmt::Display for ModelKind {
@@ -184,6 +228,76 @@ mod tests {
             assert!(!model.name().is_empty());
             assert_eq!(kind.to_string(), kind.abbreviation());
         }
+    }
+
+    #[test]
+    fn params_roundtrip_is_bit_identical_for_every_kind() {
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                vec![t.sin(), t * 0.25, (i % 5) as f64]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..24)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                0.5 * t.sin() + 0.1 * t
+            })
+            .collect();
+        let queries: Vec<Vec<f64>> = rows
+            .iter()
+            .cloned()
+            .chain([vec![0.2, 1.3, 2.0], vec![-0.9, 0.0, 4.5]])
+            .collect();
+        for kind in ModelKind::EXTENDED {
+            let mut model = kind.build();
+            model.fit(&x, &y).unwrap();
+            let params = model.to_params().unwrap();
+            let restored = kind.from_params(&params).unwrap();
+            for q in &queries {
+                let a = model.predict(q).unwrap();
+                let b = restored.predict(q).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind} at {q:?}");
+            }
+            // The restored model exports the same parameters again.
+            assert_eq!(params, restored.to_params().unwrap(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn unfitted_models_refuse_to_export() {
+        for kind in ModelKind::EXTENDED {
+            assert!(matches!(kind.build().to_params(), Err(MlError::NotFitted)));
+        }
+    }
+
+    #[test]
+    fn truncated_params_are_rejected_for_every_kind() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]).unwrap();
+        let y = [0.0, 1.0, 0.5, 2.0, 1.5, 3.0];
+        for kind in ModelKind::EXTENDED {
+            let mut model = kind.build();
+            model.fit(&x, &y).unwrap();
+            let params = model.to_params().unwrap();
+            let mut truncated = params.clone();
+            truncated.floats.pop();
+            assert!(kind.from_params(&truncated).is_err(), "{kind} truncated");
+            let mut trailing = params;
+            trailing.floats.push(0.0);
+            assert!(kind.from_params(&trailing).is_err(), "{kind} trailing");
+        }
+    }
+
+    #[test]
+    fn abbreviation_roundtrip() {
+        for kind in ModelKind::EXTENDED {
+            assert_eq!(
+                ModelKind::from_abbreviation(kind.abbreviation()),
+                Some(kind)
+            );
+        }
+        assert_eq!(ModelKind::from_abbreviation("NOPE"), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use linalg::{Matrix, Vector};
 
-use crate::{MlError, Regressor};
+use crate::params::ParamReader;
+use crate::{MlError, ModelParams, Regressor};
 
 /// Ordinary least squares with an intercept — the paper's `LM` baseline.
 ///
@@ -44,6 +45,24 @@ impl LinearModel {
     #[must_use]
     pub fn coefficients(&self) -> Option<&[f64]> {
         self.coefficients.as_deref()
+    }
+
+    /// Rebuilds a fitted model from exported parameters.
+    ///
+    /// Layout: ints = `[len]`, floats = `[intercept, coef…]` (`len` values).
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let len = r.count()?;
+        if len == 0 {
+            return Err(MlError::Numerical {
+                context: "model params: empty coefficient vector",
+            });
+        }
+        let beta = r.floats(len)?.to_vec();
+        r.finish()?;
+        Ok(Self {
+            coefficients: Some(beta),
+        })
     }
 
     fn design(x: &Matrix) -> Matrix {
@@ -109,6 +128,14 @@ impl Regressor for LinearModel {
 
     fn name(&self) -> &'static str {
         "LM"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let beta = self.coefficients.as_ref().ok_or(MlError::NotFitted)?;
+        let mut p = ModelParams::new();
+        p.push_count(beta.len());
+        p.floats.extend_from_slice(beta);
+        Ok(p)
     }
 }
 

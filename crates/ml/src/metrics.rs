@@ -4,6 +4,7 @@
 //! (§III-C) and reports predictor/response correlations as Pearson
 //! coefficients (Fig. 5); all of those live here.
 
+use crate::convert::count_f64;
 use crate::MlError;
 
 fn check_pair(y_true: &[f64], y_pred: &[f64]) -> Result<usize, MlError> {
@@ -37,7 +38,7 @@ pub fn mse(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
         .zip(y_pred)
         .map(|(t, p)| (t - p) * (t - p))
         .sum::<f64>()
-        / n as f64)
+        / count_f64(n))
 }
 
 /// Root mean squared error.
@@ -61,7 +62,7 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
         .zip(y_pred)
         .map(|(t, p)| (t - p).abs())
         .sum::<f64>()
-        / n as f64)
+        / count_f64(n))
 }
 
 /// Coefficient of determination `R² = 1 − SS_res / SS_tot`.
@@ -74,7 +75,7 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
 /// Same conditions as [`mse`].
 pub fn r2(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
     let n = check_pair(y_true, y_pred)?;
-    let mean = y_true.iter().sum::<f64>() / n as f64;
+    let mean = y_true.iter().sum::<f64>() / count_f64(n);
     let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
     let ss_res: f64 = y_true
         .iter()
@@ -101,8 +102,8 @@ pub fn adjusted_r2(y_true: &[f64], y_pred: &[f64], n_features: usize) -> Result<
     if n <= n_features + 1 {
         return Ok(r);
     }
-    let n = n as f64;
-    let k = n_features as f64;
+    let n = count_f64(n);
+    let k = count_f64(n_features);
     Ok(1.0 - (1.0 - r) * (n - 1.0) / (n - k - 1.0))
 }
 
@@ -122,7 +123,7 @@ pub fn adjusted_r2(y_true: &[f64], y_pred: &[f64], n_features: usize) -> Result<
 /// ```
 pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, MlError> {
     let n = check_pair(a, b)?;
-    let n_f = n as f64;
+    let n_f = count_f64(n);
     let mean_a = a.iter().sum::<f64>() / n_f;
     let mean_b = b.iter().sum::<f64>() / n_f;
     let mut cov = 0.0;
@@ -163,7 +164,7 @@ pub fn mape(y_true: &[f64], y_pred: &[f64]) -> Result<f64, MlError> {
             context: "mape with all-zero targets",
         });
     }
-    Ok(100.0 * total / count as f64)
+    Ok(100.0 * total / count_f64(count))
 }
 
 /// Sample mean of a slice (`0.0` for empty input).
@@ -172,7 +173,7 @@ pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
     } else {
-        values.iter().sum::<f64>() / values.len() as f64
+        values.iter().sum::<f64>() / count_f64(values.len())
     }
 }
 
@@ -184,7 +185,7 @@ pub fn std_dev(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(values);
-    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / count_f64(values.len() - 1)).sqrt()
 }
 
 #[cfg(test)]

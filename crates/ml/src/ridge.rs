@@ -1,6 +1,8 @@
 use linalg::{Cholesky, Matrix, Vector};
 
-use crate::{MlError, Regressor};
+use crate::convert::count_f64;
+use crate::params::ParamReader;
+use crate::{MlError, ModelParams, Regressor};
 
 /// Ridge (Tikhonov-regularized least-squares) regression.
 ///
@@ -64,6 +66,26 @@ impl RidgeModel {
     pub fn intercept(&self) -> f64 {
         self.intercept
     }
+
+    /// Rebuilds a fitted model from exported parameters.
+    ///
+    /// Layout: ints = `[n_weights]`, floats = `[lambda, intercept,
+    /// weight…]`. The feature means are a fit-time intermediate and are not
+    /// persisted; prediction only needs the weights and intercept.
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let n_weights = r.count()?;
+        let lambda = r.float()?;
+        let intercept = r.float()?;
+        let weights = r.floats(n_weights)?.to_vec();
+        r.finish()?;
+        Ok(Self {
+            lambda,
+            weights: Some(weights),
+            intercept,
+            x_mean: Vec::new(),
+        })
+    }
 }
 
 impl Default for RidgeModel {
@@ -100,9 +122,9 @@ impl Regressor for RidgeModel {
             }
         }
         for m in &mut x_mean {
-            *m /= n as f64;
+            *m /= count_f64(n);
         }
-        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_mean = y.iter().sum::<f64>() / count_f64(n);
 
         // Centered Gram matrix Xᶜᵀ Xᶜ + λ n I and moment vector Xᶜᵀ yᶜ.
         let mut gram = Matrix::zeros(d, d);
@@ -126,7 +148,7 @@ impl Regressor for RidgeModel {
                 gram.set(a, b, v);
             }
         }
-        gram.add_diagonal(self.lambda * n as f64 + 1e-12);
+        gram.add_diagonal(self.lambda * count_f64(n) + 1e-12);
 
         let chol = Cholesky::new(&gram).map_err(|_| MlError::Numerical {
             context: "ridge normal equations",
@@ -158,6 +180,16 @@ impl Regressor for RidgeModel {
 
     fn name(&self) -> &'static str {
         "Ridge"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let w = self.weights.as_ref().ok_or(MlError::NotFitted)?;
+        let mut p = ModelParams::new();
+        p.push_count(w.len());
+        p.floats.push(self.lambda);
+        p.floats.push(self.intercept);
+        p.floats.extend_from_slice(w);
+        Ok(p)
     }
 }
 

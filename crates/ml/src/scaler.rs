@@ -1,5 +1,6 @@
 use linalg::Matrix;
 
+use crate::convert::count_f64;
 use crate::MlError;
 
 /// Column-wise standardization to zero mean and unit variance.
@@ -40,7 +41,7 @@ impl StandardScaler {
         if x.rows() == 0 {
             return Err(MlError::EmptyTrainingSet);
         }
-        let n = x.rows() as f64;
+        let n = count_f64(x.rows());
         let mut means = vec![0.0; x.cols()];
         for i in 0..x.rows() {
             for (j, m) in means.iter_mut().enumerate() {
@@ -64,6 +65,28 @@ impl StandardScaler {
             }
         }
         Ok(Self { means, scales })
+    }
+
+    /// Rebuilds a scaler from stored per-column means and scales.
+    pub(crate) fn from_parts(means: Vec<f64>, scales: Vec<f64>) -> Result<Self, MlError> {
+        if means.len() != scales.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: means.len(),
+                actual: scales.len(),
+                what: "scaler columns",
+            });
+        }
+        Ok(Self { means, scales })
+    }
+
+    /// Per-column means learned at fit time.
+    pub(crate) fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column scales (standard deviations) learned at fit time.
+    pub(crate) fn scales(&self) -> &[f64] {
+        &self.scales
     }
 
     /// Number of columns the scaler was fitted on.

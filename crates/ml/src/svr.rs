@@ -1,6 +1,8 @@
 use linalg::Matrix;
 
-use crate::{MlError, RbfKernel, Regressor, StandardScaler};
+use crate::convert::count_f64;
+use crate::params::ParamReader;
+use crate::{MlError, ModelParams, RbfKernel, Regressor, StandardScaler};
 
 /// ε-support-vector regression — the paper's `RSVM` baseline.
 ///
@@ -103,6 +105,44 @@ impl SvrModel {
     #[must_use]
     pub fn n_support_vectors(&self) -> usize {
         self.state.as_ref().map_or(0, |s| s.support_beta.len())
+    }
+
+    /// Rebuilds a fitted model from exported parameters.
+    ///
+    /// Layout: ints = `[n_support, cols]`; floats = `[length_scale,
+    /// signal_variance, bias]` followed by the scaler means (`cols`), scaler
+    /// scales (`cols`), standardized support vectors in row-major order
+    /// (`n_support·cols`), and the dual coefficients β (`n_support`). The
+    /// training-time hyperparameters `C`/ε/`max_epochs`/`tol` are fit-time
+    /// configuration and are restored to defaults.
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let n_support = r.count()?;
+        let cols = r.count()?;
+        let length_scale = r.float()?;
+        let signal_variance = r.float()?;
+        let bias = r.float()?;
+        let kernel = RbfKernel::from_parts(length_scale, signal_variance)?;
+        let scaler =
+            StandardScaler::from_parts(r.floats(cols)?.to_vec(), r.floats(cols)?.to_vec())?;
+        let cells = n_support.checked_mul(cols).ok_or(MlError::Numerical {
+            context: "model params: SVR shape overflow",
+        })?;
+        let xdata = r.floats(cells)?;
+        let support_x = Matrix::from_fn(n_support, cols, |i, j| xdata[i * cols + j]);
+        let support_beta = r.floats(n_support)?.to_vec();
+        r.finish()?;
+        Ok(Self {
+            length_scale,
+            state: Some(Fitted {
+                scaler,
+                kernel,
+                support_x,
+                support_beta,
+                bias,
+            }),
+            ..Self::default()
+        })
     }
 }
 
@@ -215,12 +255,12 @@ impl Regressor for SvrModel {
             }
         }
         let bias = if bias_count > 0 {
-            bias_sum / bias_count as f64
+            bias_sum / count_f64(bias_count)
         } else {
             // No free SVs (e.g. a constant target inside the ε-tube):
             // center predictions on the mean residual.
             let resid: f64 = (0..n).map(|i| y[i] - k_beta[i]).sum();
-            resid / n as f64
+            resid / count_f64(n)
         };
 
         // Keep only the support vectors for prediction.
@@ -254,6 +294,23 @@ impl Regressor for SvrModel {
 
     fn name(&self) -> &'static str {
         "RSVM"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        let mut p = ModelParams::new();
+        p.push_count(st.support_x.rows());
+        p.push_count(st.support_x.cols());
+        p.floats.push(st.kernel.length_scale());
+        p.floats.push(st.kernel.signal_variance());
+        p.floats.push(st.bias);
+        p.floats.extend_from_slice(st.scaler.means());
+        p.floats.extend_from_slice(st.scaler.scales());
+        for i in 0..st.support_x.rows() {
+            p.floats.extend_from_slice(st.support_x.row(i));
+        }
+        p.floats.extend_from_slice(&st.support_beta);
+        Ok(p)
     }
 }
 

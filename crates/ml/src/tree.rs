@@ -1,5 +1,7 @@
 use linalg::Matrix;
 
+use crate::convert::count_f64;
+use crate::params::{ModelParams, ParamReader};
 use crate::{MlError, Regressor};
 
 /// CART regression tree — the paper's `RTREE` baseline.
@@ -73,6 +75,20 @@ impl TreeModel {
         }
     }
 
+    /// Creates an unfitted tree with explicit stopping hyperparameters.
+    pub(crate) fn with_hyperparams(
+        max_depth: usize,
+        min_samples_split: usize,
+        min_samples_leaf: usize,
+    ) -> Self {
+        Self {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            ..Self::default()
+        }
+    }
+
     /// Number of leaves (0 before fitting) — a size diagnostic.
     #[must_use]
     pub fn n_leaves(&self) -> usize {
@@ -85,8 +101,98 @@ impl TreeModel {
         self.root.as_ref().map_or(0, count)
     }
 
+    /// Rebuilds a fitted tree from exported parameters (the inverse of
+    /// [`TreeModel::write_params`]).
+    pub(crate) fn from_params(params: &ModelParams) -> Result<Self, MlError> {
+        let mut r = ParamReader::new(params);
+        let tree = Self::read_params(&mut r)?;
+        r.finish()?;
+        Ok(tree)
+    }
+
+    /// Appends this fitted tree's state to a shared parameter stream.
+    ///
+    /// Layout: ints = `[max_depth, min_samples_split, min_samples_leaf,
+    /// n_features]` followed by the preorder node tags (`0` for a leaf, `1
+    /// feature` for a split); floats = one preorder value per node (leaf
+    /// value or split threshold). The preorder encoding is self-delimiting,
+    /// so [`ForestModel`](crate::ForestModel) can nest member trees in its
+    /// own stream without framing.
+    pub(crate) fn write_params(&self, out: &mut ModelParams) -> Result<(), MlError> {
+        fn write_node(node: &Node, out: &mut ModelParams) {
+            match node {
+                Node::Leaf { value } => {
+                    out.ints.push(0);
+                    out.floats.push(*value);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.ints.push(1);
+                    out.push_count(*feature);
+                    out.floats.push(*threshold);
+                    write_node(left, out);
+                    write_node(right, out);
+                }
+            }
+        }
+        let root = self.root.as_ref().ok_or(MlError::NotFitted)?;
+        out.push_count(self.max_depth);
+        out.push_count(self.min_samples_split);
+        out.push_count(self.min_samples_leaf);
+        out.push_count(self.n_features);
+        write_node(root, out);
+        Ok(())
+    }
+
+    /// Drains one fitted tree from a shared parameter stream.
+    pub(crate) fn read_params(r: &mut ParamReader<'_>) -> Result<Self, MlError> {
+        fn read_node(r: &mut ParamReader<'_>, depth: usize, cap: usize) -> Result<Node, MlError> {
+            // Every fitted tree respects its own max_depth; a stream nesting
+            // deeper is corrupt. The hard cap bounds decode recursion.
+            if depth > cap {
+                return Err(MlError::Numerical {
+                    context: "model params: tree nesting too deep",
+                });
+            }
+            match r.int()? {
+                0 => Ok(Node::Leaf { value: r.float()? }),
+                1 => {
+                    let feature = r.count()?;
+                    let threshold = r.float()?;
+                    let left = Box::new(read_node(r, depth + 1, cap)?);
+                    let right = Box::new(read_node(r, depth + 1, cap)?);
+                    Ok(Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    })
+                }
+                _ => Err(MlError::Numerical {
+                    context: "model params: unknown tree node tag",
+                }),
+            }
+        }
+        let max_depth = r.count()?;
+        let min_samples_split = r.count()?;
+        let min_samples_leaf = r.count()?;
+        let n_features = r.count()?;
+        let root = read_node(r, 0, max_depth.min(512))?;
+        Ok(Self {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            root: Some(root),
+            n_features,
+        })
+    }
+
     fn build(&self, x: &Matrix, y: &[f64], idx: &[usize], depth: usize) -> Node {
-        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / count_f64(idx.len());
         let sse: f64 = idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum();
         if depth >= self.max_depth || idx.len() < self.min_samples_split || sse < 1e-12 {
             return Node::Leaf { value: mean };
@@ -116,9 +222,9 @@ impl TreeModel {
                 if n_left < self.min_samples_leaf || n_right < self.min_samples_leaf {
                     continue;
                 }
-                let left_sse = prefix_sq - prefix_sum * prefix_sum / n_left as f64;
+                let left_sse = prefix_sq - prefix_sum * prefix_sum / count_f64(n_left);
                 let right_sum = total_sum - prefix_sum;
-                let right_sse = (total_sq - prefix_sq) - right_sum * right_sum / n_right as f64;
+                let right_sse = (total_sq - prefix_sq) - right_sum * right_sum / count_f64(n_right);
                 let child = left_sse + right_sse;
                 if best.as_ref().is_none_or(|(s, _, _)| child < *s) {
                     best = Some((child, feature, 0.5 * (a + b)));
@@ -190,6 +296,12 @@ impl Regressor for TreeModel {
 
     fn name(&self) -> &'static str {
         "RTREE"
+    }
+
+    fn to_params(&self) -> Result<ModelParams, MlError> {
+        let mut p = ModelParams::new();
+        self.write_params(&mut p)?;
+        Ok(p)
     }
 }
 

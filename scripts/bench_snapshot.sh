@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_eval.json from the eval_hot_path benchmark.
+#
+# The committed snapshot is a machine-readable record of the evaluation
+# hot path's cost across the n-sweep (n = 8, 12, 16, 20 at p = 2) on one
+# reference machine — a point of comparison, not a CI gate (absolute times
+# vary across hosts; the interesting signal is the ratios between the
+# allocating / ctx_fresh / ctx_reused pipelines and between gradient
+# acquisition strategies).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_eval.json)
+set -eu
+
+out="${1:-BENCH_eval.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench -p bench --bench eval_hot_path | tee "$raw" >&2
+
+# Mini-criterion lines look like:
+#   bench: expectation/allocating/8                           12.34 µs/iter
+# Convert each to {"bench": "...", "nanos_per_iter": ...}.
+awk '
+BEGIN { print "{"; printf "  \"benchmark\": \"eval_hot_path\",\n  \"unit\": \"ns/iter\",\n  \"results\": [\n"; n = 0 }
+$1 == "bench:" && $NF ~ /\/iter$/ {
+    label = $2
+    value = $(NF-1); unit = $NF
+    # value/unit arrive either as "12.34 µs/iter" (two fields) or
+    # "123 ns/iter"; normalize to nanoseconds.
+    sub(/\/iter$/, "", unit)
+    scale = 1
+    if (unit == "ns") scale = 1
+    else if (unit == "µs" || unit == "us") scale = 1e3
+    else if (unit == "ms") scale = 1e6
+    else if (unit == "s") scale = 1e9
+    if (n > 0) printf ",\n"
+    printf "    {\"bench\": \"%s\", \"nanos_per_iter\": %.1f}", label, value * scale
+    n++
+}
+END { printf "\n  ]\n}\n" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2
