@@ -16,9 +16,9 @@
 //!   buffer-reuse win.
 //! * `ctx_reused` — the real hot path: one context reused across calls.
 //!
-//! `gradient/...` compares full-gradient acquisition at n = 16, p = 2:
-//! `2p + 1 = 5` evaluations for central differences vs one adjoint
-//! backward pass.
+//! `gradient/...` compares full-gradient acquisition across the same
+//! width sweep (n = 8, 12, 16, 20) at p = 2: `2p + 1 = 5` evaluations for
+//! central differences vs one adjoint backward pass.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -92,44 +92,47 @@ fn bench_expectation_paths(c: &mut Criterion) {
 
 fn bench_gradient_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("gradient");
-    let (ansatz, params) = workload(16, 2);
-    let dim = params.len();
-    group.bench_with_input(BenchmarkId::new("central_diff", 16), &16, |b, _| {
-        // 2p + 1 evaluations: the value plus a ± probe pair per parameter,
-        // each through the fast context path (FD's best case).
-        let mut ctx = EvalContext::new(16);
-        b.iter(|| {
-            let mut grad = vec![0.0; dim];
-            let h = 1e-6;
-            let base = ansatz
-                .expectation_in(&mut ctx, &params)
-                .expect("valid params");
-            let mut probe = params.clone();
-            for i in 0..dim {
-                probe[i] = params[i] + h;
-                let up = ansatz
-                    .expectation_in(&mut ctx, &probe)
+    for n in [8usize, 12, 16, 20] {
+        let (ansatz, params) = workload(n, 2);
+        let dim = params.len();
+        group.bench_with_input(BenchmarkId::new("central_diff", n), &n, |b, _| {
+            // 2p + 1 evaluations: the value plus a ± probe pair per
+            // parameter, each through the fast context path (FD's best
+            // case).
+            let mut ctx = EvalContext::new(n);
+            b.iter(|| {
+                let mut grad = vec![0.0; dim];
+                let h = 1e-6;
+                let base = ansatz
+                    .expectation_in(&mut ctx, &params)
                     .expect("valid params");
-                probe[i] = params[i] - h;
-                let dn = ansatz
-                    .expectation_in(&mut ctx, &probe)
+                let mut probe = params.clone();
+                for i in 0..dim {
+                    probe[i] = params[i] + h;
+                    let up = ansatz
+                        .expectation_in(&mut ctx, &probe)
+                        .expect("valid params");
+                    probe[i] = params[i] - h;
+                    let dn = ansatz
+                        .expectation_in(&mut ctx, &probe)
+                        .expect("valid params");
+                    probe[i] = params[i];
+                    grad[i] = (up - dn) / (2.0 * h);
+                }
+                black_box((base, grad))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("adjoint", n), &n, |b, _| {
+            let mut ctx = EvalContext::new(n);
+            b.iter(|| {
+                let mut grad = vec![0.0; dim];
+                let e = ansatz
+                    .expectation_and_grad_in(&mut ctx, &params, &mut grad)
                     .expect("valid params");
-                probe[i] = params[i];
-                grad[i] = (up - dn) / (2.0 * h);
-            }
-            black_box((base, grad))
+                black_box((e, grad))
+            });
         });
-    });
-    group.bench_with_input(BenchmarkId::new("adjoint", 16), &16, |b, _| {
-        let mut ctx = EvalContext::new(16);
-        b.iter(|| {
-            let mut grad = vec![0.0; dim];
-            let e = ansatz
-                .expectation_and_grad_in(&mut ctx, &params, &mut grad)
-                .expect("valid params");
-            black_box((e, grad))
-        });
-    });
+    }
     group.finish();
 }
 

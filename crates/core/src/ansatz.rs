@@ -15,7 +15,9 @@ use crate::{EvalContext, MaxCutProblem, QaoaError};
 /// `e^{−iγC}` is a per-amplitude phase and only the mixing layer needs gate
 /// kernels. This is `O(2ⁿ·(1 + n))` per stage versus `O(2ⁿ·(|E| + n))` for
 /// the gate path and is what the optimization loop uses — through a
-/// reusable [`EvalContext`], which also provides the exact adjoint gradient
+/// reusable [`EvalContext`] running on the split re/im SoA kernels of
+/// `qsim::soa` (autovectorized, cache-blocked, optionally fanned out within
+/// one state), which also provides the exact adjoint gradient
 /// ([`QaoaAnsatz::expectation_and_grad_in`]). The paths agree to machine
 /// precision (see tests and the `qsim_paths` / `eval_hot_path` benches).
 ///

@@ -11,10 +11,12 @@
 //!   buffers** reset in place per evaluation,
 //! * the phase-separation layer is applied through a **per-level phase
 //!   table** — `cis(−γ·c)` computed once per distinct cut value (at most
-//!   `|E| + 1` of them) instead of once per basis state
-//!   ([`StateVector::apply_phase_levels`]),
-//! * the mixing layer uses the fused RX kernel
-//!   ([`StateVector::apply_rx_layer`]).
+//!   `|E| + 1` of them) instead of once per basis state,
+//! * both layers run on the split re/im structure-of-arrays kernels of
+//!   [`qsim::soa::SplitState`]: autovectorized straight-line loops,
+//!   cache-blocked so one memory sweep applies the phase layer plus all
+//!   low-qubit mixing sub-layers, and fanned out across scoped threads for
+//!   large registers (see [`EvalContext::set_threads`]).
 //!
 //! The same context also computes **exact analytic gradients** by the
 //! adjoint method in `O(p · n · 2^n)` — roughly three forward passes,
@@ -25,16 +27,19 @@
 //!
 //! [`with_thread_context`] keeps one context per register width per thread,
 //! so batch workers (the `engine` crate) reuse buffers across jobs. Reuse is
-//! exact: a reset context is byte-for-byte identical to a fresh one, so
-//! results are bit-identical at any worker count and with any job schedule.
+//! exact: a reset context is byte-for-byte identical to a fresh one, and
+//! every kernel and reduction is deterministic in the thread budget (fixed
+//! tile partials combined in index order), so results are bit-identical at
+//! any worker count, any within-state budget, and with any job schedule.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
-use qsim::{Complex64, DiagonalObservable, StateVector};
+use qsim::soa::{self, SplitState};
+use qsim::DiagonalObservable;
 
 /// Reusable evaluation state: the work state, the adjoint state (gradients
-/// only) and the per-stage phase table.
+/// only) and the per-stage phase table, all in split re/im form.
 ///
 /// Obtain one with [`EvalContext::new`] for exclusive use, or borrow the
 /// calling thread's cached context via [`with_thread_context`]. Pass it to
@@ -61,25 +66,32 @@ use qsim::{Complex64, DiagonalObservable, StateVector};
 /// ```
 #[derive(Debug, Clone)]
 pub struct EvalContext {
-    state: StateVector,
+    state: SplitState,
     /// Costate buffer for the adjoint backward pass. Kept at width 0 (one
     /// amplitude) until the first gradient call so expectation-only users —
     /// gradient-free optimizers, plain `expectation` — never pay for a
     /// second `2^n` buffer.
-    adjoint: StateVector,
-    phase_table: Vec<Complex64>,
+    adjoint: SplitState,
+    /// Per-level phase factors, split like the state.
+    phase_re: Vec<f64>,
+    phase_im: Vec<f64>,
+    /// Within-state fan-out budget for every kernel call. Never affects
+    /// results (kernels are deterministic in the budget), only wall-clock.
+    threads: usize,
 }
 
 impl EvalContext {
     /// A context sized for `n_qubits`-wide registers. Widths adapt
     /// automatically on use, so the initial width is just a pre-allocation
-    /// hint.
+    /// hint. The within-state thread budget starts at 1 (serial kernels).
     #[must_use]
     pub fn new(n_qubits: usize) -> Self {
         Self {
-            state: StateVector::plus_state(n_qubits),
-            adjoint: StateVector::plus_state(0),
-            phase_table: Vec::new(),
+            state: SplitState::plus_state(n_qubits),
+            adjoint: SplitState::plus_state(0),
+            phase_re: Vec::new(),
+            phase_im: Vec::new(),
+            threads: 1,
         }
     }
 
@@ -95,8 +107,22 @@ impl EvalContext {
     /// **unwound** it in place (back to `|+…+⟩` up to rounding), so re-run
     /// a plain evaluation before reading the state.
     #[must_use]
-    pub fn state(&self) -> &StateVector {
+    pub fn state(&self) -> &SplitState {
         &self.state
+    }
+
+    /// Sets the within-state fan-out budget: how many scoped threads one
+    /// kernel call may use on registers of at least
+    /// [`qsim::soa::PAR_MIN_DIM`] amplitudes. Guaranteed not to change any
+    /// result — only evaluation latency. Clamped to at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The current within-state fan-out budget.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Resizes the work state when the problem width changes (reallocation
@@ -104,27 +130,39 @@ impl EvalContext {
     /// sized separately, on gradient use.
     fn ensure_width(&mut self, n_qubits: usize) {
         if self.state.n_qubits() != n_qubits {
-            self.state = StateVector::plus_state(n_qubits);
+            self.state = SplitState::plus_state(n_qubits);
         }
     }
 
-    /// Fills the phase table with `cis(scale · level)` per distinct level.
+    /// Fills the phase table with `cis(scale · level)` per distinct level,
+    /// split into re/im planes. The entries are bit-identical to
+    /// `Complex64::cis(scale · level)`.
     fn load_phase_table(&mut self, levels: &[f64], scale: f64) {
-        self.phase_table.clear();
-        self.phase_table
-            .extend(levels.iter().map(|&v| Complex64::cis(scale * v)));
+        self.phase_re.clear();
+        self.phase_im.clear();
+        for &v in levels {
+            let angle = scale * v;
+            self.phase_re.push(angle.cos());
+            self.phase_im.push(angle.sin());
+        }
     }
 
     /// Forward pass: `|ψ(γ, β)⟩` into the work state, allocation-free.
+    /// Each stage is one fused phase+mixing sweep plus the high-qubit
+    /// butterflies ([`SplitState::apply_phase_rx`]).
     pub(crate) fn run_forward(&mut self, cost: &DiagonalObservable, gammas: &[f64], betas: &[f64]) {
+        debug_assert_eq!(cost.level_of().len(), 1usize << cost.n_qubits());
         self.ensure_width(cost.n_qubits());
-        self.state.reset_to_plus();
+        self.state.reset_to_plus(self.threads);
         for (&gamma, &beta) in gammas.iter().zip(betas) {
             self.load_phase_table(cost.levels(), -gamma);
-            self.state
-                .apply_phase_levels(cost.level_of(), &self.phase_table)
-                .expect("context width matches cost");
-            self.state.apply_rx_layer(2.0 * beta);
+            self.state.apply_phase_rx(
+                cost.level_of(),
+                &self.phase_re,
+                &self.phase_im,
+                2.0 * beta,
+                self.threads,
+            );
         }
     }
 
@@ -136,8 +174,7 @@ impl EvalContext {
         betas: &[f64],
     ) -> f64 {
         self.run_forward(cost, gammas, betas);
-        cost.expectation(&self.state)
-            .expect("context width matches cost")
+        self.state.expectation_diag(cost.diagonal(), self.threads)
     }
 
     /// Expectation **and** its exact gradient by the adjoint method.
@@ -165,76 +202,43 @@ impl EvalContext {
         let p = gammas.len();
         debug_assert_eq!(grad.len(), 2 * p);
         self.run_forward(cost, gammas, betas);
-        let energy = cost
-            .expectation(&self.state)
-            .expect("context width matches cost");
+        let energy = self.state.expectation_diag(cost.diagonal(), self.threads);
 
         // First gradient use (or a width switch): size the lazily-kept
         // adjoint buffer.
         if self.adjoint.n_qubits() != self.state.n_qubits() {
-            self.adjoint = StateVector::plus_state(self.state.n_qubits());
+            self.adjoint = SplitState::plus_state(self.state.n_qubits());
         }
         // Costate seed: |λ⟩ = C|ψ⟩ (elementwise, C is diagonal).
-        {
-            let diag = cost.diagonal();
-            let psi = self.state.amplitudes();
-            let lambda = self.adjoint.amplitudes_mut();
-            for ((l, &a), &c) in lambda.iter_mut().zip(psi).zip(diag) {
-                *l = a.scale(c);
-            }
-        }
+        self.adjoint
+            .assign_scaled(&self.state, cost.diagonal(), self.threads);
 
         for k in (0..p).rev() {
             // β_k gradient at the post-stage states.
-            grad[p + k] = 2.0 * sum_im_lambda_x_psi(&self.adjoint, &self.state);
+            grad[p + k] = 2.0 * soa::sum_im_cross_x(&self.adjoint, &self.state, self.threads);
             // Undo the mixing layer on both states.
-            self.state.apply_rx_layer(-2.0 * betas[k]);
-            self.adjoint.apply_rx_layer(-2.0 * betas[k]);
+            self.state.apply_rx_layer(-2.0 * betas[k], self.threads);
+            self.adjoint.apply_rx_layer(-2.0 * betas[k], self.threads);
             // γ_k gradient now that ψ is the post-phase state.
-            grad[k] = 2.0 * sum_c_im_lambda_psi(cost, &self.adjoint, &self.state);
+            grad[k] = 2.0
+                * soa::sum_diag_im_cross(cost.diagonal(), &self.adjoint, &self.state, self.threads);
             // Undo the phase layer on both states (conjugate table).
             self.load_phase_table(cost.levels(), gammas[k]);
-            self.state
-                .apply_phase_levels(cost.level_of(), &self.phase_table)
-                .expect("context width matches cost");
-            self.adjoint
-                .apply_phase_levels(cost.level_of(), &self.phase_table)
-                .expect("context width matches cost");
+            self.state.apply_phase_levels(
+                cost.level_of(),
+                &self.phase_re,
+                &self.phase_im,
+                self.threads,
+            );
+            self.adjoint.apply_phase_levels(
+                cost.level_of(),
+                &self.phase_re,
+                &self.phase_im,
+                self.threads,
+            );
         }
         energy
     }
-}
-
-/// `Σ_q Im ⟨λ|X_q|ψ⟩`: every qubit's bit-flip pairing, visited pairwise.
-fn sum_im_lambda_x_psi(lambda: &StateVector, psi: &StateVector) -> f64 {
-    let l = lambda.amplitudes();
-    let s = psi.amplitudes();
-    let dim = s.len();
-    let mut total = 0.0;
-    for qubit in 0..psi.n_qubits() {
-        let stride = 1usize << qubit;
-        let mut base = 0;
-        while base < dim {
-            for offset in base..base + stride {
-                let (a, b) = (l[offset], s[offset + stride]);
-                total += a.re * b.im - a.im * b.re;
-                let (a, b) = (l[offset + stride], s[offset]);
-                total += a.re * b.im - a.im * b.re;
-            }
-            base += stride << 1;
-        }
-    }
-    total
-}
-
-/// `Σ_z c_z · Im(λ̄_z ψ_z)`.
-fn sum_c_im_lambda_psi(cost: &DiagonalObservable, lambda: &StateVector, psi: &StateVector) -> f64 {
-    cost.diagonal()
-        .iter()
-        .zip(lambda.amplitudes())
-        .zip(psi.amplitudes())
-        .map(|((&c, l), s)| c * (l.re * s.im - l.im * s.re))
-        .sum()
 }
 
 thread_local! {
@@ -243,12 +247,45 @@ thread_local! {
     /// "per-worker context reuse" of the evaluation pipeline.
     static CONTEXTS: RefCell<BTreeMap<usize, EvalContext>> =
         const { RefCell::new(BTreeMap::new()) };
+
+    /// The calling thread's within-state fan-out budget, applied to every
+    /// context handed out by [`with_thread_context`]. Set per job by the
+    /// batch engine (`engine::Pool`'s within-job fan-out); defaults to 1
+    /// (serial kernels).
+    static WITHIN_STATE_BUDGET: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Runs `f` with the calling thread's within-state fan-out budget set to
+/// `threads` (clamped to at least 1), restoring the previous budget after —
+/// also on panic, so pooled worker threads never leak a stale budget. Every
+/// [`with_thread_context`] call inside `f` hands out a context with this
+/// budget applied.
+///
+/// The budget is a latency lever only: kernels and reductions are
+/// deterministic in it, so results are bit-identical at any setting.
+pub fn with_within_state_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WITHIN_STATE_BUDGET.with(|cell| cell.set(self.0));
+        }
+    }
+    let prev = WITHIN_STATE_BUDGET.with(|cell| cell.replace(threads.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The calling thread's current within-state fan-out budget.
+#[must_use]
+pub fn within_state_threads() -> usize {
+    WITHIN_STATE_BUDGET.with(Cell::get)
 }
 
 /// Runs `f` with the calling thread's cached [`EvalContext`] for
 /// `n_qubits`, creating it on first use. This is how the optimization loop
 /// makes every objective evaluation allocation-free without threading a
-/// context through every call signature.
+/// context through every call signature. The context's within-state budget
+/// is refreshed from [`within_state_threads`] on every call.
 ///
 /// Reentrancy (calling `with_thread_context` from within `f`) panics on the
 /// `RefCell`; evaluation code never needs to nest contexts of the same
@@ -259,6 +296,7 @@ pub fn with_thread_context<T>(n_qubits: usize, f: impl FnOnce(&mut EvalContext) 
         let ctx = map
             .entry(n_qubits)
             .or_insert_with(|| EvalContext::new(n_qubits));
+        ctx.set_threads(within_state_threads());
         f(ctx)
     })
 }
@@ -288,6 +326,41 @@ mod tests {
         let a = with_thread_context(4, |ctx| ansatz.expectation_in(ctx, &params)).unwrap();
         let b = with_thread_context(4, |ctx| ansatz.expectation_in(ctx, &params)).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn within_state_budget_scopes_and_restores() {
+        assert_eq!(within_state_threads(), 1);
+        let inner = with_within_state_threads(4, || {
+            let nested = with_within_state_threads(2, within_state_threads);
+            assert_eq!(nested, 2);
+            with_thread_context(3, |ctx| ctx.threads())
+        });
+        assert_eq!(inner, 4);
+        assert_eq!(within_state_threads(), 1);
+        // Zero clamps to serial.
+        assert_eq!(with_within_state_threads(0, within_state_threads), 1);
+    }
+
+    #[test]
+    fn thread_budget_never_changes_results() {
+        let problem = MaxCutProblem::new(&generators::cycle(6)).unwrap();
+        let ansatz = QaoaAnsatz::new(problem, 2).unwrap();
+        let params = [0.9, 0.2, 0.4, 0.7];
+        let mut grad1 = [0.0; 4];
+        let mut grad4 = [0.0; 4];
+        let mut ctx = EvalContext::new(6);
+        let e1 = ansatz
+            .expectation_and_grad_in(&mut ctx, &params, &mut grad1)
+            .unwrap();
+        ctx.set_threads(4);
+        let e4 = ansatz
+            .expectation_and_grad_in(&mut ctx, &params, &mut grad4)
+            .unwrap();
+        assert_eq!(e1.to_bits(), e4.to_bits());
+        for (a, b) in grad1.iter().zip(&grad4) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

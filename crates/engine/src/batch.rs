@@ -245,6 +245,13 @@ impl Engine {
     /// depth-1 cache entries are pure functions of the graph's canonical
     /// class.
     ///
+    /// When the batch is narrower than the pool, leftover workers are
+    /// granted to each job as a within-state kernel budget
+    /// ([`Pool::inner_threads`] → `qaoa::eval::with_within_state_threads`),
+    /// so one large-`n` evaluation no longer serializes on a single core.
+    /// The budget never affects results (the SoA kernels are deterministic
+    /// in it), so the contract above is unchanged.
+    ///
     /// # Errors
     ///
     /// Returns the first (in submission order) job error.
@@ -256,33 +263,35 @@ impl Engine {
     ) -> Result<(Vec<InstanceOutcome>, BatchReport), QaoaError> {
         let batch_start = Instant::now();
         let results: Vec<Result<(InstanceOutcome, JobStats), QaoaError>> =
-            self.pool.run_ordered(jobs.len(), |i| {
-                let job = &jobs[i];
-                let start = Instant::now();
-                let (outcome, cache_hit) = if job.depth == 1 {
-                    self.level1_cached(&job.graph, optimizer, job.restarts, config)?
-                } else {
-                    let problem = MaxCutProblem::new(&job.graph)?;
-                    let instance = QaoaInstance::new(problem, job.depth)?;
-                    let mut rng = StdRng::seed_from_u64(seed::mix(
-                        config.master_seed,
-                        &[seed::domain_hash("batch"), job.stable_key(i)],
-                    ));
-                    let outcome = instance.optimize_multistart(
-                        optimizer,
-                        job.restarts,
-                        &mut rng,
-                        &config.options,
-                    )?;
-                    (outcome, false)
-                };
-                let stats = JobStats {
-                    wall: start.elapsed(),
-                    function_calls: outcome.function_calls,
-                    gradient_calls: outcome.gradient_calls,
-                    cache_hit,
-                };
-                Ok((outcome, stats))
+            self.pool.run_ordered_fanout(jobs.len(), |i, inner| {
+                qaoa::eval::with_within_state_threads(inner, || {
+                    let job = &jobs[i];
+                    let start = Instant::now();
+                    let (outcome, cache_hit) = if job.depth == 1 {
+                        self.level1_cached(&job.graph, optimizer, job.restarts, config)?
+                    } else {
+                        let problem = MaxCutProblem::new(&job.graph)?;
+                        let instance = QaoaInstance::new(problem, job.depth)?;
+                        let mut rng = StdRng::seed_from_u64(seed::mix(
+                            config.master_seed,
+                            &[seed::domain_hash("batch"), job.stable_key(i)],
+                        ));
+                        let outcome = instance.optimize_multistart(
+                            optimizer,
+                            job.restarts,
+                            &mut rng,
+                            &config.options,
+                        )?;
+                        (outcome, false)
+                    };
+                    let stats = JobStats {
+                        wall: start.elapsed(),
+                        function_calls: outcome.function_calls,
+                        gradient_calls: outcome.gradient_calls,
+                        cache_hit,
+                    };
+                    Ok((outcome, stats))
+                })
             });
 
         let mut outcomes = Vec::with_capacity(jobs.len());
@@ -342,21 +351,28 @@ impl Engine {
             options: config.options,
         };
         let results: Vec<Result<(TwoLevelOutcome, JobStats), QaoaError>> =
-            self.pool.run_ordered(graphs.len(), |i| {
-                let start = Instant::now();
-                let (level1, cache_hit) =
-                    self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
-                let problem = MaxCutProblem::new(&graphs[i])?;
-                let flow = TwoLevelFlow::new(predictor);
-                let outcome =
-                    flow.run_with_level1(&problem, target_depth, optimizer, &flow_config, &level1)?;
-                let stats = JobStats {
-                    wall: start.elapsed(),
-                    function_calls: outcome.total_calls(),
-                    gradient_calls: outcome.gradient_calls,
-                    cache_hit,
-                };
-                Ok((outcome, stats))
+            self.pool.run_ordered_fanout(graphs.len(), |i, inner| {
+                qaoa::eval::with_within_state_threads(inner, || {
+                    let start = Instant::now();
+                    let (level1, cache_hit) =
+                        self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
+                    let problem = MaxCutProblem::new(&graphs[i])?;
+                    let flow = TwoLevelFlow::new(predictor);
+                    let outcome = flow.run_with_level1(
+                        &problem,
+                        target_depth,
+                        optimizer,
+                        &flow_config,
+                        &level1,
+                    )?;
+                    let stats = JobStats {
+                        wall: start.elapsed(),
+                        function_calls: outcome.total_calls(),
+                        gradient_calls: outcome.gradient_calls,
+                        cache_hit,
+                    };
+                    Ok((outcome, stats))
+                })
             });
 
         let mut outcomes = Vec::with_capacity(graphs.len());

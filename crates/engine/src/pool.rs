@@ -56,6 +56,30 @@ impl Pool {
         self.threads
     }
 
+    /// The within-job fan-out budget for a batch of `n_jobs`: pool workers
+    /// divided evenly among the jobs that can run concurrently, never less
+    /// than 1. A pure function of `(threads, n_jobs)` — independent of
+    /// scheduling — so the budget itself can never introduce run-to-run
+    /// variation. Small batches on a wide pool get leftover workers for
+    /// within-state parallelism (`qaoa::eval::with_within_state_threads`);
+    /// saturated batches get 1 (all parallelism stays across jobs).
+    #[must_use]
+    pub fn inner_threads(&self, n_jobs: usize) -> usize {
+        self.threads / n_jobs.clamp(1, self.threads)
+    }
+
+    /// [`Pool::run_ordered`] with the per-job fan-out budget passed to each
+    /// job as a second argument: `job(index, inner_threads)`. The budget is
+    /// the same for every job in the batch (see [`Pool::inner_threads`]).
+    pub fn run_ordered_fanout<T, F>(&self, n_jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let inner = self.inner_threads(n_jobs);
+        self.run_ordered(n_jobs, |i| job(i, inner))
+    }
+
     /// Runs `job(0..n_jobs)` across the pool, returning results in
     /// submission order. `job` must be a pure function of the index for the
     /// output to be schedule-independent — the engine guarantees this by
@@ -211,6 +235,28 @@ mod tests {
     fn more_threads_than_jobs() {
         let pool = Pool::new(16);
         assert_eq!(pool.run_ordered(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn inner_threads_splits_idle_workers() {
+        let pool = Pool::new(8);
+        // Saturated or oversubscribed batches keep all parallelism across jobs.
+        assert_eq!(pool.inner_threads(8), 1);
+        assert_eq!(pool.inner_threads(100), 1);
+        // Narrow batches hand leftover workers to each job.
+        assert_eq!(pool.inner_threads(2), 4);
+        assert_eq!(pool.inner_threads(3), 2);
+        assert_eq!(pool.inner_threads(1), 8);
+        // Degenerate inputs stay sane.
+        assert_eq!(pool.inner_threads(0), 8);
+        assert_eq!(Pool::new(1).inner_threads(4), 1);
+    }
+
+    #[test]
+    fn fanout_passes_one_budget_to_every_job() {
+        let pool = Pool::new(4);
+        let budgets = pool.run_ordered_fanout(2, |i, inner| (i, inner));
+        assert_eq!(budgets, vec![(0, 2), (1, 2)]);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum QsimError {
         /// The requested qubit count.
         n_qubits: usize,
     },
+    /// A computational-basis index was `>= 2^n_qubits`.
+    BasisIndexOutOfRange {
+        /// The offending basis-state index.
+        index: usize,
+        /// Dimension `2^n` of the register.
+        dim: usize,
+    },
     /// A quantum channel failed validation (probability outside `[0, 1]`,
     /// Kraus set not trace-preserving, empty operator list, …).
     InvalidChannel {
@@ -66,6 +73,9 @@ impl fmt::Display for QsimError {
             ),
             QsimError::TooManyQubits { n_qubits } => {
                 write!(f, "{n_qubits} qubits exceeds the supported register width")
+            }
+            QsimError::BasisIndexOutOfRange { index, dim } => {
+                write!(f, "basis index {index} out of range for dimension {dim}")
             }
             QsimError::InvalidChannel { reason } => {
                 write!(f, "invalid quantum channel: {reason}")
@@ -108,6 +118,9 @@ mod tests {
         assert!(QsimError::TooManyQubits { n_qubits: 64 }
             .to_string()
             .contains("64"));
+        assert!(QsimError::BasisIndexOutOfRange { index: 9, dim: 8 }
+            .to_string()
+            .contains("basis index 9"));
     }
 
     #[test]

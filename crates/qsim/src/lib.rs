@@ -10,6 +10,9 @@
 //!
 //! * [`Complex64`] — first-party complex arithmetic (no external crates),
 //! * [`StateVector`] — `2^n` amplitudes with single/two-qubit gate kernels,
+//! * [`soa::SplitState`] — split re/im (structure-of-arrays) kernels for the
+//!   QAOA evaluation hot path: autovectorizable, cache-blocked, with
+//!   deterministic within-state parallelism,
 //! * [`gates`] — standard gate matrices (H, X, Y, Z, RX, RY, RZ, phase),
 //! * [`Circuit`] / [`Gate`] — a replayable circuit IR,
 //! * [`DiagonalObservable`] — fast diagonal (cost-Hamiltonian) expectations,
@@ -42,6 +45,7 @@ mod error;
 mod expectation;
 pub mod gates;
 mod sampling;
+pub mod soa;
 mod state;
 pub mod twoqubit;
 

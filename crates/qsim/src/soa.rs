@@ -1,0 +1,757 @@
+//! Structure-of-arrays state kernels for the evaluation hot path.
+//!
+//! [`SplitState`] stores a register as two parallel `Vec<f64>` planes
+//! (all real parts, all imaginary parts) instead of the
+//! array-of-structs `Vec<Complex64>` of [`StateVector`]. Every hot
+//! kernel then becomes a straight-line loop over independent `f64`
+//! streams — exactly the shape LLVM's autovectorizer turns into packed
+//! SIMD — and large sweeps are additionally **cache-blocked**: the QAOA
+//! mixing layer applies every low qubit inside one [`TILE`]-sized tile
+//! while it is resident, collapsing `min(n, TILE_BITS)` full-state
+//! passes into one. At n = 20 that takes a depth-2 evaluation from 44
+//! full 16 MiB sweeps to 16.
+//!
+//! # Bit-parity contract
+//!
+//! Per amplitude, every kernel performs **the same floating-point
+//! operations in the same order** as the scalar [`StateVector`]
+//! reference kernels ([`StateVector::apply_phase_levels`],
+//! [`StateVector::apply_rx_layer`]), so the amplitudes produced are
+//! bit-identical to the scalar path — tiling only reorders *which
+//! amplitude is visited when*, never the arithmetic applied to it
+//! (verified by `tests/tests/kernel_parity.rs`).
+//!
+//! Reductions (expectations, adjoint-gradient sums) are computed as
+//! per-[`TILE`] partial sums combined in tile-index order. The tile
+//! size is a compile-time constant, **independent of the thread
+//! count**, so a reduction returns bit-identical results at 1 thread
+//! and at N threads — the invariant the engine's serial ≡ parallel and
+//! sharded ≡ unsharded guarantees rest on. (A tiled sum is *not*
+//! bit-identical to one long sequential sum, which is why the
+//! reduction order is fixed here once and used by every caller.)
+//!
+//! # Within-state parallelism
+//!
+//! Every kernel takes a `threads` budget. For registers of at least
+//! [`PAR_MIN_DIM`] amplitudes, work is split into per-tile items and
+//! fanned out across scoped worker threads (`std::thread::scope` — no
+//! `unsafe`, no shared mutable aliasing: each item owns disjoint
+//! `&mut` tile slices). Below the threshold, or with a budget of 1,
+//! kernels run inline. Because tiling is fixed and partials are
+//! combined in index order, the budget never influences results —
+//! only wall-clock time. The budget is typically set per job by
+//! `engine::Pool`'s within-job fan-out (see `Pool::run_ordered_fanout`).
+
+use crate::{Complex64, StateVector};
+
+/// Amplitudes per cache tile (`2^TILE_BITS`). One tile is 256 KiB per
+/// plane pair — small enough to stay L2-resident through all
+/// `TILE_BITS` low-qubit mixing sub-layers applied to it, large enough
+/// that only the topmost qubits of big registers need separate
+/// full-state streaming passes (n = 16: two of them; n = 20: six).
+pub const TILE: usize = 1 << TILE_BITS;
+
+/// `log2(TILE)`: the number of mixing-layer qubits applied tile-locally.
+pub const TILE_BITS: usize = 14;
+
+/// Minimum register dimension (amplitude count) before a `threads > 1`
+/// budget actually fans work out to scoped threads. Below this, spawn
+/// overhead outweighs the kernel cost and everything runs inline.
+pub const PAR_MIN_DIM: usize = 1 << 17;
+
+/// A pure `n`-qubit state in split re/im (structure-of-arrays) form.
+///
+/// The SIMD-friendly counterpart of [`StateVector`], used by the QAOA
+/// evaluation hot path (`qaoa::EvalContext`). Kernels here are
+/// infallible: callers guarantee width agreement between the state and
+/// its observables (the evaluation context resizes on width switches),
+/// and the kernels `debug_assert!` it.
+///
+/// # Example
+///
+/// ```
+/// use qsim::{soa::SplitState, StateVector};
+/// let mut s = SplitState::plus_state(3);
+/// s.apply_rx_layer(0.7, 1);
+/// let mut reference = StateVector::plus_state(3);
+/// reference.apply_rx_layer(0.7);
+/// // SoA kernels are bit-identical to the scalar reference.
+/// assert_eq!(s.to_state_vector(), reference);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitState {
+    n_qubits: usize,
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+impl SplitState {
+    /// The uniform superposition `|+…+⟩` — the QAOA input state.
+    ///
+    /// Like [`StateVector::plus_state`], performs no width check
+    /// beyond what allocation enforces; the evaluation stack bounds
+    /// widths upstream.
+    #[must_use]
+    pub fn plus_state(n_qubits: usize) -> Self {
+        let dim = 1usize << n_qubits;
+        // lint:allow(no-lossy-as) dim <= 2^63 is exactly representable in f64 for any simulable register
+        let amp = 1.0 / (dim as f64).sqrt();
+        Self {
+            n_qubits,
+            re: vec![amp; dim],
+            im: vec![0.0; dim],
+        }
+    }
+
+    /// Converts from an array-of-structs state.
+    #[must_use]
+    pub fn from_state_vector(state: &StateVector) -> Self {
+        Self {
+            n_qubits: state.n_qubits(),
+            re: state.amplitudes().iter().map(|a| a.re).collect(),
+            im: state.amplitudes().iter().map(|a| a.im).collect(),
+        }
+    }
+
+    /// Materializes an array-of-structs copy (interop/test path; the
+    /// hot path never converts).
+    #[must_use]
+    pub fn to_state_vector(&self) -> StateVector {
+        let amps: Vec<Complex64> = self
+            .re
+            .iter()
+            .zip(&self.im)
+            .map(|(&re, &im)| Complex64::new(re, im))
+            .collect();
+        StateVector::from_amplitudes(amps).unwrap_or_else(|_| StateVector::zero_state(0))
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Dimension `2^n` of the Hilbert space.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.re.len()
+    }
+
+    /// The real plane.
+    #[must_use]
+    pub fn re(&self) -> &[f64] {
+        &self.re
+    }
+
+    /// The imaginary plane.
+    #[must_use]
+    pub fn im(&self) -> &[f64] {
+        &self.im
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    #[must_use]
+    pub fn amplitude(&self, index: usize) -> Complex64 {
+        Complex64::new(self.re[index], self.im[index])
+    }
+
+    /// The effective fan-out for one kernel call on this state.
+    fn fanout(&self, threads: usize) -> usize {
+        if self.dim() >= PAR_MIN_DIM {
+            threads.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Resets to `|+…+⟩` in place, reusing both planes — byte-for-byte
+    /// equivalent to a fresh [`SplitState::plus_state`] of the same
+    /// width.
+    pub fn reset_to_plus(&mut self, threads: usize) {
+        // lint:allow(no-lossy-as) dim <= 2^63 is exactly representable in f64 for any simulable register
+        let amp = 1.0 / (self.dim() as f64).sqrt();
+        let threads = self.fanout(threads);
+        for_each_tile(&mut self.re, &mut self.im, threads, &|_, re, im| {
+            re.fill(amp);
+            im.fill(0.0);
+        });
+    }
+
+    /// Multiplies amplitude `i` by `table[level_of[i]]`, where the
+    /// table arrives split into re/im planes — the SoA counterpart of
+    /// [`StateVector::apply_phase_levels`], bit-identical to it.
+    ///
+    /// Width agreement (`level_of.len() == dim()`, table indices in
+    /// range) is the caller's contract, `debug_assert!`ed here.
+    pub fn apply_phase_levels(
+        &mut self,
+        level_of: &[u32],
+        table_re: &[f64],
+        table_im: &[f64],
+        threads: usize,
+    ) {
+        debug_assert_eq!(level_of.len(), self.dim());
+        debug_assert_eq!(table_re.len(), table_im.len());
+        let threads = self.fanout(threads);
+        for_each_tile(&mut self.re, &mut self.im, threads, &|start, re, im| {
+            phase_tile(
+                re,
+                im,
+                &level_of[start..start + re.len()],
+                table_re,
+                table_im,
+            );
+        });
+    }
+
+    /// Applies `RX(θ)` to every qubit — the QAOA mixing layer —
+    /// bit-identical to [`StateVector::apply_rx_layer`].
+    ///
+    /// Qubits `0..TILE_BITS` are applied tile-locally (one pass over
+    /// the state instead of one per qubit); each remaining qubit is a
+    /// streaming butterfly over contiguous `stride`-long blocks, which
+    /// vectorize for every stride.
+    pub fn apply_rx_layer(&mut self, theta: f64, threads: usize) {
+        let (s, co) = (theta / 2.0).sin_cos();
+        let threads = self.fanout(threads);
+        let n_low = self.n_qubits.min(TILE_BITS);
+        for_each_tile(&mut self.re, &mut self.im, threads, &|_, re, im| {
+            rx_tile(re, im, n_low, s, co);
+        });
+        for qubit in TILE_BITS..self.n_qubits {
+            self.rx_high_pass(1 << qubit, s, co, threads);
+        }
+    }
+
+    /// One fused pass: phase separation then the tile-local part of
+    /// the mixing layer, while each tile is cache-resident; then the
+    /// high-qubit butterflies. Bit-identical to
+    /// [`SplitState::apply_phase_levels`] followed by
+    /// [`SplitState::apply_rx_layer`] — fusion reorders memory visits,
+    /// not the per-amplitude arithmetic.
+    pub fn apply_phase_rx(
+        &mut self,
+        level_of: &[u32],
+        table_re: &[f64],
+        table_im: &[f64],
+        theta: f64,
+        threads: usize,
+    ) {
+        debug_assert_eq!(level_of.len(), self.dim());
+        let (s, co) = (theta / 2.0).sin_cos();
+        let threads = self.fanout(threads);
+        let n_low = self.n_qubits.min(TILE_BITS);
+        for_each_tile(&mut self.re, &mut self.im, threads, &|start, re, im| {
+            phase_tile(
+                re,
+                im,
+                &level_of[start..start + re.len()],
+                table_re,
+                table_im,
+            );
+            rx_tile(re, im, n_low, s, co);
+        });
+        for qubit in TILE_BITS..self.n_qubits {
+            self.rx_high_pass(1 << qubit, s, co, threads);
+        }
+    }
+
+    /// One streaming butterfly pass for a qubit with `stride >= TILE`:
+    /// pair blocks `[base, base+stride)` / `[base+stride, base+2·stride)`
+    /// are contiguous, so the pass is pure sequential streams, split
+    /// into per-tile work items for the fan-out.
+    fn rx_high_pass(&mut self, stride: usize, s: f64, co: f64, threads: usize) {
+        /// One butterfly work item: `(re_lo, im_lo, re_hi, im_hi)`.
+        type Quad<'a> = (&'a mut [f64], &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+        let mut items: Vec<Quad> = Vec::new();
+        for (re_block, im_block) in self
+            .re
+            .chunks_mut(2 * stride)
+            .zip(self.im.chunks_mut(2 * stride))
+        {
+            let (re_lo, re_hi) = re_block.split_at_mut(stride);
+            let (im_lo, im_hi) = im_block.split_at_mut(stride);
+            for (((rl, il), rh), ih) in re_lo
+                .chunks_mut(TILE)
+                .zip(im_lo.chunks_mut(TILE))
+                .zip(re_hi.chunks_mut(TILE))
+                .zip(im_hi.chunks_mut(TILE))
+            {
+                items.push((rl, il, rh, ih));
+            }
+        }
+        run_items(threads, items, &|(rl, il, rh, ih)| {
+            rx_butterfly(rl, il, rh, ih, s, co);
+        });
+    }
+
+    /// Overwrites this state with `src` scaled elementwise by `diag`
+    /// (`out_z = src_z · diag_z`) — the adjoint costate seed
+    /// `|λ⟩ = C|ψ⟩` for a diagonal cost `C`.
+    pub fn assign_scaled(&mut self, src: &SplitState, diag: &[f64], threads: usize) {
+        debug_assert_eq!(src.dim(), self.dim());
+        debug_assert_eq!(diag.len(), self.dim());
+        let threads = self.fanout(threads);
+        for_each_tile(&mut self.re, &mut self.im, threads, &|start, re, im| {
+            let end = start + re.len();
+            scale_tile(
+                re,
+                im,
+                &src.re[start..end],
+                &src.im[start..end],
+                &diag[start..end],
+            );
+        });
+    }
+
+    /// `⟨ψ|D|ψ⟩ = Σ_z (re_z² + im_z²)·d_z` as a tiled deterministic
+    /// reduction (fixed [`TILE`] partials combined in index order —
+    /// identical at any thread budget).
+    #[must_use]
+    pub fn expectation_diag(&self, diag: &[f64], threads: usize) -> f64 {
+        debug_assert_eq!(diag.len(), self.dim());
+        reduce_tiles(self.dim(), self.fanout(threads), &|start, len| {
+            let end = start + len;
+            dot_norm_tile(
+                &self.re[start..end],
+                &self.im[start..end],
+                &diag[start..end],
+            )
+        })
+    }
+}
+
+/// `Σ_q Σ_z Im(λ̄_z · ψ_{z ⊕ 2^q})` — the mixing-layer gradient
+/// reduction `Σ_q Im ⟨λ|X_q|ψ⟩`, tiled deterministically: each tile
+/// accumulates its qubits in order (in-tile butterflies for low
+/// qubits, streaming partner loads for high ones), partials combine in
+/// tile order. Identical at any thread budget.
+#[must_use]
+pub fn sum_im_cross_x(lambda: &SplitState, psi: &SplitState, threads: usize) -> f64 {
+    debug_assert_eq!(lambda.dim(), psi.dim());
+    let n_qubits = psi.n_qubits();
+    reduce_tiles(psi.dim(), psi.fanout(threads), &|start, len| {
+        let mut acc = 0.0;
+        for qubit in 0..n_qubits {
+            let stride = 1usize << qubit;
+            if stride < len {
+                // Both butterfly halves live inside this tile.
+                let mut base = start;
+                while base < start + len {
+                    let (lo, hi) = (base..base + stride, base + stride..base + 2 * stride);
+                    acc += cross_x_tile(
+                        &lambda.re[lo.clone()],
+                        &lambda.im[lo.clone()],
+                        &lambda.re[hi.clone()],
+                        &lambda.im[hi.clone()],
+                        &psi.re[lo.clone()],
+                        &psi.im[lo.clone()],
+                        &psi.re[hi.clone()],
+                        &psi.im[hi],
+                    );
+                    base += 2 * stride;
+                }
+            } else {
+                // The partner block is a contiguous run in another tile
+                // (read-only, so crossing tile boundaries is fine).
+                let partner = start ^ stride;
+                let (a, b) = (start..start + len, partner..partner + len);
+                acc += cross_half_tile(
+                    &lambda.re[a.clone()],
+                    &lambda.im[a],
+                    &psi.re[b.clone()],
+                    &psi.im[b],
+                );
+            }
+        }
+        acc
+    })
+}
+
+/// `Σ_z d_z · Im(λ̄_z ψ_z)` — the phase-layer gradient reduction,
+/// tiled deterministically like [`SplitState::expectation_diag`].
+#[must_use]
+pub fn sum_diag_im_cross(
+    diag: &[f64],
+    lambda: &SplitState,
+    psi: &SplitState,
+    threads: usize,
+) -> f64 {
+    debug_assert_eq!(diag.len(), psi.dim());
+    debug_assert_eq!(lambda.dim(), psi.dim());
+    reduce_tiles(psi.dim(), psi.fanout(threads), &|start, len| {
+        let end = start + len;
+        diag_cross_tile(
+            &diag[start..end],
+            &lambda.re[start..end],
+            &lambda.im[start..end],
+            &psi.re[start..end],
+            &psi.im[start..end],
+        )
+    })
+}
+
+// --- tile-level kernels (straight-line, autovectorizable) -----------------
+
+/// Phase separation on one tile: `a *= table[level]` with the complex
+/// product expanded exactly as `Complex64::mul` computes it.
+fn phase_tile(
+    re: &mut [f64],
+    im: &mut [f64],
+    level_of: &[u32],
+    table_re: &[f64],
+    table_im: &[f64],
+) {
+    let im = &mut im[..re.len()];
+    let level_of = &level_of[..re.len()];
+    for ((r, i), &l) in re.iter_mut().zip(im.iter_mut()).zip(level_of) {
+        // lint:allow(no-lossy-as) u32 -> usize is value-preserving on every supported target
+        let l = l as usize;
+        let (tr, ti) = (table_re[l], table_im[l]);
+        let (r0, i0) = (*r, *i);
+        *r = r0 * tr - i0 * ti;
+        *i = r0 * ti + i0 * tr;
+    }
+}
+
+/// Costate seed on one tile: `out = src · d` elementwise.
+fn scale_tile(re: &mut [f64], im: &mut [f64], src_re: &[f64], src_im: &[f64], diag: &[f64]) {
+    let n = re.len();
+    let (im, src_re, src_im, diag) = (&mut im[..n], &src_re[..n], &src_im[..n], &diag[..n]);
+    for k in 0..n {
+        re[k] = src_re[k] * diag[k];
+        im[k] = src_im[k] * diag[k];
+    }
+}
+
+/// `Σ (re² + im²)·d` over one tile, sequential in index order.
+fn dot_norm_tile(re: &[f64], im: &[f64], diag: &[f64]) -> f64 {
+    let n = re.len();
+    let (im, diag) = (&im[..n], &diag[..n]);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += (re[k] * re[k] + im[k] * im[k]) * diag[k];
+    }
+    acc
+}
+
+/// `Σ d·(λre·ψim − λim·ψre)` over one tile.
+fn diag_cross_tile(diag: &[f64], lre: &[f64], lim: &[f64], sre: &[f64], sim: &[f64]) -> f64 {
+    let n = diag.len();
+    let (lre, lim, sre, sim) = (&lre[..n], &lim[..n], &sre[..n], &sim[..n]);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += diag[k] * (lre[k] * sim[k] - lim[k] * sre[k]);
+    }
+    acc
+}
+
+/// The RX butterfly over two equal-length contiguous blocks, with the
+/// exact arithmetic of the scalar reference:
+/// `a0' = c·a0 − i·s·a1`, `a1' = c·a1 − i·s·a0`, expanded.
+fn rx_butterfly(
+    lo_re: &mut [f64],
+    lo_im: &mut [f64],
+    hi_re: &mut [f64],
+    hi_im: &mut [f64],
+    s: f64,
+    co: f64,
+) {
+    let n = lo_re.len();
+    let (lo_im, hi_re, hi_im) = (&mut lo_im[..n], &mut hi_re[..n], &mut hi_im[..n]);
+    for k in 0..n {
+        let (r0, i0, r1, i1) = (lo_re[k], lo_im[k], hi_re[k], hi_im[k]);
+        lo_re[k] = co * r0 + s * i1;
+        lo_im[k] = co * i0 - s * r1;
+        hi_re[k] = co * r1 + s * i0;
+        hi_im[k] = co * i1 - s * r0;
+    }
+}
+
+/// RX on qubit 0 within a tile: interleaved `(2k, 2k+1)` pairs,
+/// special-cased so the stride-1 sub-layer still compiles to packed
+/// loads instead of scalar gathers.
+fn rx_pairs(re: &mut [f64], im: &mut [f64], s: f64, co: f64) {
+    for (r, i) in re.chunks_exact_mut(2).zip(im.chunks_exact_mut(2)) {
+        let (r0, i0, r1, i1) = (r[0], i[0], r[1], i[1]);
+        r[0] = co * r0 + s * i1;
+        i[0] = co * i0 - s * r1;
+        r[1] = co * r1 + s * i0;
+        i[1] = co * i1 - s * r0;
+    }
+}
+
+/// All mixing sub-layers for qubits `0..n_low` applied to one resident
+/// tile (qubit order preserved, so the arithmetic per amplitude matches
+/// the scalar one-pass-per-qubit reference exactly).
+fn rx_tile(re: &mut [f64], im: &mut [f64], n_low: usize, s: f64, co: f64) {
+    if n_low == 0 {
+        return;
+    }
+    rx_pairs(re, im, s, co);
+    for qubit in 1..n_low {
+        let stride = 1usize << qubit;
+        for (re_block, im_block) in re.chunks_mut(2 * stride).zip(im.chunks_mut(2 * stride)) {
+            let (re_lo, re_hi) = re_block.split_at_mut(stride);
+            let (im_lo, im_hi) = im_block.split_at_mut(stride);
+            rx_butterfly(re_lo, im_lo, re_hi, im_hi, s, co);
+        }
+    }
+}
+
+/// Both cross terms of one in-tile butterfly block:
+/// `Σ_k Im(λ̄_lo ψ_hi) + Im(λ̄_hi ψ_lo)`.
+#[allow(clippy::too_many_arguments)]
+fn cross_x_tile(
+    l_lo_re: &[f64],
+    l_lo_im: &[f64],
+    l_hi_re: &[f64],
+    l_hi_im: &[f64],
+    s_lo_re: &[f64],
+    s_lo_im: &[f64],
+    s_hi_re: &[f64],
+    s_hi_im: &[f64],
+) -> f64 {
+    let n = l_lo_re.len();
+    let (l_lo_im, l_hi_re, l_hi_im) = (&l_lo_im[..n], &l_hi_re[..n], &l_hi_im[..n]);
+    let (s_lo_re, s_lo_im, s_hi_re, s_hi_im) =
+        (&s_lo_re[..n], &s_lo_im[..n], &s_hi_re[..n], &s_hi_im[..n]);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += l_lo_re[k] * s_hi_im[k] - l_lo_im[k] * s_hi_re[k] + l_hi_re[k] * s_lo_im[k]
+            - l_hi_im[k] * s_lo_re[k];
+    }
+    acc
+}
+
+/// One direction of the cross term when the partner block lives in
+/// another tile: `Σ_k Im(λ̄_a ψ_b)`.
+fn cross_half_tile(l_re: &[f64], l_im: &[f64], s_re: &[f64], s_im: &[f64]) -> f64 {
+    let n = l_re.len();
+    let (l_im, s_re, s_im) = (&l_im[..n], &s_re[..n], &s_im[..n]);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += l_re[k] * s_im[k] - l_im[k] * s_re[k];
+    }
+    acc
+}
+
+// --- deterministic fan-out ------------------------------------------------
+
+/// Runs `f` once per work item, item `i` on scoped worker `i % workers`
+/// (one share runs on the calling thread). With a budget of 1 — or a
+/// single item — everything runs inline in item order. Items own their
+/// data (disjoint `&mut` slices or partial-sum slots), so distribution
+/// can never influence results, only wall-clock time.
+fn run_items<T: Send, F: Fn(T) + Sync>(threads: usize, items: Vec<T>, f: &F) {
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers == 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<T>> = Vec::new();
+    buckets.resize_with(workers, Vec::new);
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    std::thread::scope(|scope| {
+        let mine = buckets.swap_remove(0);
+        for bucket in buckets {
+            scope.spawn(move || {
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+        for item in mine {
+            f(item);
+        }
+    });
+}
+
+/// Splits both planes into [`TILE`]-sized tiles and runs
+/// `f(tile_start, re_tile, im_tile)` for each, fanned out over
+/// `threads`.
+fn for_each_tile<F>(re: &mut [f64], im: &mut [f64], threads: usize, f: &F)
+where
+    F: Fn(usize, &mut [f64], &mut [f64]) + Sync,
+{
+    let items: Vec<(usize, &mut [f64], &mut [f64])> = re
+        .chunks_mut(TILE)
+        .zip(im.chunks_mut(TILE))
+        .enumerate()
+        .map(|(c, (r, i))| (c * TILE, r, i))
+        .collect();
+    run_items(threads, items, &|(start, r, i)| f(start, r, i));
+}
+
+/// Tiled deterministic reduction: `f(tile_start, tile_len)` produces
+/// one partial per [`TILE`], computed on any worker but **combined in
+/// tile-index order** — the reduction order is a pure function of
+/// `dim`, never of the thread budget.
+fn reduce_tiles<F>(dim: usize, threads: usize, f: &F) -> f64
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    let n_tiles = dim.div_ceil(TILE);
+    let mut partials = vec![0.0f64; n_tiles];
+    let items: Vec<(usize, &mut f64)> = partials.iter_mut().enumerate().collect();
+    run_items(threads, items, &|(c, slot)| {
+        let start = c * TILE;
+        *slot = f(start, TILE.min(dim - start));
+    });
+    partials.iter().fold(0.0, |acc, p| acc + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bit_identical(soa: &SplitState, reference: &StateVector) {
+        assert_eq!(soa.dim(), reference.dim());
+        for (k, a) in reference.amplitudes().iter().enumerate() {
+            assert_eq!(
+                soa.re[k].to_bits(),
+                a.re.to_bits(),
+                "re mismatch at index {k}"
+            );
+            assert_eq!(
+                soa.im[k].to_bits(),
+                a.im.to_bits(),
+                "im mismatch at index {k}"
+            );
+        }
+    }
+
+    fn phase_table(levels: &[f64], gamma: f64) -> (Vec<Complex64>, Vec<f64>, Vec<f64>) {
+        let aos: Vec<Complex64> = levels.iter().map(|&v| Complex64::cis(-gamma * v)).collect();
+        let re = aos.iter().map(|c| c.re).collect();
+        let im = aos.iter().map(|c| c.im).collect();
+        (aos, re, im)
+    }
+
+    #[test]
+    fn plus_state_matches_scalar() {
+        for n in 0..6 {
+            assert_bit_identical(&SplitState::plus_state(n), &StateVector::plus_state(n));
+        }
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        let mut s = SplitState::plus_state(5);
+        s.apply_rx_layer(0.9, 1);
+        s.reset_to_plus(1);
+        assert_eq!(s, SplitState::plus_state(5));
+    }
+
+    #[test]
+    fn rx_layer_matches_scalar_across_widths() {
+        // Widths straddle TILE_BITS so both the tile-local and the
+        // high-qubit streaming paths are exercised.
+        for n in [1usize, 2, 3, TILE_BITS, TILE_BITS + 1, TILE_BITS + 2] {
+            let mut reference = StateVector::plus_state(n);
+            let diag: Vec<f64> = (0..1usize << n).map(|z| (z % 7) as f64).collect();
+            reference.apply_phase_from_diag(&diag, 0.31).unwrap();
+            let mut soa = SplitState::from_state_vector(&reference);
+            reference.apply_rx_layer(0.83);
+            soa.apply_rx_layer(0.83, 1);
+            assert_bit_identical(&soa, &reference);
+        }
+    }
+
+    #[test]
+    fn phase_levels_matches_scalar() {
+        let n = TILE_BITS + 1;
+        let level_of: Vec<u32> = (0..1usize << n).map(|z| (z % 5) as u32).collect();
+        let levels: Vec<f64> = (0..5).map(|l| l as f64 * 0.7).collect();
+        let (aos, tre, tim) = phase_table(&levels, 1.3);
+        let mut reference = StateVector::plus_state(n);
+        let mut soa = SplitState::from_state_vector(&reference);
+        reference.apply_phase_levels(&level_of, &aos).unwrap();
+        soa.apply_phase_levels(&level_of, &tre, &tim, 1);
+        assert_bit_identical(&soa, &reference);
+    }
+
+    #[test]
+    fn fused_stage_equals_separate_kernels() {
+        let n = TILE_BITS + 1;
+        let level_of: Vec<u32> = (0..1usize << n).map(|z| (z % 3) as u32).collect();
+        let levels = [0.0, 1.5, 2.5];
+        let (_, tre, tim) = phase_table(&levels, 0.9);
+        let mut fused = SplitState::plus_state(n);
+        let mut separate = fused.clone();
+        fused.apply_phase_rx(&level_of, &tre, &tim, 1.1, 1);
+        separate.apply_phase_levels(&level_of, &tre, &tim, 1);
+        separate.apply_rx_layer(1.1, 1);
+        assert_eq!(fused, separate);
+    }
+
+    #[test]
+    fn kernels_identical_at_any_thread_budget() {
+        // The budget must never change results — even above the fan-out
+        // threshold this holds by construction, but the cheap widths
+        // here at least pin the inline/fan-out dispatch seam.
+        let n = TILE_BITS + 2;
+        let level_of: Vec<u32> = (0..1usize << n).map(|z| (z % 4) as u32).collect();
+        let (_, tre, tim) = phase_table(&[0.0, 1.0, 2.0, 3.0], 0.4);
+        let diag: Vec<f64> = (0..1usize << n).map(|z| (z % 4) as f64).collect();
+        let mut a = SplitState::plus_state(n);
+        let mut b = SplitState::plus_state(n);
+        a.apply_phase_rx(&level_of, &tre, &tim, 0.7, 1);
+        b.apply_phase_rx(&level_of, &tre, &tim, 0.7, 4);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.expectation_diag(&diag, 1).to_bits(),
+            b.expectation_diag(&diag, 4).to_bits()
+        );
+        let mut la = SplitState::plus_state(n);
+        let mut lb = SplitState::plus_state(n);
+        la.assign_scaled(&a, &diag, 1);
+        lb.assign_scaled(&b, &diag, 4);
+        assert_eq!(la, lb);
+        assert_eq!(
+            sum_im_cross_x(&la, &a, 1).to_bits(),
+            sum_im_cross_x(&lb, &b, 4).to_bits()
+        );
+        assert_eq!(
+            sum_diag_im_cross(&diag, &la, &a, 1).to_bits(),
+            sum_diag_im_cross(&diag, &lb, &b, 4).to_bits()
+        );
+    }
+
+    #[test]
+    fn expectation_diag_matches_scalar_for_single_tile() {
+        // Below one TILE the tiled reduction degenerates to the scalar
+        // sequential sum, so the old and new paths agree bitwise.
+        let n = 6;
+        let diag: Vec<f64> = (0..1usize << n).map(|z| (z % 9) as f64 - 3.0).collect();
+        let reference = StateVector::plus_state(n);
+        let soa = SplitState::from_state_vector(&reference);
+        let scalar: f64 = reference
+            .amplitudes()
+            .iter()
+            .zip(&diag)
+            .map(|(a, d)| a.norm_sqr() * d)
+            .sum();
+        assert_eq!(soa.expectation_diag(&diag, 1).to_bits(), scalar.to_bits());
+    }
+
+    #[test]
+    fn round_trip_conversion_is_lossless() {
+        let mut reference = StateVector::plus_state(4);
+        reference
+            .apply_phase_from_diag(&(0..16).map(|z| z as f64).collect::<Vec<_>>(), 0.3)
+            .unwrap();
+        let soa = SplitState::from_state_vector(&reference);
+        assert_eq!(soa.to_state_vector(), reference);
+        assert_eq!(soa.amplitude(3), reference.amplitude(3));
+    }
+}

@@ -1,7 +1,10 @@
 use crate::{Complex64, QsimError};
 
 /// Maximum register width this simulator will allocate (`2^28` amplitudes,
-/// 4 GiB of `Complex64`). The paper's workloads use 8 qubits.
+/// 4 GiB of `Complex64`). The paper's instances are 8-qubit, but the
+/// committed bench sweep and corpus/scaling runs operate up to n = 20
+/// (16 MiB of amplitudes); the cap just bounds accidental allocation blowups
+/// well above the real operating range.
 pub const MAX_QUBITS: usize = 28;
 
 /// A pure quantum state of `n` qubits stored as `2^n` complex amplitudes.
@@ -36,6 +39,7 @@ impl StateVector {
     /// for a fallible constructor.
     #[must_use]
     pub fn zero_state(n_qubits: usize) -> Self {
+        // lint:allow(no-panic-lib) documented panic on a convenience constructor; try_zero_state is the fallible route
         Self::try_zero_state(n_qubits).expect("register too wide")
     }
 
@@ -59,6 +63,7 @@ impl StateVector {
     #[must_use]
     pub fn plus_state(n_qubits: usize) -> Self {
         let dim = 1usize << n_qubits;
+        // lint:allow(no-lossy-as) dim <= 2^MAX_QUBITS < 2^53 is exactly representable in f64
         let amp = Complex64::new(1.0 / (dim as f64).sqrt(), 0.0);
         Self {
             n_qubits,
@@ -72,6 +77,7 @@ impl StateVector {
     /// byte-for-byte equivalent to a fresh [`StateVector::plus_state`] of the
     /// same width.
     pub fn reset_to_plus(&mut self) {
+        // lint:allow(no-lossy-as) dim <= 2^MAX_QUBITS < 2^53 is exactly representable in f64
         let amp = Complex64::new(1.0 / (self.dim() as f64).sqrt(), 0.0);
         self.amps.fill(amp);
     }
@@ -80,14 +86,32 @@ impl StateVector {
     ///
     /// # Panics
     ///
-    /// Panics if `index >= 2^n_qubits`.
+    /// Panics if `index >= 2^n_qubits` or the register is too wide; use
+    /// [`StateVector::try_basis_state`] for a fallible constructor.
     #[must_use]
     pub fn basis_state(n_qubits: usize, index: usize) -> Self {
-        let mut s = Self::zero_state(n_qubits);
-        assert!(index < s.dim(), "basis index out of range");
+        // lint:allow(no-panic-lib) documented panic on a convenience constructor; try_basis_state is the fallible route
+        Self::try_basis_state(n_qubits, index).expect("basis index out of range")
+    }
+
+    /// Fallible version of [`StateVector::basis_state`].
+    ///
+    /// # Errors
+    ///
+    /// * [`QsimError::TooManyQubits`] if the register would exceed
+    ///   [`MAX_QUBITS`].
+    /// * [`QsimError::BasisIndexOutOfRange`] if `index >= 2^n_qubits`.
+    pub fn try_basis_state(n_qubits: usize, index: usize) -> Result<Self, QsimError> {
+        let mut s = Self::try_zero_state(n_qubits)?;
+        if index >= s.dim() {
+            return Err(QsimError::BasisIndexOutOfRange {
+                index,
+                dim: s.dim(),
+            });
+        }
         s.amps[0] = Complex64::ZERO;
         s.amps[index] = Complex64::ONE;
-        s
+        Ok(s)
     }
 
     /// Builds a state from raw amplitudes (length must be a power of two).
@@ -108,6 +132,7 @@ impl StateVector {
             });
         }
         Ok(Self {
+            // lint:allow(no-lossy-as) trailing_zeros of a usize is at most 64, always in range
             n_qubits: dim.trailing_zeros() as usize,
             amps,
         })
@@ -347,6 +372,7 @@ impl StateVector {
             });
         }
         for (a, &l) in self.amps.iter_mut().zip(level_of) {
+            // lint:allow(no-lossy-as) u32 -> usize is value-preserving on every supported target
             *a *= table[l as usize];
         }
         Ok(())
@@ -413,6 +439,11 @@ mod tests {
     fn basis_state_and_from_amplitudes() {
         let s = StateVector::basis_state(2, 3);
         assert_eq!(s.probability(3), 1.0);
+        assert!(matches!(
+            StateVector::try_basis_state(2, 4),
+            Err(QsimError::BasisIndexOutOfRange { index: 4, dim: 4 })
+        ));
+        assert!(StateVector::try_basis_state(64, 0).is_err());
         assert!(StateVector::from_amplitudes(vec![Complex64::ONE; 3]).is_err());
         assert!(StateVector::from_amplitudes(vec![]).is_err());
         let ok = StateVector::from_amplitudes(vec![Complex64::ONE, Complex64::ZERO]).unwrap();

@@ -1,0 +1,208 @@
+//! Bit-parity of the SoA/SIMD kernels (`qsim::soa`) against the scalar
+//! `StateVector` reference, the invariant the whole `EvalContext` fast
+//! path rests on: **per-amplitude floating-point operations are identical
+//! in value and order**, so amplitudes match bitwise — not to tolerance —
+//! for any width, any depth, any parameters, and any within-state thread
+//! budget.
+//!
+//! Thread budgets come from `KERNEL_PARITY_THREADS` (comma-separated,
+//! default `1,4`), so CI can pin serial and fanned-out runs as separate
+//! steps: `KERNEL_PARITY_THREADS=1` then `KERNEL_PARITY_THREADS=4`.
+
+use graphs::generators;
+use proptest::prelude::*;
+use qaoa::{EvalContext, MaxCutProblem, QaoaAnsatz};
+use qsim::soa::SplitState;
+use qsim::{Complex64, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Thread budgets under test, from `KERNEL_PARITY_THREADS`.
+fn thread_budgets() -> Vec<usize> {
+    let spec = std::env::var("KERNEL_PARITY_THREADS").unwrap_or_else(|_| "1,4".to_string());
+    let budgets: Vec<usize> = spec
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| t > 0)
+        .collect();
+    assert!(
+        !budgets.is_empty(),
+        "KERNEL_PARITY_THREADS must list at least one positive budget, got {spec:?}"
+    );
+    budgets
+}
+
+/// Asserts bitwise amplitude equality between the SoA state and the
+/// scalar reference.
+fn assert_bit_identical(soa: &SplitState, reference: &StateVector, what: &str) {
+    assert_eq!(soa.dim(), reference.dim(), "{what}: dimension mismatch");
+    for (i, amp) in reference.amplitudes().iter().enumerate() {
+        let got = soa.amplitude(i);
+        assert_eq!(
+            got.re.to_bits(),
+            amp.re.to_bits(),
+            "{what}: re differs at amplitude {i}: {} vs {}",
+            got.re,
+            amp.re
+        );
+        assert_eq!(
+            got.im.to_bits(),
+            amp.im.to_bits(),
+            "{what}: im differs at amplitude {i}: {} vs {}",
+            got.im,
+            amp.im
+        );
+    }
+}
+
+/// Runs the full p-layer QAOA circuit on both paths at every budget and
+/// asserts bitwise parity of states and expectations.
+fn check_circuit_parity(n: usize, gammas: &[f64], betas: &[f64], graph_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(graph_seed);
+    let graph = generators::erdos_renyi_nonempty(n, 0.5, &mut rng);
+    let problem = MaxCutProblem::new(&graph).expect("non-empty graph");
+    let cost = problem.cost();
+
+    // Scalar reference: the pre-SoA kernels, untouched in qsim::state.
+    let mut reference = StateVector::plus_state(n);
+    for (&gamma, &beta) in gammas.iter().zip(betas) {
+        let table: Vec<Complex64> = cost
+            .levels()
+            .iter()
+            .map(|&v| Complex64::cis(-gamma * v))
+            .collect();
+        reference
+            .apply_phase_levels(cost.level_of(), &table)
+            .expect("matching dims");
+        reference.apply_rx_layer(2.0 * beta);
+    }
+    let reference_e = cost.expectation(&reference).expect("matching dims");
+
+    for &threads in &thread_budgets() {
+        let mut soa = SplitState::plus_state(n);
+        for (&gamma, &beta) in gammas.iter().zip(betas) {
+            let mut table_re = Vec::new();
+            let mut table_im = Vec::new();
+            for &v in cost.levels() {
+                let angle = -gamma * v;
+                table_re.push(angle.cos());
+                table_im.push(angle.sin());
+            }
+            soa.apply_phase_rx(cost.level_of(), &table_re, &table_im, 2.0 * beta, threads);
+        }
+        assert_bit_identical(&soa, &reference, &format!("n={n} threads={threads}"));
+        let soa_e = soa.expectation_diag(cost.diagonal(), threads);
+        // The SoA reduction tiles differently from the scalar sum, so the
+        // expectation is budget-invariant (bitwise across budgets) and
+        // tolerance-close to the scalar value.
+        assert!(
+            (soa_e - reference_e).abs() <= 1e-12 * reference_e.abs().max(1.0),
+            "n={n} threads={threads}: expectation drifted: {soa_e} vs {reference_e}"
+        );
+    }
+}
+
+/// Runs `expectation_and_grad_in` at every budget and asserts the energy
+/// and every gradient component are bitwise identical across budgets.
+fn check_gradient_budget_invariance(n: usize, p: usize, params: &[f64], graph_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(graph_seed);
+    let graph = generators::erdos_renyi_nonempty(n, 0.5, &mut rng);
+    let problem = MaxCutProblem::new(&graph).expect("non-empty graph");
+    let ansatz = QaoaAnsatz::new(problem, p).expect("valid depth");
+
+    let mut baseline: Option<(f64, Vec<f64>)> = None;
+    for &threads in &thread_budgets() {
+        let mut ctx = EvalContext::new(n);
+        let mut grad = vec![0.0; 2 * p];
+        let e = qaoa::eval::with_within_state_threads(threads, || {
+            ansatz
+                .expectation_and_grad_in(&mut ctx, params, &mut grad)
+                .expect("valid params")
+        });
+        match &baseline {
+            None => baseline = Some((e, grad)),
+            Some((e0, grad0)) => {
+                assert_eq!(
+                    e.to_bits(),
+                    e0.to_bits(),
+                    "n={n} threads={threads}: energy differs across budgets"
+                );
+                for (i, (g, g0)) in grad.iter().zip(grad0).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        g0.to_bits(),
+                        "n={n} threads={threads}: grad[{i}] differs across budgets"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small circuits: SoA amplitudes are bit-identical to the
+    /// scalar reference at every thread budget. Widths 2..=9 cover the
+    /// SIMD lane boundary (SSE2 holds 2 f64 lanes) many times over, plus
+    /// every qubit-0 / high-qubit kernel split below one tile.
+    #[test]
+    fn random_circuits_bit_identical(
+        seed in 0u64..1000,
+        n in 2usize..10,
+        depth in 1usize..4,
+        gamma_frac in proptest::collection::vec(-1.0f64..1.0, 3),
+        beta_frac in proptest::collection::vec(-1.0f64..1.0, 3),
+    ) {
+        let gammas: Vec<f64> = gamma_frac[..depth].iter().map(|f| f * 2.0).collect();
+        let betas: Vec<f64> = beta_frac[..depth].iter().map(|f| f * 2.0).collect();
+        check_circuit_parity(n, &gammas, &betas, seed);
+    }
+
+    /// Random parameters: energies and gradients through the full
+    /// `EvalContext` adjoint path are bitwise invariant in the budget.
+    #[test]
+    fn random_gradients_budget_invariant(
+        seed in 0u64..1000,
+        n in 2usize..9,
+        depth in 1usize..4,
+        frac in proptest::collection::vec(0.05f64..0.95, 6),
+    ) {
+        let mut params = Vec::with_capacity(2 * depth);
+        params.extend(frac.iter().take(depth).map(|f| f * qaoa::GAMMA_MAX));
+        params.extend(frac[depth..2 * depth].iter().map(|f| f * qaoa::BETA_MAX));
+        check_gradient_budget_invariance(n, depth, &params, seed);
+    }
+}
+
+/// Widths straddling the cache tile (`TILE` amplitudes: n = TILE_BITS
+/// is exactly one tile, n = TILE_BITS + 1 is the first multi-tile
+/// width) stay bitwise identical to the scalar reference.
+#[test]
+fn tile_boundary_widths_bit_identical() {
+    for n in [qsim::soa::TILE_BITS, qsim::soa::TILE_BITS + 1] {
+        check_circuit_parity(n, &[0.7, -0.4], &[0.3, 0.9], 42 + n as u64);
+    }
+}
+
+/// Widths straddling the within-state parallelism threshold
+/// (`PAR_MIN_DIM` amplitudes: one qubit below stays serial at any
+/// budget, the threshold width actually fans out when the budget
+/// allows) stay bitwise identical to the scalar reference — the
+/// serial ≡ parallel invariant.
+#[test]
+fn parallelism_threshold_widths_bit_identical() {
+    let par_min_qubits = qsim::soa::PAR_MIN_DIM.trailing_zeros() as usize;
+    for n in [par_min_qubits - 1, par_min_qubits] {
+        check_circuit_parity(n, &[0.55], &[-0.25], 42 + n as u64);
+    }
+}
+
+/// Gradient budget-invariance at a width past the parallelism threshold:
+/// the adjoint backward pass fans out too, and its tiled reductions
+/// combine partials in fixed index order.
+#[test]
+fn gradient_budget_invariant_past_threshold() {
+    let par_min_qubits = qsim::soa::PAR_MIN_DIM.trailing_zeros() as usize;
+    check_gradient_budget_invariance(par_min_qubits, 1, &[0.6, 0.2], 7);
+}
