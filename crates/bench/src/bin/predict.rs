@@ -66,7 +66,7 @@ fn main() {
         Some(other) => usage_error(&format!("unknown subcommand {other} (train or serve)")),
     };
     let config = match cli::parse_args(args) {
-        Ok(cli::Parsed::Run(config)) => config,
+        Ok(cli::Parsed::Run(config)) => *config,
         Ok(cli::Parsed::Help) => {
             println!("{PREDICT_USAGE}\n{}", cli::USAGE);
             std::process::exit(0);

@@ -1,66 +1,270 @@
 //! `qaoa-shard` — the sharded corpus coordinator.
 //!
 //! Splits the §III-A ensemble into `--shards K` contiguous graph-index
-//! ranges, drives one `engine::corpus` worker per range (each on its own
-//! engine with `--threads N` pool workers), and merges the per-range
-//! records in graph-index order. The merged corpus — and, with
-//! `--cache-file`, the merged depth-1 cache file — is **bit-identical** to
-//! an unsharded run with the same flags, at any shard and thread count;
-//! CI diffs it byte-for-byte against the `table1` corpus.
+//! ranges and drives one worker per range. `--workers` picks how the
+//! workers run:
 //!
-//! The merged corpus TSV goes to `--out PATH` (or stdout); progress and the
-//! shard report go to stderr.
+//! * `local` (default) — in-process `engine::corpus` calls, no wire
+//!   protocol; the original single-process path.
+//! * `loopback:K` — K in-process `qaoa-serve` loops over channel pipes,
+//!   driven by the streaming coordinator ([`engine::shard::run_streaming`]):
+//!   records merge in global graph-index order with bounded buffering, and
+//!   a dead or silent worker's range is re-tasked onto the survivors.
+//! * `spawn:K` — the same coordinator over K spawned worker subprocesses
+//!   (`--worker-cmd`, default the `qaoa-serve` binary next to this
+//!   executable) speaking `QW1` over stdin/stdout.
+//!
+//! The merged corpus — and, with `--cache-file`, the merged depth-1 cache
+//! file — is **bit-identical** to an unsharded run with the same flags, at
+//! any shard, worker, and thread count, even when `--kill-worker W` injects
+//! a worker death mid-run; CI diffs all of it byte-for-byte against the
+//! `table1` corpus.
+//!
+//! The merged corpus TSV goes to `--out PATH` (or stdout) — in the wire
+//! modes it is *streamed*, one line per record as the coordinator's
+//! frontier advances, so peak memory is bounded by the dispatch window,
+//! not the corpus. Progress and the shard report go to stderr.
 //!
 //! Run:
-//! `cargo run --release -p bench --bin qaoa-shard -- --quick --shards 3 --out corpus.tsv`
+//! `cargo run --release -p bench --bin qaoa-shard -- --quick --shards 3 --workers spawn:2 --out corpus.tsv`
 
-use bench::RunConfig;
-use engine::shard::ShardPlan;
-use engine::Level1Cache;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::{RunConfig, WorkerMode};
+use engine::shard::{ShardPlan, ShardReport, StreamOptions};
+use engine::{
+    persist, KillAfter, Level1Cache, LoopbackTransport, ShardTransport, SubprocessTransport,
+};
+use qaoa::datagen::{self, DataGenConfig};
 
 fn main() {
     let config = RunConfig::from_env();
-    let datagen = config.datagen();
+    if let Err(message) = run(&config) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(config: &RunConfig) -> Result<(), String> {
+    let spec = config.datagen();
     let plan = ShardPlan::split_even(config.graphs, config.shards);
-
-    let cache = Level1Cache::new();
-    config.load_level1(&cache);
-
+    let mode = match config.workers {
+        WorkerMode::Local => "local (in-process)".to_string(),
+        WorkerMode::Loopback(k) => format!("{k} loopback worker(s)"),
+        WorkerMode::Spawn(k) => format!("{k} spawned worker(s)"),
+    };
     eprintln!(
-        "# qaoa-shard: {} graphs x depths 1..={} over {} shards, {} threads/shard",
+        "# qaoa-shard: {} graphs x depths 1..={} over {} shards, {mode}, {} threads/worker",
         config.graphs,
         config.max_depth,
         plan.shards(),
         config.threads()
     );
-    let (dataset, report) =
-        match engine::shard::run_local(&datagen, &plan, config.threads(), &cache) {
-            Ok(result) => result,
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        };
-    for (i, stats) in report.per_shard.iter().enumerate() {
-        eprintln!(
-            "#   shard {i}: graphs {}..{} -> {} cells, {} fn calls ({} cache hits)",
-            stats.range.start, stats.range.end, stats.cells, stats.function_calls, stats.cache_hits,
-        );
+
+    match config.workers {
+        WorkerMode::Local => run_local(config, &spec, &plan),
+        WorkerMode::Loopback(k) => run_loopback(config, &spec, &plan, k),
+        WorkerMode::Spawn(k) => run_spawn(config, &spec, &plan, k),
     }
-    eprintln!("# merged: {}", report.summary());
+}
 
+/// The original path: in-process ranges, whole dataset in memory.
+fn run_local(config: &RunConfig, spec: &DataGenConfig, plan: &ShardPlan) -> Result<(), String> {
+    let cache = Level1Cache::new();
+    config.load_level1(&cache);
+    let (dataset, report) = engine::shard::run_local(spec, plan, config.threads(), &cache)
+        .map_err(|e| e.to_string())?;
+    print_report(&report);
     config.persist_level1(&cache);
-
     let write_result = match &config.out {
         Some(path) => dataset.save(path),
         None => dataset.write_tsv(std::io::stdout().lock()),
     };
-    match (write_result, &config.out) {
-        (Ok(()), Some(path)) => eprintln!("# corpus written to {}", path.display()),
-        (Ok(()), None) => {}
-        (Err(e), _) => {
-            eprintln!("error: could not write corpus: {e}");
-            std::process::exit(1);
-        }
+    write_result.map_err(|e| format!("could not write corpus: {e}"))?;
+    if let Some(path) = &config.out {
+        eprintln!("# corpus written to {}", path.display());
     }
+    Ok(())
+}
+
+/// Loopback wire mode: the streaming coordinator over in-process workers
+/// sharing one depth-1 cache (pre-warmed from `--cache-file`, saved back
+/// merged).
+fn run_loopback(
+    config: &RunConfig,
+    spec: &DataGenConfig,
+    plan: &ShardPlan,
+    workers: usize,
+) -> Result<(), String> {
+    let cache = Arc::new(Level1Cache::new());
+    config.load_level1(&cache);
+    let transport = LoopbackTransport::with_cache(
+        workers,
+        config.threads(),
+        config.seed,
+        Some(Arc::clone(&cache)),
+    );
+    let report = stream_corpus(config, spec, plan, transport)?;
+    print_report(&report);
+    config.persist_level1(&cache);
+    Ok(())
+}
+
+/// Spawn wire mode: the streaming coordinator over worker subprocesses.
+/// With `--cache-file`, each worker gets its own pre-warmed copy of the
+/// file (`PATH.wK`) to persist into at exit; the coordinator merges the
+/// copies back into `PATH` afterwards, so the final file is identical to
+/// an unsharded run's.
+fn run_spawn(
+    config: &RunConfig,
+    spec: &DataGenConfig,
+    plan: &ShardPlan,
+    workers: usize,
+) -> Result<(), String> {
+    let base = worker_command(config)?;
+    let mut commands: Vec<Vec<String>> = Vec::with_capacity(workers);
+    let mut worker_caches: Vec<PathBuf> = Vec::new();
+    for worker in 0..workers {
+        let mut command = base.clone();
+        command.push("--threads".into());
+        command.push(config.threads().to_string());
+        command.push("--seed".into());
+        command.push(config.seed.to_string());
+        if let Some(path) = &config.cache_file {
+            let worker_path = PathBuf::from(format!("{}.w{worker}", path.display()));
+            if path.exists() {
+                std::fs::copy(path, &worker_path).map_err(|e| {
+                    format!(
+                        "could not pre-warm worker cache {}: {e}",
+                        worker_path.display()
+                    )
+                })?;
+            } else {
+                // A stale copy from an earlier run would otherwise leak
+                // foreign entries into the merge below.
+                std::fs::remove_file(&worker_path).ok();
+            }
+            command.push("--cache-file".into());
+            command.push(worker_path.display().to_string());
+            worker_caches.push(worker_path);
+        }
+        commands.push(command);
+    }
+    eprintln!("# spawning {} x `{}`", workers, base.join(" "));
+    let transport = SubprocessTransport::spawn_each(&commands)
+        .map_err(|e| format!("could not spawn workers: {e}"))?;
+    let report = stream_corpus(config, spec, plan, transport)?;
+    print_report(&report);
+
+    // The workers have exited (a successful run closes them) and persisted
+    // their per-worker cache files; fold everything into the main file.
+    if config.cache_file.is_some() {
+        let merged = Level1Cache::new();
+        config.load_level1(&merged);
+        for worker_path in &worker_caches {
+            let status = persist::load_into(&merged, worker_path, config.seed);
+            eprintln!(
+                "# worker cache {}: {}",
+                worker_path.display(),
+                status.summary()
+            );
+            std::fs::remove_file(worker_path).ok();
+        }
+        config.persist_level1(&merged);
+    }
+    Ok(())
+}
+
+/// The spawn-mode worker argv: `--worker-cmd` whitespace-split, or the
+/// `qaoa-serve` binary sitting next to this executable.
+fn worker_command(config: &RunConfig) -> Result<Vec<String>, String> {
+    if let Some(cmd) = &config.worker_cmd {
+        let parts: Vec<String> = cmd.split_whitespace().map(str::to_string).collect();
+        if parts.is_empty() {
+            return Err("--worker-cmd is empty".into());
+        }
+        return Ok(parts);
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate this executable: {e}"))?;
+    let serve = exe
+        .parent()
+        .ok_or_else(|| "executable has no parent directory".to_string())?
+        .join("qaoa-serve");
+    if !serve.exists() {
+        return Err(format!(
+            "default worker binary {} not found; pass --worker-cmd",
+            serve.display()
+        ));
+    }
+    Ok(vec![serve.display().to_string()])
+}
+
+/// Runs the streaming coordinator over `transport`, writing the merged
+/// corpus TSV to `--out` (or stdout) one record at a time — the writer
+/// never holds the record set. Wraps the transport in a
+/// [`KillAfter`] fault injector when `--kill-worker` asks for one.
+fn stream_corpus<T: ShardTransport>(
+    config: &RunConfig,
+    spec: &DataGenConfig,
+    plan: &ShardPlan,
+    transport: T,
+) -> Result<ShardReport, String> {
+    match config.kill_worker {
+        Some(victim) => {
+            eprintln!("# fault injection: killing worker {victim} after its first line");
+            stream_corpus_inner(config, spec, plan, KillAfter::new(transport, victim, 1))
+        }
+        None => stream_corpus_inner(config, spec, plan, transport),
+    }
+}
+
+fn stream_corpus_inner<T: ShardTransport>(
+    config: &RunConfig,
+    spec: &DataGenConfig,
+    plan: &ShardPlan,
+    mut transport: T,
+) -> Result<ShardReport, String> {
+    let graphs = engine::corpus::ensemble(spec);
+    let options = StreamOptions {
+        timeout: Duration::from_secs(config.timeout_secs.max(1)),
+        ..StreamOptions::default()
+    };
+    let mut out: Box<dyn Write> = match &config.out {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| format!("could not create {}: {e}", path.display()))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout().lock())),
+    };
+    datagen::write_tsv_header(&mut out).map_err(|e| format!("could not write corpus: {e}"))?;
+    let report =
+        engine::shard::run_streaming(spec, plan, &mut transport, &options, &mut |record| {
+            datagen::write_tsv_record(&mut out, &record, &graphs[record.graph_id])
+                .map_err(|e| format!("could not write corpus: {e}"))
+        })
+        .map_err(|e| e.to_string())?;
+    out.flush()
+        .map_err(|e| format!("could not write corpus: {e}"))?;
+    if let Some(path) = &config.out {
+        eprintln!("# corpus written to {}", path.display());
+    }
+    Ok(report)
+}
+
+fn print_report(report: &ShardReport) {
+    for (i, stats) in report.per_shard.iter().enumerate() {
+        eprintln!(
+            "#   shard {i}: graphs {}..{} -> {} cells, {} fn calls ({} cache hits, {} attempt(s))",
+            stats.range.start,
+            stats.range.end,
+            stats.cells,
+            stats.function_calls,
+            stats.cache_hits,
+            stats.attempts,
+        );
+    }
+    eprintln!("# merged: {}", report.summary());
 }

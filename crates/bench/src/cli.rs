@@ -9,14 +9,15 @@
 
 use std::path::PathBuf;
 
-use crate::RunConfig;
+use crate::{RunConfig, WorkerMode};
 
 /// Usage text shared by `--help` (stdout, exit 0) and the error path
 /// (stderr, exit 2).
 pub const USAGE: &str = "\
 usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
        [--seed N] [--naive-starts N] [--threads N] [--cache-file PATH]
-       [--model PATH] [--shards K] [--out PATH] [--help]
+       [--model PATH] [--shards K] [--out PATH] [--workers MODE]
+       [--worker-cmd CMD] [--timeout-secs N] [--kill-worker W] [--help]
 
   --quick            CI-scale preset (small ensemble, shallow depths)
   --nodes N          nodes per graph            (paper: 8)
@@ -39,13 +40,29 @@ usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
                      output is bit-identical at any K)
   --out PATH         write the merged corpus TSV to PATH instead of stdout
                      (qaoa-shard)
+  --workers MODE     qaoa-shard worker mode (default: local):
+                       local       in-process ranges, no wire protocol
+                       loopback:K  K in-process wire workers (streaming
+                                   coordinator, reference transport)
+                       spawn:K     K spawned worker subprocesses over
+                                   stdin/stdout (failover re-tasking)
+  --worker-cmd CMD   spawn-mode worker command, whitespace-split (default:
+                     the qaoa-serve binary next to this executable);
+                     --threads/--seed and a per-worker --cache-file are
+                     appended automatically
+  --timeout-secs N   declare a silent wire worker dead after N seconds and
+                     re-task its range (default: 30)
+  --kill-worker W    fault injection: kill wire worker W after its first
+                     delivered line; the run must still complete
+                     bit-identically on the survivors (CI)
   --help, -h         print this help and exit";
 
 /// What the argument list asked for: a run, or just the usage text.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Parsed {
-    /// A fully-validated run configuration.
-    Run(RunConfig),
+    /// A fully-validated run configuration (boxed: [`RunConfig`] is much
+    /// larger than the `Help` variant).
+    Run(Box<RunConfig>),
     /// `--help`/`-h` was present; callers print [`USAGE`] and exit 0.
     Help,
 }
@@ -106,6 +123,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
             "--model" => config.model = Some(PathBuf::from(value()?)),
             "--shards" => config.shards = parse_count(flag, value()?)?.max(1),
             "--out" => config.out = Some(PathBuf::from(value()?)),
+            "--workers" => config.workers = WorkerMode::parse(value()?)?,
+            "--worker-cmd" => config.worker_cmd = Some(value()?.to_string()),
+            "--timeout-secs" => {
+                let v = value()?;
+                config.timeout_secs = v.parse().map_err(|e| format!("{flag} {v}: {e}"))?;
+            }
+            "--kill-worker" => config.kill_worker = Some(parse_count(flag, value()?)?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -113,7 +137,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
     if config.nodes < 2 || config.graphs == 0 || config.restarts == 0 || config.max_depth == 0 {
         return Err("nodes >= 2, graphs/restarts/max-depth >= 1 required".into());
     }
-    Ok(Parsed::Run(config))
+    Ok(Parsed::Run(Box::new(config)))
 }
 
 /// Parses the real process arguments: prints usage to stdout and exits 0 on
@@ -121,7 +145,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
 #[must_use]
 pub fn from_env() -> RunConfig {
     match parse_args(std::env::args().skip(1)) {
-        Ok(Parsed::Run(config)) => config,
+        Ok(Parsed::Run(config)) => *config,
         Ok(Parsed::Help) => {
             println!("{USAGE}");
             std::process::exit(0);
@@ -151,7 +175,7 @@ mod tests {
 
     fn run(s: &[&str]) -> RunConfig {
         match parse_args(args(s)).unwrap() {
-            Parsed::Run(c) => c,
+            Parsed::Run(c) => *c,
             Parsed::Help => panic!("expected a run configuration"),
         }
     }
@@ -256,6 +280,50 @@ mod tests {
         assert!(parse_args(args(&["--shards"])).is_err());
         assert!(parse_args(args(&["--out", "--quick"])).is_err());
         assert!(USAGE.contains("--shards"));
+    }
+
+    #[test]
+    fn worker_mode_flags() {
+        use crate::WorkerMode;
+        // Default: in-process local ranges, no wire protocol.
+        let c = run(&["--quick"]);
+        assert_eq!(c.workers, WorkerMode::Local);
+        assert_eq!(c.worker_cmd, None);
+        assert_eq!(c.timeout_secs, 30);
+        assert_eq!(c.kill_worker, None);
+
+        let c = run(&[
+            "--quick",
+            "--workers",
+            "spawn:3",
+            "--worker-cmd",
+            "target/release/qaoa-serve --quick",
+            "--timeout-secs",
+            "5",
+            "--kill-worker",
+            "1",
+        ]);
+        assert_eq!(c.workers, WorkerMode::Spawn(3));
+        assert_eq!(
+            c.worker_cmd.as_deref(),
+            Some("target/release/qaoa-serve --quick")
+        );
+        assert_eq!(c.timeout_secs, 5);
+        assert_eq!(c.kill_worker, Some(1));
+
+        assert_eq!(
+            run(&["--workers", "loopback:2"]).workers,
+            WorkerMode::Loopback(2)
+        );
+        assert_eq!(run(&["--workers", "local"]).workers, WorkerMode::Local);
+        // Malformed modes and counts are errors, not silent defaults.
+        assert!(parse_args(args(&["--workers", "remote:2"])).is_err());
+        assert!(parse_args(args(&["--workers", "spawn:0"])).is_err());
+        assert!(parse_args(args(&["--workers", "spawn:many"])).is_err());
+        assert!(parse_args(args(&["--workers"])).is_err());
+        assert!(parse_args(args(&["--timeout-secs", "soon"])).is_err());
+        assert!(USAGE.contains("--workers"));
+        assert!(USAGE.contains("--kill-worker"));
     }
 
     #[test]

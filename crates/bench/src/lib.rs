@@ -21,6 +21,50 @@ use qaoa::datagen::DataGenConfig;
 
 pub mod cli;
 
+/// How `qaoa-shard` runs its shard workers (`--workers`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// In-process `engine::corpus` calls, one per range (no wire protocol).
+    Local,
+    /// K in-process `qaoa-serve` loops over channel pipes — the streaming
+    /// coordinator's reference transport.
+    Loopback(usize),
+    /// K spawned worker subprocesses (`--worker-cmd`, default `qaoa-serve`)
+    /// over stdin/stdout.
+    Spawn(usize),
+}
+
+impl WorkerMode {
+    /// Parses `--workers` values: `local`, `loopback:K`, or `spawn:K`
+    /// (K >= 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything else.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        if value == "local" {
+            return Ok(Self::Local);
+        }
+        let parse_k = |kind: &str, k: &str| -> Result<usize, String> {
+            match k.parse::<usize>() {
+                Ok(k) if k >= 1 => Ok(k),
+                _ => Err(format!(
+                    "--workers {kind}:{k}: worker count must be a positive integer"
+                )),
+            }
+        };
+        if let Some(k) = value.strip_prefix("loopback:") {
+            return Ok(Self::Loopback(parse_k("loopback", k)?));
+        }
+        if let Some(k) = value.strip_prefix("spawn:") {
+            return Ok(Self::Spawn(parse_k("spawn", k)?));
+        }
+        Err(format!(
+            "--workers {value}: expected local, loopback:K, or spawn:K"
+        ))
+    }
+}
+
 /// Scale parameters shared by all experiment binaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
@@ -59,6 +103,21 @@ pub struct RunConfig {
     /// Output path for the merged corpus TSV (`--out`, `qaoa-shard`);
     /// `None` writes to stdout.
     pub out: Option<std::path::PathBuf>,
+    /// Shard worker mode (`--workers`, `qaoa-shard`): in-process ranges
+    /// (default), K loopback wire workers, or K spawned subprocesses.
+    pub workers: WorkerMode,
+    /// Worker command line for spawn mode (`--worker-cmd`, whitespace-split;
+    /// `None` = the `qaoa-serve` binary next to the running executable).
+    /// `qaoa-shard` appends `--threads`/`--seed` (and a per-worker
+    /// `--cache-file`) itself.
+    pub worker_cmd: Option<String>,
+    /// Coordinator liveness timeout in seconds (`--timeout-secs`): a wire
+    /// worker silent this long is declared dead and its range re-tasked.
+    pub timeout_secs: u64,
+    /// Fault injection for CI (`--kill-worker W`): kill wire worker W after
+    /// its first delivered line; the run must still complete bit-identically
+    /// via re-tasking.
+    pub kill_worker: Option<usize>,
 }
 
 impl RunConfig {
@@ -78,6 +137,10 @@ impl RunConfig {
             model: None,
             shards: 1,
             out: None,
+            workers: WorkerMode::Local,
+            worker_cmd: None,
+            timeout_secs: 30,
+            kill_worker: None,
         }
     }
 
@@ -97,6 +160,10 @@ impl RunConfig {
             model: None,
             shards: 1,
             out: None,
+            workers: WorkerMode::Local,
+            worker_cmd: None,
+            timeout_secs: 30,
+            kill_worker: None,
         }
     }
 
@@ -110,7 +177,7 @@ impl RunConfig {
     /// help on stdout with exit 0).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         match cli::parse_args(args)? {
-            cli::Parsed::Run(config) => Ok(config),
+            cli::Parsed::Run(config) => Ok(*config),
             cli::Parsed::Help => Err("--help requested (see bench::cli::USAGE)".into()),
         }
     }
@@ -248,8 +315,9 @@ impl RunConfig {
             self.threads()
         );
         let engine = self.engine();
-        let (ds, report) =
-            engine::corpus::generate(&self.datagen(), &engine).expect("corpus generation");
+        let generated = engine::corpus::generate(&self.datagen(), &engine);
+        // lint:allow(no-panic-lib) same policy as train_predictor below: bench binaries have no recovery path from a failed generation run
+        let (ds, report) = generated.expect("corpus generation");
         eprintln!("# corpus: {}", report.summary());
         self.persist_cache(&engine);
         if self.cache_file.is_none() {
@@ -293,16 +361,21 @@ pub fn text_histogram(values: &[f64], bins: usize, width: usize) -> String {
     let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-12);
+    // Bin geometry in f64: u32 -> f64 is exact, and four billion bins is
+    // far past anything a text histogram renders.
+    let to_f64 = |n: usize| f64::from(u32::try_from(n).unwrap_or(u32::MAX));
+    let bins_f = to_f64(bins);
     let mut counts = vec![0usize; bins];
     for &v in values {
-        let b = (((v - lo) / span) * bins as f64) as usize;
+        // lint:allow(no-lossy-as) truncating to a bin index is the binning operation itself; the value is clamped to [0, bins-1] first
+        let b = (((v - lo) / span) * bins_f).clamp(0.0, bins_f - 1.0) as usize;
         counts[b.min(bins - 1)] += 1;
     }
     let peak = *counts.iter().max().unwrap_or(&1);
     let mut out = String::new();
     for (b, &c) in counts.iter().enumerate() {
-        let from = lo + span * b as f64 / bins as f64;
-        let to = lo + span * (b + 1) as f64 / bins as f64;
+        let from = lo + span * to_f64(b) / bins_f;
+        let to = lo + span * to_f64(b + 1) / bins_f;
         let bar = "#".repeat((c * width).div_ceil(peak.max(1)).min(width));
         out.push_str(&format!("[{from:8.3}, {to:8.3}) {c:5} {bar}\n"));
     }

@@ -272,34 +272,18 @@ impl ParameterDataset {
 
     /// Writes the corpus as TSV (one header line, one line per record).
     ///
+    /// Streaming producers that never hold the whole record set — the
+    /// sharded corpus coordinator writes each merged record as it arrives —
+    /// use the same [`write_tsv_header`] / [`write_tsv_record`] helpers
+    /// directly, so their output is byte-identical to this method's.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_tsv<W: Write>(&self, mut w: W) -> Result<(), QaoaError> {
-        writeln!(
-            w,
-            "graph_id\tdepth\texpectation\tar\tfc\tgammas\tbetas\tn_nodes\tedges"
-        )?;
+        write_tsv_header(&mut w)?;
         for r in &self.records {
-            let g = &self.graphs[r.graph_id];
-            let edges: Vec<String> = g
-                .edges()
-                .iter()
-                .map(|e| format!("{}-{}", e.u, e.v))
-                .collect();
-            writeln!(
-                w,
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                r.graph_id,
-                r.depth,
-                r.expectation,
-                r.approximation_ratio,
-                r.function_calls,
-                join_floats(&r.gammas),
-                join_floats(&r.betas),
-                g.n_nodes(),
-                edges.join(",")
-            )?;
+            write_tsv_record(&mut w, r, &self.graphs[r.graph_id])?;
         }
         Ok(())
     }
@@ -502,6 +486,53 @@ pub fn interp_resample(old: &[f64], new_len: usize) -> Vec<f64> {
             old[lo] * (1.0 - frac) + old[hi] * frac
         })
         .collect()
+}
+
+/// Writes the corpus TSV header line — the first line of every file
+/// [`ParameterDataset::write_tsv`] produces.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_tsv_header<W: Write>(w: &mut W) -> Result<(), QaoaError> {
+    writeln!(
+        w,
+        "graph_id\tdepth\texpectation\tar\tfc\tgammas\tbetas\tn_nodes\tedges"
+    )?;
+    Ok(())
+}
+
+/// Writes one corpus record as a TSV line, byte-identical to the line
+/// [`ParameterDataset::write_tsv`] writes for the same record. `graph` must
+/// be the ensemble graph `record.graph_id` refers to.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_tsv_record<W: Write>(
+    w: &mut W,
+    record: &OptimalRecord,
+    graph: &Graph,
+) -> Result<(), QaoaError> {
+    let edges: Vec<String> = graph
+        .edges()
+        .iter()
+        .map(|e| format!("{}-{}", e.u, e.v))
+        .collect();
+    writeln!(
+        w,
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        record.graph_id,
+        record.depth,
+        record.expectation,
+        record.approximation_ratio,
+        record.function_calls,
+        join_floats(&record.gammas),
+        join_floats(&record.betas),
+        graph.n_nodes(),
+        edges.join(",")
+    )?;
+    Ok(())
 }
 
 fn join_floats(v: &[f64]) -> String {

@@ -32,8 +32,16 @@
 //!   `RECORD`/`DONE` out),
 //! * [`shard`] — the corpus shard coordinator: a validated [`ShardPlan`]
 //!   over graph-index ranges, driven locally ([`shard::run_local`], the
-//!   `qaoa-shard` binary) or over the wire ([`shard::run_wire`]), merging
-//!   to output **bit-identical** to the unsharded run.
+//!   `qaoa-shard` binary) or live over a streaming transport
+//!   ([`shard::run_streaming`] / [`shard::run_wire`]), merging records in
+//!   global graph-index order with bounded buffering and re-tasking the
+//!   ranges of dead or timed-out workers — output **bit-identical** to the
+//!   unsharded run either way,
+//! * [`transport`] — the [`ShardTransport`] trait the coordinator drives:
+//!   in-process [`transport::LoopbackTransport`] workers (the reference
+//!   implementation), spawned `qaoa-serve` processes
+//!   ([`transport::SubprocessTransport`]), and fault injectors for the
+//!   failover test-suite.
 //!
 //! # Quickstart
 //!
@@ -80,6 +88,7 @@ pub mod pool;
 pub mod seed;
 pub mod server;
 pub mod shard;
+pub mod transport;
 pub mod wire;
 
 pub use batch::{BatchConfig, BatchReport, Engine, Job, JobStats};
@@ -89,7 +98,10 @@ pub use model::ModelLoad;
 pub use persist::LoadStatus;
 pub use pool::Pool;
 pub use server::ServeSummary;
-pub use shard::{ShardError, ShardPlan, ShardReport, ShardStats};
+pub use shard::{ShardError, ShardPlan, ShardReport, ShardStats, StreamOptions};
+pub use transport::{
+    KillAfter, LoopbackTransport, ShardTransport, StallAfter, SubprocessTransport, TransportError,
+};
 pub use wire::WireError;
 
 #[cfg(test)]

@@ -529,43 +529,62 @@ fn serve_range<W: Write>(
             ),
         );
     }
-    match corpus::solve_range(
-        &session.graphs,
-        range.clone(),
-        &session.spec,
-        &session.engine,
-    ) {
-        Ok((records, report)) => {
-            for record in &records {
-                writeln!(output, "{}", wire::encode_record(record))?;
+    // Solve and stream the range one pool-width of graphs at a time:
+    // records go out (and flush) as each chunk completes, so a streaming
+    // coordinator sees steady liveness on a long range instead of one
+    // burst at the end. The bytes are identical to a whole-range solve —
+    // every cell is a pure function of its global index, and the chunks
+    // walk the range in order — and `DONE` carries the summed accounting.
+    let chunk = session.engine.threads().max(1);
+    let mut cells = 0;
+    let mut function_calls = 0;
+    let mut cursor = range.start;
+    while cursor < range.end {
+        let stop = range.end.min(cursor + chunk);
+        match corpus::solve_range(
+            &session.graphs,
+            cursor..stop,
+            &session.spec,
+            &session.engine,
+        ) {
+            Ok((records, report)) => {
+                for record in &records {
+                    writeln!(output, "{}", wire::encode_record(record))?;
+                }
+                output.flush()?;
+                cells += report.cells;
+                function_calls += report.function_calls;
             }
-            writeln!(
-                output,
-                "{}",
-                wire::encode_done(&wire::RangeDone {
-                    range: range.clone(),
-                    cells: report.cells,
-                    function_calls: report.function_calls,
-                })
-            )?;
-            // An empty range covers no indices; keeping it out of the
-            // served set means it can never (spuriously) conflict.
-            if !range.is_empty() {
-                session.served.push(range);
+            Err(e) => {
+                return reject(
+                    output,
+                    summary,
+                    &format!("range {}..{} failed: {e}", range.start, range.end),
+                );
             }
-            if session.spec.seed == config.master_seed {
-                engine.cache().merge_from(session.engine.cache());
-            }
-            summary.ranges += 1;
-            summary.cells += report.cells;
-            output.flush()
         }
-        Err(e) => reject(
-            output,
-            summary,
-            &format!("range {}..{} failed: {e}", range.start, range.end),
-        ),
+        cursor = stop;
     }
+    writeln!(
+        output,
+        "{}",
+        wire::encode_done(&wire::RangeDone {
+            range: range.clone(),
+            cells,
+            function_calls,
+        })
+    )?;
+    // An empty range covers no indices; keeping it out of the
+    // served set means it can never (spuriously) conflict.
+    if !range.is_empty() {
+        session.served.push(range);
+    }
+    if session.spec.seed == config.master_seed {
+        engine.cache().merge_from(session.engine.cache());
+    }
+    summary.ranges += 1;
+    summary.cells += cells;
+    output.flush()
 }
 
 fn flush_batch<W: Write>(

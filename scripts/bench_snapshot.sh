@@ -1,27 +1,36 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_eval.json from the eval_hot_path benchmark.
+# Regenerates the committed benchmark snapshots:
 #
-# The committed snapshot is a machine-readable record of the evaluation
-# hot path's cost across the n-sweep (n = 8, 12, 16, 20 at p = 2) on one
-# reference machine — a point of comparison, not a CI gate (absolute times
-# vary across hosts; the interesting signal is the ratios between the
-# allocating / ctx_fresh / ctx_reused pipelines and between gradient
-# acquisition strategies).
+#   BENCH_eval.json   — the eval_hot_path n-sweep (n = 8, 12, 16, 20 at
+#                       p = 2): allocating / ctx_fresh / ctx_reused
+#                       pipelines and gradient acquisition strategies.
+#   BENCH_shard.json  — the shard_scaling sweep (1/2/4 shards over the
+#                       loopback and subprocess transports): the streaming
+#                       coordinator's corpus throughput, and the gap
+#                       between in-process and spawned workers.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_eval.json)
+# The snapshots are a machine-readable record from one reference machine —
+# a point of comparison, not a CI gate (absolute times vary across hosts;
+# the interesting signal is the ratios within each file).
+#
+# Usage: scripts/bench_snapshot.sh [eval.json] [shard.json]
+#        (defaults: BENCH_eval.json BENCH_shard.json)
 set -eu
 
-out="${1:-BENCH_eval.json}"
+eval_out="${1:-BENCH_eval.json}"
+shard_out="${2:-BENCH_shard.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-
-cargo bench -p bench --bench eval_hot_path | tee "$raw" >&2
 
 # Mini-criterion lines look like:
 #   bench: expectation/allocating/8                           12.34 µs/iter
 # Convert each to {"bench": "...", "nanos_per_iter": ...}.
-awk '
-BEGIN { print "{"; printf "  \"benchmark\": \"eval_hot_path\",\n  \"unit\": \"ns/iter\",\n  \"results\": [\n"; n = 0 }
+snapshot() {
+    bench_name="$1"
+    out="$2"
+    cargo bench -p bench --bench "$bench_name" | tee "$raw" >&2
+    awk -v benchmark="$bench_name" '
+BEGIN { print "{"; printf "  \"benchmark\": \"%s\",\n  \"unit\": \"ns/iter\",\n  \"results\": [\n", benchmark; n = 0 }
 $1 == "bench:" && $NF ~ /\/iter$/ {
     label = $2
     value = $(NF-1); unit = $NF
@@ -39,5 +48,8 @@ $1 == "bench:" && $NF ~ /\/iter$/ {
 }
 END { printf "\n  ]\n}\n" }
 ' "$raw" > "$out"
+    echo "wrote $out" >&2
+}
 
-echo "wrote $out" >&2
+snapshot eval_hot_path "$eval_out"
+snapshot shard_scaling "$shard_out"

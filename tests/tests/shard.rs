@@ -5,8 +5,10 @@
 
 mod common;
 
-use engine::shard::{self, ShardPlan};
-use engine::{persist, Engine, Level1Cache};
+use std::time::Duration;
+
+use engine::shard::{self, ShardPlan, StreamOptions};
+use engine::{persist, Engine, Level1Cache, LoopbackTransport, ShardTransport, TransportError};
 use proptest::prelude::*;
 use qaoa::datagen::DataGenConfig;
 
@@ -155,17 +157,20 @@ fn warm_sharded_run_serves_depth1_from_the_cache_file() {
 
 #[test]
 fn wire_path_matches_unsharded_through_a_loopback_server() {
-    // run_wire drives in-process `server::serve` workers — one fresh
-    // engine per shard, exactly like piping SHARD/RANGE scripts to
-    // separate qaoa-serve processes — and must still merge bit-identically.
+    // run_wire drives in-process `server::serve` workers over the
+    // streaming transport — behaviorally identical to spawned qaoa-serve
+    // processes — and must still merge bit-identically, whether the
+    // worker fleet is smaller, equal, or larger than the shard count.
     let config = spec(5);
     let unsharded = reference(&config);
     for shards in [1usize, 2, 3] {
         let plan = ShardPlan::split_even(config.n_graphs, shards);
-        let mut transport = shard::loopback_transport(2);
+        let mut transport = LoopbackTransport::new(2, 2);
         let (merged, report) =
             shard::run_wire(&config, &plan, &mut transport).expect("wire-sharded run");
         assert_eq!(report.cells(), config.n_graphs * config.max_depth);
+        assert_eq!(report.lost_workers, 0);
+        assert_eq!(report.retasked, 0);
         common::assert_corpora_bit_identical(
             &unsharded,
             &merged,
@@ -174,104 +179,170 @@ fn wire_path_matches_unsharded_through_a_loopback_server() {
     }
 }
 
+/// A test transport that rewrites each line a worker sends through a hook:
+/// the hook maps one received line to zero or more lines delivered to the
+/// coordinator, which is how the suite forges protocol violations (forged
+/// ERRs, duplicated or rewritten DONEs, dropped and reordered records) on
+/// top of an honest loopback worker.
+struct MutateLines<T: ShardTransport, F: FnMut(usize, String) -> Vec<String>> {
+    inner: T,
+    hook: F,
+    queues: Vec<std::collections::VecDeque<String>>,
+}
+
+impl<T: ShardTransport, F: FnMut(usize, String) -> Vec<String>> MutateLines<T, F> {
+    fn new(inner: T, hook: F) -> Self {
+        let queues = (0..inner.workers()).map(|_| Default::default()).collect();
+        Self {
+            inner,
+            hook,
+            queues,
+        }
+    }
+}
+
+impl<T: ShardTransport, F: FnMut(usize, String) -> Vec<String>> ShardTransport
+    for MutateLines<T, F>
+{
+    fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    fn send_line(&mut self, worker: usize, line: &str) -> Result<(), TransportError> {
+        self.inner.send_line(worker, line)
+    }
+
+    fn recv_line(&mut self, worker: usize, wait: Duration) -> Result<String, TransportError> {
+        loop {
+            if let Some(line) = self.queues[worker].pop_front() {
+                return Ok(line);
+            }
+            let line = self.inner.recv_line(worker, wait)?;
+            self.queues[worker].extend((self.hook)(worker, line));
+        }
+    }
+
+    fn kill(&mut self, worker: usize) {
+        self.inner.kill(worker);
+    }
+
+    fn close(&mut self, worker: usize) {
+        self.inner.close(worker);
+    }
+}
+
 #[test]
 fn coordinator_rejects_protocol_violations() {
+    // Protocol violations — a worker answering *wrong*, not merely dying —
+    // must hard-fail, never be re-tasked: a worker that disagrees with the
+    // contract would disagree again, and parity is already forfeit.
     let config = spec(3);
     let plan = ShardPlan::split_even(config.n_graphs, 1);
-    let fails = |mutate: &dyn Fn(String) -> String, what: &str| {
-        let mut transport = shard::loopback_transport(1);
-        let mut mutated = move |shard: usize, script: &str| transport(shard, script).map(mutate);
-        let err = shard::run_wire(&config, &plan, &mut mutated)
+    let fails = |hook: Box<dyn FnMut(usize, String) -> Vec<String>>, what: &str| {
+        let mut transport = MutateLines::new(LoopbackTransport::new(1, 1), hook);
+        let err = shard::run_wire(&config, &plan, &mut transport)
             .err()
             .unwrap_or_else(|| panic!("{what}: coordinator must reject"));
         assert!(
-            matches!(err, engine::ShardError::Protocol { .. }),
+            matches!(
+                err,
+                engine::ShardError::Protocol { .. } | engine::ShardError::Transport(_)
+            ),
             "{what}: got {err}"
         );
     };
     // A worker ERR propagates.
     fails(
-        &|_| "QW1 ERR solver caught fire\n".into(),
+        Box::new(|_, line| {
+            if line.starts_with("QW1 RECORD") {
+                vec!["QW1 ERR solver caught fire".to_string()]
+            } else {
+                vec![line]
+            }
+        }),
         "in-band worker ERR",
     );
-    // Duplicate DONE.
+    // Duplicate DONE: the stray second marker is caught by the
+    // post-completion drain check.
     fails(
-        &|response| {
-            let done = response
-                .lines()
-                .find(|l| l.starts_with("QW1 DONE"))
-                .expect("response has a DONE")
-                .to_string();
-            format!("{response}{done}\n")
-        },
+        Box::new(|_, line| {
+            if line.starts_with("QW1 DONE") {
+                vec![line.clone(), line]
+            } else {
+                vec![line]
+            }
+        }),
         "duplicate DONE",
     );
     // DONE for the wrong range.
     fails(
-        &|response| response.replace("QW1 DONE 0 3", "QW1 DONE 0 2"),
+        Box::new(|_, line| vec![line.replace("QW1 DONE 0 3", "QW1 DONE 0 2")]),
         "mismatched DONE",
-    );
-    // Missing DONE.
-    fails(
-        &|response| {
-            response
-                .lines()
-                .filter(|l| !l.starts_with("QW1 DONE"))
-                .map(|l| format!("{l}\n"))
-                .collect()
-        },
-        "missing DONE",
     );
     // A dropped record (count mismatch / out-of-order tail).
     fails(
-        &|response| {
+        Box::new({
             let mut dropped_one = false;
-            response
-                .lines()
-                .filter(|l| {
-                    if !dropped_one && l.starts_with("QW1 RECORD") {
-                        dropped_one = true;
-                        return false;
-                    }
-                    true
-                })
-                .map(|l| format!("{l}\n"))
-                .collect()
-        },
+            move |_, line| {
+                if !dropped_one && line.starts_with("QW1 RECORD") {
+                    dropped_one = true;
+                    vec![]
+                } else {
+                    vec![line]
+                }
+            }
+        }),
         "dropped record",
     );
     // Reordered records violate the graph-major, depth-minor contract.
     fails(
-        &|response| {
-            let mut lines: Vec<&str> = response.lines().collect();
-            let first = lines
-                .iter()
-                .position(|l| l.starts_with("QW1 RECORD"))
-                .expect("records exist");
-            lines.swap(first, first + 1);
-            lines.iter().map(|l| format!("{l}\n")).collect()
-        },
+        Box::new({
+            let mut held: Option<String> = None;
+            let mut swapped = false;
+            move |_, line| {
+                if swapped || !line.starts_with("QW1 RECORD") {
+                    return vec![line];
+                }
+                match held.take() {
+                    None => {
+                        held = Some(line);
+                        vec![]
+                    }
+                    Some(first) => {
+                        swapped = true;
+                        vec![line, first]
+                    }
+                }
+            }
+        }),
         "reordered records",
     );
 }
 
 #[test]
-fn transport_failures_surface_with_the_shard_index() {
-    let config = spec(4);
-    let plan = ShardPlan::split_even(config.n_graphs, 2);
-    let mut inner = shard::loopback_transport(1);
-    let mut flaky = |shard: usize, script: &str| {
-        if shard == 1 {
-            Err("connection reset".to_string())
+fn swallowed_done_times_out_and_exhausts_the_fleet() {
+    // A worker that streams its records but never a DONE is
+    // indistinguishable from a stalled worker: the coordinator times it
+    // out and re-tasks. With a single worker there is no survivor, so the
+    // run must report the fleet lost — not hang, not accept the range.
+    let config = spec(3);
+    let plan = ShardPlan::split_even(config.n_graphs, 1);
+    let hook = |_: usize, line: String| {
+        if line.starts_with("QW1 DONE") {
+            vec![]
         } else {
-            inner(shard, script)
+            vec![line]
         }
     };
-    match shard::run_wire(&config, &plan, &mut flaky) {
-        Err(engine::ShardError::Protocol { shard, message }) => {
-            assert_eq!(shard, 1);
-            assert!(message.contains("connection reset"));
+    let mut transport = MutateLines::new(LoopbackTransport::new(1, 1), hook);
+    let options = StreamOptions {
+        timeout: Duration::from_millis(300),
+        ..StreamOptions::default()
+    };
+    match shard::run_wire_with(&config, &plan, &mut transport, &options) {
+        Err(engine::ShardError::Transport(message)) => {
+            assert!(message.contains("all 1 workers lost"), "got: {message}");
         }
-        other => panic!("expected a shard-1 protocol error, got {other:?}"),
+        other => panic!("expected the fleet lost, got {other:?}"),
     }
 }
