@@ -45,6 +45,7 @@ fn main() {
             config.restarts.min(5),
             &Default::default(),
             config.seed,
+            &qaoa::Scenario::Exact,
         )
         .expect("naive protocol");
         let naive_fc = mean(&naive.iter().map(|s| s.1 as f64).collect::<Vec<_>>());

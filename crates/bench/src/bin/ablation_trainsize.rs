@@ -40,6 +40,7 @@ fn main() {
             config.restarts.min(5),
             &Default::default(),
             config.seed,
+            &qaoa::Scenario::Exact,
         )
         .expect("naive protocol");
         let ml = two_level_protocol(
@@ -50,6 +51,7 @@ fn main() {
             1,
             &Default::default(),
             config.seed ^ 0x51,
+            &qaoa::Scenario::Exact,
         )
         .expect("two-level protocol");
         let naive_fc = mean(&naive.iter().map(|s| s.1 as f64).collect::<Vec<_>>());

@@ -88,6 +88,7 @@ fn main() {
             config.naive_starts.unwrap_or(config.restarts),
             &options,
             config.seed,
+            &qaoa::Scenario::Exact,
             &pool,
         )
         .expect("naive protocol");

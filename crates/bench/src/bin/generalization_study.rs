@@ -53,7 +53,6 @@ fn main() {
     let predictor = ParameterPredictor::train(ModelKind::Gpr, &train).expect("GPR training");
     let aware = GraphAwarePredictor::train(ModelKind::Gpr, &train).expect("graph-aware training");
     let optimizer = Lbfgsb::default();
-    let options = Options::default();
     let depth = config.max_depth.min(4);
     let per_family = if config.quick { 8 } else { 32 };
     let naive_starts = config.naive_starts.unwrap_or(config.restarts);
@@ -64,10 +63,12 @@ fn main() {
         config.nodes + 1
     };
 
+    let scenario = config.scenario().expect("valid scenario flags");
+    let options = bench::cli::scenario::tuned_options(&scenario, Options::default());
     let pool = bench::cli::pool(&config);
     println!(
         "# Generalization study: GPR trained on ER({:.1}) n={}, evaluated at p={depth}, \
-         {per_family} graphs/family, L-BFGS-B, {} threads",
+         {per_family} graphs/family, L-BFGS-B, {} threads, scenario {scenario}",
         0.5,
         config.nodes,
         pool.threads()
@@ -94,6 +95,7 @@ fn main() {
             naive_starts,
             &options,
             config.seed,
+            &scenario,
             &pool,
         )
         .expect("naive protocol");
@@ -105,6 +107,7 @@ fn main() {
             1,
             &options,
             config.seed ^ 0xA11,
+            &scenario,
             &pool,
         )
         .expect("two-level protocol");

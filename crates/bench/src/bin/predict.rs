@@ -141,6 +141,7 @@ fn serve(config: &RunConfig) {
         master_seed: config.seed,
         options: Default::default(),
         use_cache: true,
+        scenario: qaoa::Scenario::Exact,
     };
     eprintln!(
         "# qaoa-predict: {} threads, master seed {}, {} model (max depth {}); \

@@ -35,6 +35,7 @@ fn main() {
         master_seed: config.seed,
         options: Default::default(),
         use_cache: true,
+        scenario: qaoa::Scenario::Exact,
     };
     let model =
         config

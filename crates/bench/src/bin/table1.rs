@@ -25,17 +25,19 @@ fn main() {
     );
     let predictor = ParameterPredictor::train(ModelKind::Gpr, &train).expect("GPR training");
 
+    let scenario = config.scenario().expect("valid scenario flags");
     let eval = EvaluationConfig {
         depths: (2..=config.max_depth.min(5)).collect(),
         naive_starts: config.naive_starts(),
         level1_starts: 1,
-        options: Default::default(),
+        options: bench::cli::scenario::tuned_options(&scenario, Default::default()),
         seed: config.seed,
+        scenario,
     };
     let optimizers = optimize::all_optimizers();
     let pool = bench::cli::pool(&config);
     eprintln!(
-        "# sweeping {} optimizers x {:?} depths on {} threads...",
+        "# sweeping {} optimizers x {:?} depths on {} threads, scenario {scenario}...",
         optimizers.len(),
         eval.depths,
         pool.threads()
@@ -43,7 +45,10 @@ fn main() {
     let rows = engine::compare::compare(test.graphs(), &optimizers, &predictor, &eval, &pool)
         .expect("comparison sweep");
 
-    println!("# Table I: naive random init vs two-level ML init (FC in thousands of calls)");
+    println!(
+        "# Table I: naive random init vs two-level ML init (FC in thousands of calls, \
+         scenario {scenario})"
+    );
     println!("{}", table_header());
     let mut reductions = Vec::new();
     for row in &rows {

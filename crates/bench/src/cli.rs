@@ -11,13 +11,16 @@ use std::path::PathBuf;
 
 use crate::{RunConfig, WorkerMode};
 
+pub mod scenario;
+
 /// Usage text shared by `--help` (stdout, exit 0) and the error path
 /// (stderr, exit 2).
 pub const USAGE: &str = "\
 usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
-       [--seed N] [--naive-starts N] [--threads N] [--cache-file PATH]
-       [--model PATH] [--shards K] [--out PATH] [--workers MODE]
-       [--worker-cmd CMD] [--timeout-secs N] [--kill-worker W] [--help]
+       [--seed N] [--naive-starts N] [--threads N] [--shots N]
+       [--noise P1,P2] [--cache-file PATH] [--model PATH] [--shards K]
+       [--out PATH] [--workers MODE] [--worker-cmd CMD] [--timeout-secs N]
+       [--kill-worker W] [--help]
 
   --quick            CI-scale preset (small ensemble, shallow depths)
   --nodes N          nodes per graph            (paper: 8)
@@ -27,6 +30,12 @@ usage: [--quick] [--nodes N] [--graphs N] [--restarts N] [--max-depth N]
   --seed N           RNG seed                   (default: 2020)
   --naive-starts N   naive-protocol starts      (default: --restarts)
   --threads N        engine worker count        (default: all cores)
+  --shots N          evaluate sampled <C> from N measurement shots per
+                     objective call (SPSA-optimized, seed-deterministic)
+                     instead of the exact expectation
+  --noise P1,P2      evaluate under depolarizing gate noise: P1 after
+                     one-qubit gates, P2 after two-qubit gates (density-
+                     matrix path); mutually exclusive with --shots
   --cache-file PATH  persistent depth-1 optimum cache shared across runs
                      and processes (corrupt/stale files regenerate). Note:
                      also disables the whole-corpus TSV cache, so depth >= 2
@@ -115,6 +124,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
             "--max-depth" => config.max_depth = parse_count(flag, value()?)?,
             "--naive-starts" => config.naive_starts = Some(parse_count(flag, value()?)?),
             "--threads" => config.threads = Some(parse_count(flag, value()?)?.max(1)),
+            "--shots" => config.shots = Some(scenario::parse_shots(value()?)?),
+            "--noise" => config.noise = Some(scenario::parse_noise(value()?)?),
             "--seed" => {
                 let v = value()?;
                 config.seed = v.parse().map_err(|e| format!("{flag} {v}: {e}"))?;
@@ -137,6 +148,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, Str
     if config.nodes < 2 || config.graphs == 0 || config.restarts == 0 || config.max_depth == 0 {
         return Err("nodes >= 2, graphs/restarts/max-depth >= 1 required".into());
     }
+    // Reject contradictory scenario flags at parse time, not first use.
+    scenario::resolve(config.shots, config.noise)?;
     Ok(Parsed::Run(Box::new(config)))
 }
 

@@ -118,6 +118,14 @@ pub struct RunConfig {
     /// its first delivered line; the run must still complete bit-identically
     /// via re-tasking.
     pub kill_worker: Option<usize>,
+    /// Shot-noise scenario (`--shots N`): evaluate the sampled expectation
+    /// from N measurement shots per objective call instead of the exact
+    /// `<C>`. `None` = exact. Mutually exclusive with `noise`.
+    pub shots: Option<u32>,
+    /// Gate-noise scenario (`--noise p1,p2`): depolarizing probabilities
+    /// after one- and two-qubit gates, evaluated on the density-matrix
+    /// path. `None` = noiseless. Mutually exclusive with `shots`.
+    pub noise: Option<(f64, f64)>,
 }
 
 impl RunConfig {
@@ -141,6 +149,8 @@ impl RunConfig {
             worker_cmd: None,
             timeout_secs: 30,
             kill_worker: None,
+            shots: None,
+            noise: None,
         }
     }
 
@@ -164,6 +174,8 @@ impl RunConfig {
             worker_cmd: None,
             timeout_secs: 30,
             kill_worker: None,
+            shots: None,
+            noise: None,
         }
     }
 
@@ -208,6 +220,18 @@ impl RunConfig {
     #[must_use]
     pub fn naive_starts(&self) -> usize {
         self.naive_starts.unwrap_or(self.restarts)
+    }
+
+    /// The evaluation scenario selected by `--shots` / `--noise`
+    /// ([`Scenario::Exact`](qaoa::Scenario::Exact) when neither is given).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when both flags were set (already
+    /// rejected at parse time for CLI-built configs, re-checked here for
+    /// programmatic ones).
+    pub fn scenario(&self) -> Result<qaoa::Scenario, String> {
+        cli::scenario::resolve(self.shots, self.noise)
     }
 
     /// Engine worker count: `--threads` if given, else the machine's

@@ -49,6 +49,12 @@ pub enum QaoaError {
         /// Description of the problem.
         message: String,
     },
+    /// An evaluation scenario was misconfigured (noise probability outside
+    /// `[0, 1]`, zero multistarts, …).
+    InvalidScenario {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
     /// A graph-index range did not fit the ensemble it addresses (sharded
     /// corpus generation).
     InvalidRange {
@@ -82,6 +88,9 @@ impl fmt::Display for QaoaError {
             QaoaError::Io(e) => write!(f, "dataset i/o error: {e}"),
             QaoaError::Parse { line, message } => {
                 write!(f, "dataset parse error at line {line}: {message}")
+            }
+            QaoaError::InvalidScenario { reason } => {
+                write!(f, "invalid evaluation scenario: {reason}")
             }
             QaoaError::InvalidRange { start, end, len } => {
                 write!(

@@ -17,7 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{
-    MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance, TwoLevelConfig, TwoLevelFlow,
+    MaxCutProblem, ParameterPredictor, QaoaError, Scenario, ScenarioInstance, TwoLevelConfig,
+    TwoLevelFlow,
 };
 
 /// Configuration of a Table-I style comparison sweep.
@@ -33,6 +34,9 @@ pub struct EvaluationConfig {
     pub options: Options,
     /// Seed for all random initializations.
     pub seed: u64,
+    /// How every objective evaluation is performed (exact, sampled, or
+    /// decohered) — in both protocols, at both levels.
+    pub scenario: Scenario,
 }
 
 impl EvaluationConfig {
@@ -45,6 +49,7 @@ impl EvaluationConfig {
             level1_starts: 1,
             options: Options::default(),
             seed: 77,
+            scenario: Scenario::Exact,
         }
     }
 
@@ -57,6 +62,7 @@ impl EvaluationConfig {
             level1_starts: 1,
             options: Options::default(),
             seed: 77,
+            scenario: Scenario::Exact,
         }
     }
 }
@@ -158,11 +164,14 @@ pub fn graph_seed(master: u64, graph_index: usize) -> u64 {
 }
 
 /// Runs the naive protocol for a **single** graph: `n_starts` independent
-/// random-init optimizations, one `(AR, FC)` sample per start.
+/// random-init optimizations, one `(AR, FC)` sample per start, each
+/// objective evaluation performed under `scenario` ([`Scenario::Exact`]
+/// reproduces the historical noiseless protocol bit-for-bit).
 ///
 /// # Errors
 ///
-/// Propagates problem-construction and optimizer errors.
+/// Propagates problem-construction, scenario, and optimizer errors.
+#[allow(clippy::too_many_arguments)]
 pub fn naive_protocol_graph(
     graph: &Graph,
     depth: usize,
@@ -170,11 +179,12 @@ pub fn naive_protocol_graph(
     n_starts: usize,
     options: &Options,
     seed: u64,
+    scenario: &Scenario,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bounds = crate::parameter_bounds(depth)?;
     let problem = MaxCutProblem::new(graph)?;
-    let instance = QaoaInstance::new(problem, depth)?;
+    let instance = ScenarioInstance::new(problem, depth, scenario, seed)?;
     let mut samples = Vec::with_capacity(n_starts);
     for _ in 0..n_starts {
         let start = bounds.sample(&mut rng);
@@ -193,6 +203,7 @@ pub fn naive_protocol_graph(
 /// # Errors
 ///
 /// Propagates problem-construction and optimizer errors.
+#[allow(clippy::too_many_arguments)]
 pub fn naive_protocol(
     graphs: &[Graph],
     depth: usize,
@@ -200,6 +211,7 @@ pub fn naive_protocol(
     n_starts: usize,
     options: &Options,
     seed: u64,
+    scenario: &Scenario,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
     let mut samples = Vec::with_capacity(graphs.len() * n_starts);
     for (gi, graph) in graphs.iter().enumerate() {
@@ -210,6 +222,7 @@ pub fn naive_protocol(
             n_starts,
             options,
             graph_seed(seed, gi),
+            scenario,
         )?);
     }
     Ok(samples)
@@ -221,6 +234,7 @@ pub fn naive_protocol(
 /// # Errors
 ///
 /// Propagates flow errors.
+#[allow(clippy::too_many_arguments)]
 pub fn two_level_protocol_graph(
     graph: &Graph,
     depth: usize,
@@ -229,6 +243,7 @@ pub fn two_level_protocol_graph(
     level1_starts: usize,
     options: &Options,
     seed: u64,
+    scenario: &Scenario,
 ) -> Result<(f64, usize), QaoaError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let flow = TwoLevelFlow::new(predictor);
@@ -237,7 +252,9 @@ pub fn two_level_protocol_graph(
         options: *options,
     };
     let problem = MaxCutProblem::new(graph)?;
-    let out = flow.run(&problem, depth, optimizer, &config, &mut rng)?;
+    let out = flow.run_scenario(
+        &problem, depth, optimizer, &config, &mut rng, scenario, seed,
+    )?;
     Ok((out.approximation_ratio, out.total_calls()))
 }
 
@@ -249,6 +266,7 @@ pub fn two_level_protocol_graph(
 /// # Errors
 ///
 /// Propagates flow errors.
+#[allow(clippy::too_many_arguments)]
 pub fn two_level_protocol(
     graphs: &[Graph],
     depth: usize,
@@ -257,6 +275,7 @@ pub fn two_level_protocol(
     level1_starts: usize,
     options: &Options,
     seed: u64,
+    scenario: &Scenario,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
     let mut samples = Vec::with_capacity(graphs.len());
     for (gi, graph) in graphs.iter().enumerate() {
@@ -268,6 +287,7 @@ pub fn two_level_protocol(
             level1_starts,
             options,
             graph_seed(seed, gi),
+            scenario,
         )?);
     }
     Ok(samples)
@@ -327,6 +347,7 @@ pub fn compare_cell(
         config.naive_starts,
         &config.options,
         seed,
+        &config.scenario,
     )?;
     let ml = two_level_protocol(
         graphs,
@@ -336,6 +357,7 @@ pub fn compare_cell(
         config.level1_starts,
         &config.options,
         seed.wrapping_add(500),
+        &config.scenario,
     )?;
     Ok(row_from_samples(optimizer.name(), depth, &naive, &ml))
 }
@@ -419,7 +441,16 @@ mod tests {
         let (train, test) = ds.split_by_graph(0.5);
         let predictor = ParameterPredictor::train(ModelKind::Linear, &train).unwrap();
         let opt = Lbfgsb::default();
-        let naive = naive_protocol(test.graphs(), 2, &opt, 2, &Options::default(), 3).unwrap();
+        let naive = naive_protocol(
+            test.graphs(),
+            2,
+            &opt,
+            2,
+            &Options::default(),
+            3,
+            &Scenario::Exact,
+        )
+        .unwrap();
         assert_eq!(naive.len(), test.graphs().len() * 2);
         let ml = two_level_protocol(
             test.graphs(),
@@ -429,6 +460,7 @@ mod tests {
             1,
             &Options::default(),
             3,
+            &Scenario::Exact,
         )
         .unwrap();
         assert_eq!(ml.len(), test.graphs().len());
@@ -450,6 +482,7 @@ mod tests {
             level1_starts: 1,
             options: Options::default(),
             seed: 7,
+            scenario: Scenario::Exact,
         };
         let rows = compare(test.graphs(), &optimizers, &predictor, &config).unwrap();
         assert_eq!(rows.len(), 1);

@@ -55,6 +55,8 @@ pub mod noise;
 pub mod noisy;
 mod predictor;
 mod problem;
+pub mod sampled;
+pub mod scenario;
 pub mod stablehash;
 mod twolevel;
 pub mod warmstart;
@@ -65,6 +67,7 @@ pub use eval::EvalContext;
 pub use instance::{InstanceOutcome, QaoaInstance};
 pub use predictor::ParameterPredictor;
 pub use problem::MaxCutProblem;
+pub use scenario::{Scenario, ScenarioInstance};
 pub use twolevel::{TwoLevelConfig, TwoLevelFlow, TwoLevelOutcome};
 
 /// The paper's parameter domain: γ ∈ [0, 2π].

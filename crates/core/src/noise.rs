@@ -76,17 +76,20 @@ impl ShotEstimator {
     ///
     /// # Errors
     ///
-    /// Returns [`QaoaError::ParameterCount`] on a parameter-length mismatch.
+    /// Returns [`QaoaError::ParameterCount`] on a parameter-length mismatch,
+    /// or [`QaoaError::Simulator`] if the state's Born distribution is
+    /// invalid (non-finite amplitudes).
     pub fn estimate(&self, params: &[f64]) -> Result<f64, QaoaError> {
         let state = self.ansatz.state_fast(params)?;
         let diag = self.ansatz.problem().cost().diagonal();
         let mut rng = self.rng.borrow_mut();
-        let samples = qsim::sample_indices(&state, self.shots, &mut *rng);
+        let samples = qsim::sample_indices(&state, self.shots, &mut *rng)?;
         if samples.is_empty() {
             // Zero shots: fall back to the exact value (degenerate budget).
             return self.ansatz.expectation(params);
         }
-        Ok(samples.iter().map(|&z| diag[z]).sum::<f64>() / samples.len() as f64)
+        let n = f64::from(u32::try_from(samples.len()).unwrap_or(u32::MAX));
+        Ok(samples.iter().map(|&z| diag[z]).sum::<f64>() / n)
     }
 
     /// The best cut value observed among `shots` fresh samples at `params` —
@@ -99,7 +102,7 @@ impl ShotEstimator {
         let state = self.ansatz.state_fast(params)?;
         let diag = self.ansatz.problem().cost().diagonal();
         let mut rng = self.rng.borrow_mut();
-        let samples = qsim::sample_indices(&state, self.shots, &mut *rng);
+        let samples = qsim::sample_indices(&state, self.shots, &mut *rng)?;
         Ok(samples
             .iter()
             .map(|&z| diag[z])

@@ -26,7 +26,7 @@
 //! # }
 //! ```
 
-use optimize::{Optimizer, Options};
+use optimize::{Fallible, Optimizer, Options};
 use qsim::{DensityMatrix, NoiseModel, MAX_DM_QUBITS};
 
 use crate::instance::InstanceOutcome;
@@ -122,9 +122,14 @@ impl NoisyQaoa {
     /// Optimizes the noisy objective from `initial`, counting every density-
     /// matrix evaluation as one function call — each is one (noisy) QC call.
     ///
+    /// The objective closure is fallible: an evaluation error surfaces as a
+    /// `NaN` probe (which the optimizer winds down on) and is then returned
+    /// from here as the real [`QaoaError`] — never a panic.
+    ///
     /// # Errors
     ///
     /// * [`QaoaError::ParameterCount`] on a parameter-length mismatch.
+    /// * Any evaluation error encountered by an optimizer probe.
     /// * Optimizer errors.
     pub fn optimize(
         &self,
@@ -139,12 +144,12 @@ impl NoisyQaoa {
             });
         }
         let bounds = parameter_bounds(self.depth())?;
-        let objective = |x: &[f64]| {
-            -self
-                .expectation(x)
-                .expect("in-bounds parameters always evaluate")
-        };
-        let result = optimizer.minimize(&objective, initial, &bounds, options)?;
+        let evaluate = |x: &[f64]| self.expectation(x).map(|e| -e);
+        let objective = Fallible::new(&evaluate);
+        let result = optimizer.minimize_objective(&objective, initial, &bounds, options)?;
+        if let Some(err) = objective.take_error() {
+            return Err(err);
+        }
         let expectation = -result.fx;
         Ok(InstanceOutcome {
             approximation_ratio: self.ansatz.problem().approximation_ratio(expectation),
@@ -154,6 +159,46 @@ impl NoisyQaoa {
             gradient_calls: result.n_grad_calls,
             termination: result.termination,
         })
+    }
+
+    /// The paper's multistart protocol under gate noise: `n_starts` runs
+    /// from uniformly random initializations, best outcome with summed
+    /// call counts (mirrors
+    /// [`QaoaInstance::optimize_multistart`](crate::QaoaInstance::optimize_multistart)).
+    ///
+    /// # Errors
+    ///
+    /// * [`QaoaError::InvalidScenario`] if `n_starts == 0`.
+    /// * Evaluation or optimizer errors from any start.
+    pub fn optimize_multistart<R: rand::Rng + ?Sized>(
+        &self,
+        optimizer: &dyn Optimizer,
+        n_starts: usize,
+        rng: &mut R,
+        options: &Options,
+    ) -> Result<InstanceOutcome, QaoaError> {
+        let bounds = parameter_bounds(self.depth())?;
+        let mut best: Option<InstanceOutcome> = None;
+        let mut total_calls = 0usize;
+        let mut total_grad_calls = 0usize;
+        for _ in 0..n_starts {
+            let start = bounds.sample(rng);
+            let outcome = self.optimize(optimizer, &start, options)?;
+            total_calls += outcome.function_calls;
+            total_grad_calls += outcome.gradient_calls;
+            if best
+                .as_ref()
+                .is_none_or(|b| outcome.expectation > b.expectation)
+            {
+                best = Some(outcome);
+            }
+        }
+        let mut best = best.ok_or(QaoaError::InvalidScenario {
+            reason: "multistart needs at least one start",
+        })?;
+        best.function_calls = total_calls;
+        best.gradient_calls = total_grad_calls;
+        Ok(best)
     }
 }
 

@@ -21,8 +21,8 @@ use graphs::Graph;
 use optimize::{Optimizer, Options};
 use qaoa::canonical::graph_key;
 use qaoa::{
-    InstanceOutcome, MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance, TwoLevelConfig,
-    TwoLevelFlow, TwoLevelOutcome,
+    InstanceOutcome, MaxCutProblem, ParameterPredictor, QaoaError, QaoaInstance, Scenario,
+    ScenarioInstance, TwoLevelConfig, TwoLevelFlow, TwoLevelOutcome,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -82,6 +82,11 @@ pub struct BatchConfig {
     pub options: Options,
     /// Route depth-1 jobs through the isomorphism cache.
     pub use_cache: bool,
+    /// Evaluation scenario every job's objective runs under. Non-exact
+    /// scenarios bypass the depth-1 cache entirely — its entries are exact
+    /// optima keyed on the canonical class, and a sampled or noisy solve is
+    /// a different quantity that must never be served exact bits.
+    pub scenario: Scenario,
 }
 
 impl Default for BatchConfig {
@@ -90,6 +95,7 @@ impl Default for BatchConfig {
             master_seed: 2020,
             options: Options::default(),
             use_cache: true,
+            scenario: Scenario::Exact,
         }
     }
 }
@@ -267,15 +273,23 @@ impl Engine {
                 qaoa::eval::with_within_state_threads(inner, || {
                     let job = &jobs[i];
                     let start = Instant::now();
-                    let (outcome, cache_hit) = if job.depth == 1 {
+                    let (outcome, cache_hit) = if job.depth == 1 && config.scenario.is_exact() {
                         self.level1_cached(&job.graph, optimizer, job.restarts, config)?
                     } else {
+                        // Uncached path: depth >= 2, or any non-exact
+                        // scenario (including depth-1 — the cache stores
+                        // exact optima only). The job seed drives both the
+                        // multistart RNG and the scenario's internal
+                        // stochasticity, keeping outcomes pure functions of
+                        // the queue at any worker count.
                         let problem = MaxCutProblem::new(&job.graph)?;
-                        let instance = QaoaInstance::new(problem, job.depth)?;
-                        let mut rng = StdRng::seed_from_u64(seed::mix(
+                        let job_seed = seed::mix(
                             config.master_seed,
                             &[seed::domain_hash("batch"), job.stable_key(i)],
-                        ));
+                        );
+                        let instance =
+                            ScenarioInstance::new(problem, job.depth, &config.scenario, job_seed)?;
+                        let mut rng = StdRng::seed_from_u64(job_seed);
                         let outcome = instance.optimize_multistart(
                             optimizer,
                             job.restarts,
@@ -354,17 +368,39 @@ impl Engine {
             self.pool.run_ordered_fanout(graphs.len(), |i, inner| {
                 qaoa::eval::with_within_state_threads(inner, || {
                     let start = Instant::now();
-                    let (level1, cache_hit) =
-                        self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
                     let problem = MaxCutProblem::new(&graphs[i])?;
                     let flow = TwoLevelFlow::new(predictor);
-                    let outcome = flow.run_with_level1(
-                        &problem,
-                        target_depth,
-                        optimizer,
-                        &flow_config,
-                        &level1,
-                    )?;
+                    let (outcome, cache_hit) = if config.scenario.is_exact() {
+                        let (level1, cache_hit) =
+                            self.level1_cached(&graphs[i], optimizer, level1_starts, config)?;
+                        let outcome = flow.run_with_level1(
+                            &problem,
+                            target_depth,
+                            optimizer,
+                            &flow_config,
+                            &level1,
+                        )?;
+                        (outcome, cache_hit)
+                    } else {
+                        // Non-exact scenarios skip the cache (exact-optimum
+                        // entries) and run the full two-level flow under the
+                        // scenario, seeded per graph index.
+                        let graph_seed = seed::mix(
+                            config.master_seed,
+                            &[seed::domain_hash("two-level-scenario"), seed::wide(i)],
+                        );
+                        let mut rng = StdRng::seed_from_u64(graph_seed);
+                        let outcome = flow.run_scenario(
+                            &problem,
+                            target_depth,
+                            optimizer,
+                            &flow_config,
+                            &mut rng,
+                            &config.scenario,
+                            graph_seed,
+                        )?;
+                        (outcome, false)
+                    };
                     let stats = JobStats {
                         wall: start.elapsed(),
                         function_calls: outcome.total_calls(),

@@ -94,6 +94,7 @@ pub fn compare(
                         config.naive_starts,
                         &config.options,
                         *seed,
+                        &config.scenario,
                     )?;
                     Ok((*cell, false, samples))
                 }
@@ -112,6 +113,7 @@ pub fn compare(
                         config.level1_starts,
                         &config.options,
                         *seed,
+                        &config.scenario,
                     )?;
                     Ok((*cell, true, vec![sample]))
                 }
@@ -144,6 +146,7 @@ pub fn compare(
 /// # Errors
 ///
 /// Propagates the first per-graph error.
+#[allow(clippy::too_many_arguments)] // mirrors the serial protocol signature
 pub fn naive_protocol(
     graphs: &[Graph],
     depth: usize,
@@ -151,6 +154,7 @@ pub fn naive_protocol(
     n_starts: usize,
     options: &optimize::Options,
     seed: u64,
+    scenario: &qaoa::Scenario,
     pool: &Pool,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
     let per_graph: Vec<Result<Vec<(f64, usize)>, QaoaError>> =
@@ -163,6 +167,7 @@ pub fn naive_protocol(
                     n_starts,
                     options,
                     graph_seed(seed, gi),
+                    scenario,
                 )
             })
         });
@@ -188,6 +193,7 @@ pub fn two_level_protocol(
     level1_starts: usize,
     options: &optimize::Options,
     seed: u64,
+    scenario: &qaoa::Scenario,
     pool: &Pool,
 ) -> Result<Vec<(f64, usize)>, QaoaError> {
     let per_graph: Vec<Result<(f64, usize), QaoaError>> =
@@ -201,6 +207,7 @@ pub fn two_level_protocol(
                     level1_starts,
                     options,
                     graph_seed(seed, gi),
+                    scenario,
                 )
             })
         });

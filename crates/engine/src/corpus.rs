@@ -133,6 +133,7 @@ pub fn solve_range(
         master_seed: config.seed,
         options: config.options,
         use_cache: true,
+        scenario: qaoa::Scenario::Exact,
     };
     let optimizer = Lbfgsb::default();
 

@@ -50,7 +50,7 @@ pub use cobyla::Cobyla;
 pub use counted::Counted;
 pub use error::OptimizeError;
 pub use gradient::{central_difference, forward_difference, gradient};
-pub use objective::Objective;
+pub use objective::{Fallible, Objective};
 
 pub use lbfgsb::Lbfgsb;
 pub use nelder_mead::NelderMead;

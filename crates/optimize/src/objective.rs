@@ -72,6 +72,71 @@ impl Objective for FnObjective<'_> {
     }
 }
 
+/// Adapts a fallible evaluation `Fn(&[f64]) -> Result<f64, E>` to
+/// [`Objective`] without panicking inside the optimizer loop.
+///
+/// An `Err` evaluation yields `f64::NAN`, which every optimizer in this
+/// crate handles gracefully (terminating with
+/// [`Termination::NonFinite`](crate::Termination::NonFinite) or rejecting
+/// the probe); the **first** error is stored and can be recovered with
+/// [`Fallible::take_error`] after `minimize_objective` returns, so the
+/// caller reports the real failure instead of a panic or a silent `NaN`.
+///
+/// # Example
+///
+/// ```
+/// use optimize::{Fallible, Objective};
+///
+/// let f = |x: &[f64]| -> Result<f64, &'static str> {
+///     if x[0] < 0.0 {
+///         Err("negative domain")
+///     } else {
+///         Ok(x[0] * x[0])
+///     }
+/// };
+/// let obj = Fallible::new(&f);
+/// assert_eq!(obj.value(&[3.0]), 9.0);
+/// assert!(obj.value(&[-1.0]).is_nan());
+/// assert_eq!(obj.take_error(), Some("negative domain"));
+/// assert_eq!(obj.take_error(), None);
+/// ```
+pub struct Fallible<'a, E> {
+    f: &'a dyn Fn(&[f64]) -> Result<f64, E>,
+    error: core::cell::RefCell<Option<E>>,
+}
+
+impl<'a, E> Fallible<'a, E> {
+    /// Wraps a fallible evaluation.
+    #[must_use]
+    pub fn new(f: &'a dyn Fn(&[f64]) -> Result<f64, E>) -> Self {
+        Self {
+            f,
+            error: core::cell::RefCell::new(None),
+        }
+    }
+
+    /// Removes and returns the first captured error, if any evaluation
+    /// failed since construction (or the previous `take_error`).
+    pub fn take_error(&self) -> Option<E> {
+        self.error.borrow_mut().take()
+    }
+}
+
+impl<E> Objective for Fallible<'_, E> {
+    fn value(&self, x: &[f64]) -> f64 {
+        match (self.f)(x) {
+            Ok(v) => v,
+            Err(e) => {
+                let mut slot = self.error.borrow_mut();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                f64::NAN
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +156,44 @@ mod tests {
         assert_eq!(wrapped.value(&[21.0]), 42.0);
         let mut g = [0.0];
         assert_eq!(wrapped.value_and_grad(&[21.0], &mut g), None);
+    }
+
+    #[test]
+    fn fallible_passes_ok_values_through() {
+        let f = |x: &[f64]| -> Result<f64, String> { Ok(x[0] + 1.0) };
+        let obj = Fallible::new(&f);
+        assert_eq!(obj.value(&[1.0]), 2.0);
+        assert_eq!(obj.take_error(), None);
+    }
+
+    #[test]
+    fn fallible_keeps_first_error_only() {
+        let f = |x: &[f64]| -> Result<f64, String> { Err(format!("bad {}", x[0])) };
+        let obj = Fallible::new(&f);
+        assert!(obj.value(&[1.0]).is_nan());
+        assert!(obj.value(&[2.0]).is_nan());
+        assert_eq!(obj.take_error(), Some("bad 1".to_string()));
+        assert_eq!(obj.take_error(), None);
+    }
+
+    #[test]
+    fn fallible_terminates_optimizer_gracefully() {
+        // An objective that fails away from the start point must not panic;
+        // the optimizer winds down on the NaN probe and the error is
+        // recoverable afterwards.
+        use crate::{Bounds, NelderMead, Optimizer, Options};
+        let f = |x: &[f64]| -> Result<f64, &'static str> {
+            if x[0] > 0.55 {
+                Err("probe escaped")
+            } else {
+                Ok((x[0] - 1.0).powi(2))
+            }
+        };
+        let obj = Fallible::new(&f);
+        let bounds = Bounds::new(vec![0.0], vec![2.0]).unwrap();
+        let result =
+            NelderMead::default().minimize_objective(&obj, &[0.5], &bounds, &Options::default());
+        assert!(result.is_ok());
+        assert_eq!(obj.take_error(), Some("probe escaped"));
     }
 }

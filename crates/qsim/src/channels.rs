@@ -34,6 +34,9 @@ fn c(re: f64) -> Complex64 {
 pub struct KrausChannel {
     name: &'static str,
     ops: Vec<Gate2>,
+    /// Set by [`KrausChannel::depolarizing`]: the channel's probability,
+    /// enabling the density-matrix simulator's closed-form fast path.
+    depolarizing_p: Option<f64>,
 }
 
 impl KrausChannel {
@@ -49,7 +52,11 @@ impl KrausChannel {
                 reason: "empty Kraus operator list",
             });
         }
-        let ch = Self { name, ops };
+        let ch = Self {
+            name,
+            ops,
+            depolarizing_p: None,
+        };
         if ch.completeness_deviation() > 1e-9 {
             return Err(QsimError::InvalidChannel {
                 reason: "Kraus operators are not trace-preserving",
@@ -64,6 +71,7 @@ impl KrausChannel {
         Self {
             name: "identity",
             ops: vec![crate::gates::identity()],
+            depolarizing_p: None,
         }
     }
 
@@ -84,6 +92,7 @@ impl KrausChannel {
                 scale(crate::gates::y(), (p / 3.0).sqrt()),
                 scale(crate::gates::z(), (p / 3.0).sqrt()),
             ],
+            depolarizing_p: Some(p),
         })
     }
 
@@ -100,6 +109,7 @@ impl KrausChannel {
         Ok(Self {
             name: "amplitude-damping",
             ops: vec![k0, k1],
+            depolarizing_p: None,
         })
     }
 
@@ -116,6 +126,7 @@ impl KrausChannel {
         Ok(Self {
             name: "phase-damping",
             ops: vec![k0, k1],
+            depolarizing_p: None,
         })
     }
 
@@ -132,6 +143,7 @@ impl KrausChannel {
                 scale_gate(&crate::gates::identity(), (1.0 - p).sqrt()),
                 scale_gate(&crate::gates::x(), p.sqrt()),
             ],
+            depolarizing_p: None,
         })
     }
 
@@ -148,6 +160,7 @@ impl KrausChannel {
                 scale_gate(&crate::gates::identity(), (1.0 - p).sqrt()),
                 scale_gate(&crate::gates::z(), p.sqrt()),
             ],
+            depolarizing_p: None,
         })
     }
 
@@ -155,6 +168,15 @@ impl KrausChannel {
     #[must_use]
     pub fn ops(&self) -> &[Gate2] {
         &self.ops
+    }
+
+    /// The depolarizing probability, when this channel was built by
+    /// [`KrausChannel::depolarizing`] — the density-matrix simulator uses
+    /// it to apply the channel's closed form (a per-block blend) instead of
+    /// the generic four-operator Kraus sum.
+    #[must_use]
+    pub fn as_depolarizing(&self) -> Option<f64> {
+        self.depolarizing_p
     }
 
     /// Channel name (e.g. `"depolarizing"`).

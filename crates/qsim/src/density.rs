@@ -339,6 +339,12 @@ impl DensityMatrix {
 
     /// Applies a single-qubit Kraus channel: `ρ → Σ K ρ K†`.
     ///
+    /// The sum is evaluated block-wise in place: every `2×2` sub-block of ρ
+    /// addressed by the qubit's row/column pair is mapped through
+    /// `Σ K B K†` in one pass, with no per-operator copies of the matrix
+    /// (the earlier formulation cloned the full `4ⁿ` state once per Kraus
+    /// operator, which dominated the noisy-QAOA objective's cost).
+    ///
     /// # Errors
     ///
     /// [`QsimError::QubitOutOfRange`] for a bad index.
@@ -347,16 +353,95 @@ impl DensityMatrix {
         if channel.is_identity() {
             return Ok(());
         }
-        let mut acc = vec![Complex64::ZERO; self.elems.len()];
-        for k in channel.ops() {
-            let mut term = self.clone();
-            term.left_mul_single(qubit, k);
-            term.right_mul_single_adjoint(qubit, k);
-            for (a, t) in acc.iter_mut().zip(&term.elems) {
-                *a += *t;
+        if let Some(p) = channel.as_depolarizing() {
+            if p == 0.0 {
+                return Ok(());
             }
+            return self.apply_depolarizing(qubit, p);
         }
-        self.elems = acc;
+        let stride = 1usize << qubit;
+        let dim = self.dim;
+        let ops = channel.ops();
+        let mut base_r = 0;
+        while base_r < dim {
+            for r0 in base_r..base_r + stride {
+                let r1 = r0 + stride;
+                let mut base_c = 0;
+                while base_c < dim {
+                    for c0 in base_c..base_c + stride {
+                        let c1 = c0 + stride;
+                        let b00 = self.elems[r0 * dim + c0];
+                        let b01 = self.elems[r0 * dim + c1];
+                        let b10 = self.elems[r1 * dim + c0];
+                        let b11 = self.elems[r1 * dim + c1];
+                        let mut n00 = Complex64::ZERO;
+                        let mut n01 = Complex64::ZERO;
+                        let mut n10 = Complex64::ZERO;
+                        let mut n11 = Complex64::ZERO;
+                        for k in ops {
+                            let (ka, kb) = (k[0][0], k[0][1]);
+                            let (kd, ke) = (k[1][0], k[1][1]);
+                            // T = K B, then accumulate T K†.
+                            let t00 = ka * b00 + kb * b10;
+                            let t01 = ka * b01 + kb * b11;
+                            let t10 = kd * b00 + ke * b10;
+                            let t11 = kd * b01 + ke * b11;
+                            n00 += t00 * ka.conj() + t01 * kb.conj();
+                            n01 += t00 * kd.conj() + t01 * ke.conj();
+                            n10 += t10 * ka.conj() + t11 * kb.conj();
+                            n11 += t10 * kd.conj() + t11 * ke.conj();
+                        }
+                        self.elems[r0 * dim + c0] = n00;
+                        self.elems[r0 * dim + c1] = n01;
+                        self.elems[r1 * dim + c0] = n10;
+                        self.elems[r1 * dim + c1] = n11;
+                    }
+                    base_c += stride << 1;
+                }
+            }
+            base_r += stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Closed form of the single-qubit depolarizing channel,
+    /// `ρ → (1−p) ρ + p/3 (XρX + YρY + ZρZ)`, reduced per `2×2` block to
+    /// a population blend and an off-diagonal shrink:
+    ///
+    /// ```text
+    /// ρ00' = (1 − 2p/3) ρ00 + (2p/3) ρ11      ρ01' = (1 − 4p/3) ρ01
+    /// ρ11' = (2p/3) ρ00 + (1 − 2p/3) ρ11      ρ10' = (1 − 4p/3) ρ10
+    /// ```
+    ///
+    /// One real-coefficient pass instead of the four-operator Kraus sum —
+    /// the channel cost drops by an order of magnitude, which dominates the
+    /// noisy-QAOA objective.
+    fn apply_depolarizing(&mut self, qubit: usize, p: f64) -> Result<(), QsimError> {
+        let keep = 1.0 - 2.0 * p / 3.0;
+        let swap = 2.0 * p / 3.0;
+        let shrink = 1.0 - 4.0 * p / 3.0;
+        let stride = 1usize << qubit;
+        let dim = self.dim;
+        let mut base_r = 0;
+        while base_r < dim {
+            for r0 in base_r..base_r + stride {
+                let r1 = r0 + stride;
+                let mut base_c = 0;
+                while base_c < dim {
+                    for c0 in base_c..base_c + stride {
+                        let c1 = c0 + stride;
+                        let b00 = self.elems[r0 * dim + c0];
+                        let b11 = self.elems[r1 * dim + c1];
+                        self.elems[r0 * dim + c0] = keep * b00 + swap * b11;
+                        self.elems[r1 * dim + c1] = swap * b00 + keep * b11;
+                        self.elems[r0 * dim + c1] = shrink * self.elems[r0 * dim + c1];
+                        self.elems[r1 * dim + c0] = shrink * self.elems[r1 * dim + c0];
+                    }
+                    base_c += stride << 1;
+                }
+            }
+            base_r += stride << 1;
+        }
         Ok(())
     }
 

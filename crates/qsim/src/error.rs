@@ -49,6 +49,12 @@ pub enum QsimError {
         /// Description of the violated requirement.
         reason: &'static str,
     },
+    /// A probability vector was unusable for sampling (empty, containing a
+    /// non-finite entry, or summing to zero).
+    InvalidProbabilities {
+        /// Description of the violated requirement.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for QsimError {
@@ -79,6 +85,9 @@ impl fmt::Display for QsimError {
             }
             QsimError::InvalidChannel { reason } => {
                 write!(f, "invalid quantum channel: {reason}")
+            }
+            QsimError::InvalidProbabilities { reason } => {
+                write!(f, "invalid probability vector: {reason}")
             }
         }
     }

@@ -55,6 +55,8 @@ pub use complex::Complex64;
 pub use density::{DensityMatrix, MAX_DM_QUBITS};
 pub use error::QsimError;
 pub use expectation::{DiagonalObservable, PauliZString};
-pub use sampling::{sample_counts, sample_density_counts, sample_density_indices, sample_indices};
+pub use sampling::{
+    sample_counts, sample_density_counts, sample_density_indices, sample_indices, CdfSampler,
+};
 pub use state::StateVector;
 pub use twoqubit::Gate4;

@@ -2,32 +2,139 @@ use std::collections::BTreeMap;
 
 use rand::Rng;
 
-use crate::{DensityMatrix, StateVector};
+use crate::{DensityMatrix, QsimError, StateVector};
 
-/// Inverse-CDF sampling from an explicit probability vector.
-fn sample_from_probs<R: Rng + ?Sized>(probs: &[f64], shots: usize, rng: &mut R) -> Vec<usize> {
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for &p in probs {
-        acc += p.max(0.0);
-        cdf.push(acc);
+/// Reusable inverse-CDF sampler over an explicit probability vector.
+///
+/// [`CdfSampler::load`] validates the distribution and builds the cumulative
+/// table once; [`CdfSampler::draw`] then costs one RNG draw plus a binary
+/// search per shot with no allocation, so a hot loop can re-`load` the same
+/// sampler every evaluation and keep its capacity.
+///
+/// Zero-probability entries occupy zero-width intervals of the CDF and are
+/// never selected: `draw` looks for the first index whose cumulative value
+/// *strictly exceeds* the uniform draw, which skips every plateau (including
+/// a leading one at `u == 0`).
+///
+/// # Example
+///
+/// ```
+/// use qsim::CdfSampler;
+/// use rand::SeedableRng;
+/// let mut sampler = CdfSampler::new();
+/// sampler.load(&[0.0, 0.5, 0.0, 0.5])?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// for _ in 0..100 {
+///     let z = sampler.draw(&mut rng);
+///     assert!(z == 1 || z == 3);
+/// }
+/// # Ok::<(), qsim::QsimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+    total: f64,
+    last_support: usize,
+}
+
+impl CdfSampler {
+    /// An empty sampler; call [`CdfSampler::load`] before drawing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    let total = acc.max(f64::MIN_POSITIVE);
-    let last = probs.len().saturating_sub(1);
-    (0..shots)
-        .map(|_| {
-            let u: f64 = rng.gen::<f64>() * total;
-            match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("non-NaN cdf")) {
-                Ok(i) | Err(i) => i.min(last),
+
+    /// Builds the cumulative table for `probs`, validating it first.
+    ///
+    /// Entries must be finite; tiny negative values (rounding noise from
+    /// `re² + im²` arithmetic) are clamped to zero. Returns
+    /// [`QsimError::InvalidProbabilities`] if `probs` is empty, contains a
+    /// non-finite entry, or sums to zero — an all-zero vector has no valid
+    /// Born distribution and must not silently sample index 0.
+    pub fn load(&mut self, probs: &[f64]) -> Result<(), QsimError> {
+        self.cdf.clear();
+        self.cdf.reserve(probs.len());
+        let mut acc = 0.0;
+        let mut last_support = None;
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() {
+                return Err(QsimError::InvalidProbabilities {
+                    reason: "non-finite entry",
+                });
             }
-        })
-        .collect()
+            let p = p.max(0.0);
+            if p > 0.0 {
+                last_support = Some(i);
+            }
+            acc += p;
+            self.cdf.push(acc);
+        }
+        let Some(last_support) = last_support else {
+            return Err(QsimError::InvalidProbabilities {
+                reason: "no positive entry",
+            });
+        };
+        self.total = acc;
+        self.last_support = last_support;
+        Ok(())
+    }
+
+    /// Builds the cumulative table from split re/im amplitude planes,
+    /// sampling the Born distribution `|re[i]|² + |im[i]|²` without an
+    /// intermediate probability buffer.
+    pub fn load_amplitudes(&mut self, re: &[f64], im: &[f64]) -> Result<(), QsimError> {
+        if re.len() != im.len() {
+            return Err(QsimError::DimensionMismatch {
+                expected: re.len(),
+                actual: im.len(),
+            });
+        }
+        self.cdf.clear();
+        self.cdf.reserve(re.len());
+        let mut acc = 0.0;
+        let mut last_support = None;
+        for (i, (&r, &m)) in re.iter().zip(im).enumerate() {
+            let p = r * r + m * m;
+            if !p.is_finite() {
+                return Err(QsimError::InvalidProbabilities {
+                    reason: "non-finite entry",
+                });
+            }
+            if p > 0.0 {
+                last_support = Some(i);
+            }
+            acc += p;
+            self.cdf.push(acc);
+        }
+        let Some(last_support) = last_support else {
+            return Err(QsimError::InvalidProbabilities {
+                reason: "no positive entry",
+            });
+        };
+        self.total = acc;
+        self.last_support = last_support;
+        Ok(())
+    }
+
+    /// Draws one basis-state index from the loaded distribution.
+    ///
+    /// Consumes exactly one `f64` from `rng` per call. The search is
+    /// strictly-greater (`partition_point` on `cdf[i] <= u`), so an index is
+    /// selectable only if its probability widened the CDF — zero-probability
+    /// states are unreachable. If rounding pushes `u` to the very top of the
+    /// table, the draw falls back to the last positive-probability index.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>() * self.total;
+        let i = self.cdf.partition_point(|&c| c <= u);
+        i.min(self.last_support)
+    }
 }
 
 /// Draws `shots` basis-state indices from the Born distribution of `state`.
 ///
 /// Uses inverse-CDF sampling per shot; adequate for the shot counts used in
-/// QAOA experiments (`≤ 10^5`).
+/// QAOA experiments (`≤ 10^5`). Fails if the state's probability vector is
+/// invalid (all-zero or non-finite, e.g. an uninitialised register).
 ///
 /// # Example
 ///
@@ -36,15 +143,18 @@ fn sample_from_probs<R: Rng + ?Sized>(probs: &[f64], shots: usize, rng: &mut R) 
 /// use rand::SeedableRng;
 /// let state = StateVector::basis_state(2, 3);
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-/// let shots = sample_indices(&state, 100, &mut rng);
+/// let shots = sample_indices(&state, 100, &mut rng)?;
 /// assert!(shots.iter().all(|&z| z == 3));
+/// # Ok::<(), qsim::QsimError>(())
 /// ```
 pub fn sample_indices<R: Rng + ?Sized>(
     state: &StateVector,
     shots: usize,
     rng: &mut R,
-) -> Vec<usize> {
-    sample_from_probs(&state.probabilities(), shots, rng)
+) -> Result<Vec<usize>, QsimError> {
+    let mut sampler = CdfSampler::new();
+    sampler.load(&state.probabilities())?;
+    Ok((0..shots).map(|_| sampler.draw(rng)).collect())
 }
 
 /// Draws `shots` measurements and returns a histogram of basis states.
@@ -54,12 +164,12 @@ pub fn sample_counts<R: Rng + ?Sized>(
     state: &StateVector,
     shots: usize,
     rng: &mut R,
-) -> BTreeMap<usize, usize> {
+) -> Result<BTreeMap<usize, usize>, QsimError> {
     let mut counts = BTreeMap::new();
-    for z in sample_indices(state, shots, rng) {
+    for z in sample_indices(state, shots, rng)? {
         *counts.entry(z).or_insert(0) += 1;
     }
-    counts
+    Ok(counts)
 }
 
 /// Draws `shots` basis-state indices from the diagonal of a density matrix
@@ -73,7 +183,7 @@ pub fn sample_counts<R: Rng + ?Sized>(
 /// # fn main() -> Result<(), qsim::QsimError> {
 /// let rho = DensityMatrix::maximally_mixed(2)?;
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-/// let shots = sample_density_indices(&rho, 100, &mut rng);
+/// let shots = sample_density_indices(&rho, 100, &mut rng)?;
 /// assert_eq!(shots.len(), 100);
 /// assert!(shots.iter().all(|&z| z < 4));
 /// # Ok(())
@@ -83,8 +193,10 @@ pub fn sample_density_indices<R: Rng + ?Sized>(
     rho: &DensityMatrix,
     shots: usize,
     rng: &mut R,
-) -> Vec<usize> {
-    sample_from_probs(&rho.probabilities(), shots, rng)
+) -> Result<Vec<usize>, QsimError> {
+    let mut sampler = CdfSampler::new();
+    sampler.load(&rho.probabilities())?;
+    Ok((0..shots).map(|_| sampler.draw(rng)).collect())
 }
 
 /// Draws `shots` measurements from a density matrix and returns a histogram
@@ -93,12 +205,12 @@ pub fn sample_density_counts<R: Rng + ?Sized>(
     rho: &DensityMatrix,
     shots: usize,
     rng: &mut R,
-) -> BTreeMap<usize, usize> {
+) -> Result<BTreeMap<usize, usize>, QsimError> {
     let mut counts = BTreeMap::new();
-    for z in sample_density_indices(rho, shots, rng) {
+    for z in sample_density_indices(rho, shots, rng)? {
         *counts.entry(z).or_insert(0) += 1;
     }
-    counts
+    Ok(counts)
 }
 
 #[cfg(test)]
@@ -111,7 +223,7 @@ mod tests {
     fn deterministic_state_samples_deterministically() {
         let s = StateVector::basis_state(3, 5);
         let mut rng = StdRng::seed_from_u64(1);
-        let counts = sample_counts(&s, 50, &mut rng);
+        let counts = sample_counts(&s, 50, &mut rng).unwrap();
         assert_eq!(counts.len(), 1);
         assert_eq!(counts[&5], 50);
     }
@@ -120,7 +232,7 @@ mod tests {
     fn uniform_state_covers_support() {
         let s = StateVector::plus_state(2);
         let mut rng = StdRng::seed_from_u64(42);
-        let counts = sample_counts(&s, 4000, &mut rng);
+        let counts = sample_counts(&s, 4000, &mut rng).unwrap();
         assert_eq!(counts.values().sum::<usize>(), 4000);
         // All four outcomes present, each within 5 sigma of 1000.
         for z in 0..4 {
@@ -133,15 +245,15 @@ mod tests {
     fn zero_shots_is_empty() {
         let s = StateVector::plus_state(1);
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(sample_indices(&s, 0, &mut rng).is_empty());
-        assert!(sample_counts(&s, 0, &mut rng).is_empty());
+        assert!(sample_indices(&s, 0, &mut rng).unwrap().is_empty());
+        assert!(sample_counts(&s, 0, &mut rng).unwrap().is_empty());
     }
 
     #[test]
     fn seeded_reproducibility() {
         let s = StateVector::plus_state(3);
-        let a = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9));
-        let b = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9));
+        let a = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = sample_indices(&s, 32, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -150,8 +262,8 @@ mod tests {
         // Sampling |ψ⟩⟨ψ| must match sampling |ψ⟩ for the same seed.
         let s = StateVector::plus_state(2);
         let rho = DensityMatrix::from_state_vector(&s).unwrap();
-        let a = sample_indices(&s, 64, &mut StdRng::seed_from_u64(4));
-        let b = sample_density_indices(&rho, 64, &mut StdRng::seed_from_u64(4));
+        let a = sample_indices(&s, 64, &mut StdRng::seed_from_u64(4)).unwrap();
+        let b = sample_density_indices(&rho, 64, &mut StdRng::seed_from_u64(4)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -159,11 +271,105 @@ mod tests {
     fn mixed_state_sampling_covers_support() {
         let rho = DensityMatrix::maximally_mixed(2).unwrap();
         let mut rng = StdRng::seed_from_u64(12);
-        let counts = sample_density_counts(&rho, 4000, &mut rng);
+        let counts = sample_density_counts(&rho, 4000, &mut rng).unwrap();
         assert_eq!(counts.values().sum::<usize>(), 4000);
         for z in 0..4 {
             let c = *counts.get(&z).unwrap_or(&0) as f64;
             assert!((c - 1000.0).abs() < 5.0 * (4000.0_f64 * 0.25 * 0.75).sqrt());
         }
+    }
+
+    #[test]
+    fn zero_probability_entries_never_sampled() {
+        // Leading, interior, and trailing zeros: only the support may appear,
+        // for every RNG stream. A basis state |2⟩ has zero amplitude on
+        // indices 0, 1, and 3 — the old plateau-landing search could emit
+        // them (u == 0.0 always selected index 0).
+        let mut sampler = CdfSampler::new();
+        sampler.load(&[0.0, 0.25, 0.0, 0.5, 0.25, 0.0]).unwrap();
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..256 {
+                let z = sampler.draw(&mut rng);
+                assert!(z == 1 || z == 3 || z == 4, "sampled zero-probability {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_zero_state_never_samples_zero_index() {
+        // Regression: basis_state(2, 2) has zero amplitude at index 0; a
+        // uniform draw of exactly 0.0 used to land there.
+        let s = StateVector::basis_state(2, 2);
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shots = sample_indices(&s, 128, &mut rng).unwrap();
+            assert!(shots.iter().all(|&z| z == 2));
+        }
+    }
+
+    #[test]
+    fn all_zero_probabilities_rejected() {
+        let mut sampler = CdfSampler::new();
+        let err = sampler.load(&[0.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, QsimError::InvalidProbabilities { .. }));
+        let err = sampler.load(&[]).unwrap_err();
+        assert!(matches!(err, QsimError::InvalidProbabilities { .. }));
+    }
+
+    #[test]
+    fn non_finite_probabilities_rejected() {
+        let mut sampler = CdfSampler::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = sampler.load(&[0.5, bad, 0.5]).unwrap_err();
+            assert!(matches!(err, QsimError::InvalidProbabilities { .. }));
+        }
+    }
+
+    #[test]
+    fn negative_rounding_noise_clamped() {
+        let mut sampler = CdfSampler::new();
+        sampler.load(&[-1e-300, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..64 {
+            assert_eq!(sampler.draw(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn load_amplitudes_matches_load_of_squares() {
+        let re = [0.5_f64, 0.0, -0.5, 0.5];
+        let im = [0.0_f64, 0.0, 0.5, 0.0];
+        let probs: Vec<f64> = re.iter().zip(&im).map(|(r, m)| r * r + m * m).collect();
+        let mut a = CdfSampler::new();
+        a.load_amplitudes(&re, &im).unwrap();
+        let mut b = CdfSampler::new();
+        b.load(&probs).unwrap();
+        let xa: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..128).map(|_| a.draw(&mut rng)).collect()
+        };
+        let xb: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(77);
+            (0..128).map(|_| b.draw(&mut rng)).collect()
+        };
+        assert_eq!(xa, xb);
+        assert!(xa.iter().all(|&z| z != 1), "zero-amplitude index sampled");
+    }
+
+    #[test]
+    fn load_amplitudes_length_mismatch_rejected() {
+        let mut sampler = CdfSampler::new();
+        let err = sampler.load_amplitudes(&[1.0, 0.0], &[0.0]).unwrap_err();
+        assert!(matches!(err, QsimError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn sampler_reuse_after_error_is_clean() {
+        let mut sampler = CdfSampler::new();
+        assert!(sampler.load(&[0.0]).is_err());
+        sampler.load(&[0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sampler.draw(&mut rng), 1);
     }
 }

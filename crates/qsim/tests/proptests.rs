@@ -96,7 +96,7 @@ proptest! {
         let p1 = s.probability(1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let shots = 4000;
-        let counts = qsim::sample_counts(&s, shots, &mut rng);
+        let counts = qsim::sample_counts(&s, shots, &mut rng).unwrap();
         let observed = *counts.get(&1).unwrap_or(&0) as f64 / shots as f64;
         let sigma = (p1 * (1.0 - p1) / shots as f64).sqrt().max(1e-3);
         prop_assert!((observed - p1).abs() < 6.0 * sigma,

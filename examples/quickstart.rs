@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Read out a concrete cut by sampling the optimized circuit.
     let ansatz = instance.ansatz();
     let state = ansatz.state_fast(&outcome.params)?;
-    let samples = qsim::sample_counts(&state, 512, &mut rng);
+    let samples = qsim::sample_counts(&state, 512, &mut rng)?;
     let (best_state, _) = samples
         .iter()
         .max_by_key(|(&z, &c)| (c, z))

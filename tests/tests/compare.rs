@@ -38,6 +38,7 @@ fn every_table1_cell_matches_the_serial_sweep() {
         level1_starts: 1,
         options: Default::default(),
         seed: 5,
+        scenario: qaoa::Scenario::Exact,
     };
     let serial = evaluation::compare(&graphs, &optimizers, &predictor, &eval).expect("serial");
     let parallel = engine::compare::compare(&graphs, &optimizers, &predictor, &eval, &Pool::new(4))
@@ -64,6 +65,7 @@ fn sweep_cost_accounting_is_schedule_independent() {
         level1_starts: 1,
         options: Default::default(),
         seed: 13,
+        scenario: qaoa::Scenario::Exact,
     };
     let runs: Vec<_> = [1usize, 2, 5]
         .iter()
@@ -125,9 +127,11 @@ fn parallel_two_level_protocol_matches_serial() {
     let (predictor, graphs) = predictor_and_test_graphs();
     let optimizer = Lbfgsb::default();
     let options = Default::default();
-    let serial =
-        evaluation::two_level_protocol(&graphs, 2, &optimizer, &predictor, 1, &options, 23)
-            .expect("serial two-level");
+    let scenario = qaoa::Scenario::Exact;
+    let serial = evaluation::two_level_protocol(
+        &graphs, 2, &optimizer, &predictor, 1, &options, 23, &scenario,
+    )
+    .expect("serial two-level");
     for threads in [1usize, 3] {
         let parallel = engine::compare::two_level_protocol(
             &graphs,
@@ -137,6 +141,7 @@ fn parallel_two_level_protocol_matches_serial() {
             1,
             &options,
             23,
+            &scenario,
             &Pool::new(threads),
         )
         .expect("parallel two-level");
@@ -161,6 +166,7 @@ fn empty_sweeps_are_well_formed() {
         level1_starts: 1,
         options: Default::default(),
         seed: 3,
+        scenario: qaoa::Scenario::Exact,
     };
     let rows = engine::compare::compare(&[], &optimizers, &predictor, &eval, &Pool::new(2))
         .expect("empty sweep");

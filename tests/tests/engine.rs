@@ -148,6 +148,7 @@ fn parallel_compare_matches_serial_compare() {
         level1_starts: 1,
         options: Default::default(),
         seed: 5,
+        scenario: qaoa::Scenario::Exact,
     };
     let serial =
         evaluation::compare(test.graphs(), &optimizers, &predictor, &eval).expect("serial");
@@ -201,10 +202,12 @@ fn parallel_protocols_match_serial_protocols() {
     let optimizer = Lbfgsb::default();
     let options = Default::default();
     let pool = Pool::new(3);
-    let serial =
-        evaluation::naive_protocol(&graphs, 2, &optimizer, 2, &options, 17).expect("serial naive");
-    let parallel = engine::compare::naive_protocol(&graphs, 2, &optimizer, 2, &options, 17, &pool)
-        .expect("parallel naive");
+    let scenario = qaoa::Scenario::Exact;
+    let serial = evaluation::naive_protocol(&graphs, 2, &optimizer, 2, &options, 17, &scenario)
+        .expect("serial naive");
+    let parallel =
+        engine::compare::naive_protocol(&graphs, 2, &optimizer, 2, &options, 17, &scenario, &pool)
+            .expect("parallel naive");
     assert_eq!(serial, parallel);
 }
 

@@ -28,8 +28,16 @@ fn two_level_flow_reduces_function_calls_on_average() {
     let optimizer = Lbfgsb::default();
     let depth = 3;
 
-    let naive = naive_protocol(test.graphs(), depth, &optimizer, 4, &Options::default(), 9)
-        .expect("naive protocol");
+    let naive = naive_protocol(
+        test.graphs(),
+        depth,
+        &optimizer,
+        4,
+        &Options::default(),
+        9,
+        &qaoa::Scenario::Exact,
+    )
+    .expect("naive protocol");
     let ml = two_level_protocol(
         test.graphs(),
         depth,
@@ -38,6 +46,7 @@ fn two_level_flow_reduces_function_calls_on_average() {
         1,
         &Options::default(),
         9,
+        &qaoa::Scenario::Exact,
     )
     .expect("two-level protocol");
 

@@ -1,0 +1,198 @@
+//! Integration tests for the scenario-diversity layer: shot-noise and
+//! gate-noise objectives as first-class engine workloads.
+//!
+//! Contracts under test:
+//!
+//! * **Thread parity** — sampled and noisy protocol runs are bit-identical
+//!   at 1 and 4 workers under the same master seed (all scenario
+//!   stochasticity is a pure function of per-job seeds, never of thread
+//!   scheduling).
+//! * **Cache hygiene** — non-exact scenarios bypass the depth-1 exact
+//!   optimum cache entirely; an exact run never serves a sampled/noisy job
+//!   its bits and vice versa.
+//! * **Exact delegation** — `Scenario::Exact` through the scenario plumbing
+//!   reproduces the legacy exact path bit-for-bit.
+//! * **Convergence** — the sampled estimate approaches the exact
+//!   expectation at the 1/√shots rate.
+
+mod common;
+
+use common::fixture_graphs;
+use engine::{BatchConfig, Engine, Job, Pool};
+use ml::ModelKind;
+use optimize::{Lbfgsb, Options};
+use qaoa::sampled::SampledExpectation;
+use qaoa::{MaxCutProblem, ParameterPredictor, Scenario, ScenarioInstance};
+
+fn predictor_and_test_graphs() -> (ParameterPredictor, Vec<graphs::Graph>) {
+    let config = common::tiny_datagen(8, 5, 0.6, 3, 2, 91);
+    let (ds, _) = engine::corpus::generate(&config, &Engine::new(2)).expect("corpus");
+    let (train, test) = ds.split_by_graph(0.5);
+    let predictor = ParameterPredictor::train(ModelKind::Linear, &train).expect("training");
+    (predictor, test.graphs().to_vec())
+}
+
+#[test]
+fn sampled_protocols_are_bit_identical_at_1_and_4_threads() {
+    let (predictor, graphs) = predictor_and_test_graphs();
+    let optimizer = Lbfgsb::default();
+    let options = Options::default().with_max_iters(60);
+    let scenario = Scenario::Sampled { shots: 64 };
+    let run = |threads: usize| {
+        let pool = Pool::new(threads);
+        let naive = engine::compare::naive_protocol(
+            &graphs, 2, &optimizer, 2, &options, 11, &scenario, &pool,
+        )
+        .expect("sampled naive");
+        let ml = engine::compare::two_level_protocol(
+            &graphs, 2, &optimizer, &predictor, 1, &options, 11, &scenario, &pool,
+        )
+        .expect("sampled two-level");
+        (naive, ml)
+    };
+    let (naive1, ml1) = run(1);
+    let (naive4, ml4) = run(4);
+    assert_eq!(naive1.len(), naive4.len());
+    for (i, (a, b)) in naive1.iter().zip(&naive4).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "naive sample {i} AR differs");
+        assert_eq!(a.1, b.1, "naive sample {i} FC differs");
+    }
+    for (i, (a, b)) in ml1.iter().zip(&ml4).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "ml sample {i} AR differs");
+        assert_eq!(a.1, b.1, "ml sample {i} FC differs");
+    }
+}
+
+#[test]
+fn noisy_protocols_are_bit_identical_at_1_and_4_threads() {
+    let (predictor, graphs) = predictor_and_test_graphs();
+    let optimizer = Lbfgsb::default();
+    let options = Options::default().with_max_iters(60);
+    let scenario = Scenario::Noisy {
+        p1: 0.002,
+        p2: 0.02,
+    };
+    let run = |threads: usize| {
+        let pool = Pool::new(threads);
+        let naive = engine::compare::naive_protocol(
+            &graphs, 2, &optimizer, 2, &options, 13, &scenario, &pool,
+        )
+        .expect("noisy naive");
+        let ml = engine::compare::two_level_protocol(
+            &graphs, 2, &optimizer, &predictor, 1, &options, 13, &scenario, &pool,
+        )
+        .expect("noisy two-level");
+        (naive, ml)
+    };
+    let (naive1, ml1) = run(1);
+    let (naive4, ml4) = run(4);
+    for (i, (a, b)) in naive1.iter().zip(&naive4).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "naive sample {i} AR differs");
+        assert_eq!(a.1, b.1, "naive sample {i} FC differs");
+    }
+    for (i, (a, b)) in ml1.iter().zip(&ml4).enumerate() {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "ml sample {i} AR differs");
+        assert_eq!(a.1, b.1, "ml sample {i} FC differs");
+    }
+}
+
+#[test]
+fn sampled_batch_runs_on_the_engine_and_skips_the_depth1_cache() {
+    // Depth-1 jobs under a non-exact scenario must not populate (or be
+    // served by) the exact-optimum cache.
+    let jobs: Vec<Job> = fixture_graphs(6, 5, 77)
+        .into_iter()
+        .map(|g| Job::new(g, 1, 2))
+        .collect();
+    let config = BatchConfig {
+        master_seed: 5,
+        scenario: Scenario::Sampled { shots: 32 },
+        ..BatchConfig::default()
+    };
+    let engine = Engine::new(2);
+    let (outcomes, report) = engine
+        .run_batch(&Lbfgsb::default(), &jobs, &config)
+        .expect("sampled batch");
+    assert_eq!(outcomes.len(), jobs.len());
+    assert_eq!(
+        report.cache_hits, 0,
+        "sampled jobs must never hit the cache"
+    );
+    assert_eq!(
+        engine.cache().len(),
+        0,
+        "sampled jobs must never populate the exact cache"
+    );
+
+    // Thread parity for the batch path too.
+    let (serial, _) = Engine::new(1)
+        .run_batch(&Lbfgsb::default(), &jobs, &config)
+        .expect("serial sampled batch");
+    for (a, b) in outcomes.iter().zip(&serial) {
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.function_calls, b.function_calls);
+    }
+}
+
+#[test]
+fn exact_scenario_through_batch_matches_legacy_exact_path() {
+    // `scenario: Exact` (the default) must leave the engine's behavior
+    // byte-for-byte unchanged, cache included.
+    let jobs: Vec<Job> = fixture_graphs(6, 5, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, g)| Job::new(g, 1 + i % 2, 2))
+        .collect();
+    let default_config = BatchConfig {
+        master_seed: 9,
+        ..BatchConfig::default()
+    };
+    let explicit_exact = BatchConfig {
+        master_seed: 9,
+        scenario: Scenario::Exact,
+        ..BatchConfig::default()
+    };
+    let (a, _) = Engine::new(2)
+        .run_batch(&Lbfgsb::default(), &jobs, &default_config)
+        .expect("default batch");
+    let (b, _) = Engine::new(2)
+        .run_batch(&Lbfgsb::default(), &jobs, &explicit_exact)
+        .expect("explicit exact batch");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.params, y.params);
+        assert_eq!(x.expectation.to_bits(), y.expectation.to_bits());
+    }
+}
+
+#[test]
+fn sampled_estimate_converges_at_inverse_sqrt_shots() {
+    // Statistical contract at the integration level: averaging many
+    // fixed-parameter sampled evaluations, the RMS error versus the exact
+    // expectation shrinks roughly like 1/√shots.
+    let graph = fixture_graphs(1, 6, 3)[0].clone();
+    let problem = MaxCutProblem::new(&graph).expect("non-empty");
+    let params = [0.7, 0.4];
+    let exact = ScenarioInstance::new(problem.clone(), 1, &Scenario::Exact, 0)
+        .expect("exact instance")
+        .exact_expectation(&params)
+        .expect("exact expectation");
+
+    let rms = |shots: u32| {
+        let mut sq = 0.0;
+        let reps = 24u32;
+        for rep in 0..reps {
+            let objective = SampledExpectation::new(problem.clone(), 1, shots, u64::from(rep))
+                .expect("sampled objective");
+            let est = objective.estimate(&params).expect("sampled estimate");
+            sq += (est - exact) * (est - exact);
+        }
+        (sq / f64::from(reps)).sqrt()
+    };
+    let coarse = rms(32);
+    let fine = rms(2048);
+    // 64x the shots should cut RMS error ~8x; allow generous slack.
+    assert!(
+        fine < coarse / 3.0,
+        "RMS error should shrink with shots: 32 shots -> {coarse}, 2048 shots -> {fine}"
+    );
+}
